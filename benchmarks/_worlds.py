@@ -1,0 +1,86 @@
+"""Shared world builders for the benchmark harness.
+
+Each bench constructs the smallest deployment that exercises its paper
+artifact; these helpers keep that construction consistent and seeded.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bank.server import GridBankServer
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession
+from repro.grid.job import Job
+from repro.net.rpc import RPCClient
+from repro.net.transport import InProcessNetwork
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+STANDARD_RATES = dict(cpu_per_hour=6.0, network_per_mb=0.1, memory_per_mb_hour=0.001)
+
+
+def make_bank_world(seed: int = 0, open_enrollment: bool = True):
+    """A bare bank + CA + network, with admin/consumer/provider identities."""
+    clock = VirtualClock()
+    rng = random.Random(seed)
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock,
+        rng=random.Random(rng.getrandbits(32)), key_bits=512,
+    )
+    store = CertificateStore([ca.root_certificate])
+    bank_ident = ca.issue_identity(DistinguishedName("GridBank", "server"), key_bits=512)
+    bank = GridBankServer(
+        bank_ident, store, clock=clock, rng=random.Random(rng.getrandbits(32)),
+        open_enrollment=open_enrollment,
+    )
+    network = InProcessNetwork()
+    network.listen("gridbank", bank.connection_handler)
+    admin_ident = ca.issue_identity(DistinguishedName("GridBank", "admin"), key_bits=512)
+    bank.admin.add_administrator(admin_ident.subject)
+    return {
+        "clock": clock,
+        "rng": rng,
+        "ca": ca,
+        "store": store,
+        "bank": bank,
+        "network": network,
+        "admin_ident": admin_ident,
+    }
+
+
+def connect_client(world, identity, seed: int = 0) -> RPCClient:
+    client = RPCClient(
+        world["network"].connect("gridbank"), identity, world["store"],
+        clock=world["clock"], rng=random.Random(seed),
+    )
+    client.connect()
+    return client
+
+
+def make_grid_session(seed: int = 0, providers: int = 1, consumer_funds: float = 10_000.0):
+    session = GridSession(seed=seed)
+    consumer = session.add_consumer("consumer", funds=consumer_funds)
+    provider_list = [
+        session.add_provider(
+            f"gsp{i}", ServiceRatesRecord.flat(**STANDARD_RATES),
+            num_pes=4, mips_per_pe=500.0,
+        )
+        for i in range(providers)
+    ]
+    return session, consumer, provider_list
+
+
+def standard_job(subject: str, job_id: str, length_mi: float = 180_000.0) -> Job:
+    return Job(
+        job_id=job_id,
+        user_subject=subject,
+        application_name="bench",
+        length_mi=length_mi,
+        input_mb=10.0,
+        output_mb=5.0,
+        memory_mb=64.0,
+    )

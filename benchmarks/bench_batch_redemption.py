@@ -1,0 +1,69 @@
+"""BATCH — sec 3.1: "This can be done in batches."
+
+A GSP holding N redeemed-ready GridCheques settles them one bank
+interaction at a time vs one batched call. Expected shape: bank messages
+per cheque fall as 1/batch-size while total settled value is identical.
+"""
+
+import random
+
+import pytest
+
+from _worlds import connect_client, make_bank_world
+from repro.core.api import GridBankAPI
+from repro.pki.certificate import DistinguishedName
+from repro.util.money import Credits
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = make_bank_world(seed=701)
+    w["alice"] = w["ca"].issue_identity(DistinguishedName("VO-A", "alice"), key_bits=512)
+    w["gsp"] = w["ca"].issue_identity(DistinguishedName("VO-B", "gsp"), key_bits=512)
+    w["alice_api"] = GridBankAPI(connect_client(w, w["alice"], seed=1), rng=random.Random(1))
+    w["gsp_api"] = GridBankAPI(connect_client(w, w["gsp"], seed=2), rng=random.Random(2))
+    admin = GridBankAPI(connect_client(w, w["admin_ident"], seed=3), rng=random.Random(3))
+    w["alice_account"] = w["alice_api"].create_account()
+    w["gsp_account"] = w["gsp_api"].create_account()
+    admin.admin_deposit(w["alice_account"], Credits(10_000_000))
+    return w
+
+
+def issue_cheques(world, count):
+    return [
+        world["alice_api"].request_cheque(
+            world["alice_account"], world["gsp"].subject, Credits(1)
+        )
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("batch_size", [1, 4, 16, 64])
+def test_batched_redemption_sweep(benchmark, world, batch_size):
+    def settle_batch():
+        cheques = issue_cheques(world, batch_size)
+        before = world["network"].stats.messages_sent
+        results = world["gsp_api"].redeem_cheque_batch(
+            [(c, world["gsp_account"], Credits(1), b"") for c in cheques]
+        )
+        redemption_messages = world["network"].stats.messages_sent - before
+        return results, redemption_messages
+
+    results, messages = benchmark.pedantic(settle_batch, rounds=5, iterations=1)
+    assert len(results) == batch_size
+    assert messages == 1  # one bank interaction regardless of batch size
+    assert all(r["paid"] == Credits(1) for r in results)
+
+
+def test_unbatched_redemption_baseline(benchmark, world):
+    batch_size = 16
+
+    def settle_one_by_one():
+        cheques = issue_cheques(world, batch_size)
+        before = world["network"].stats.messages_sent
+        for cheque in cheques:
+            world["gsp_api"].redeem_cheque(cheque, world["gsp_account"], Credits(1))
+        return world["network"].stats.messages_sent - before
+
+    messages = benchmark.pedantic(settle_one_by_one, rounds=5, iterations=1)
+    assert messages == batch_size  # one bank round-trip per cheque

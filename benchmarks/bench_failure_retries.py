@@ -1,0 +1,60 @@
+"""RETRY — failure ablation: campaign cost overhead vs provider flakiness.
+
+Failed jobs still pay for the resources they consumed (the meter does
+not care why a job ended), and the broker resubmits within budget.
+Sweep the failure rate and measure the cost overhead of unreliability —
+the kind of economic shape the GASA accounting makes visible at all.
+"""
+
+import pytest
+
+from repro.broker import Algorithm, GridResourceBroker
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession
+from repro.grid.job import Job
+from repro.util.money import Credits
+
+
+def run_campaign(failure_rate: float, seed: int = 90):
+    session = GridSession(seed=seed)
+    consumer = session.add_consumer("consumer", funds=10_000.0)
+    session.add_provider(
+        "site", ServiceRatesRecord.flat(cpu_per_hour=4.0),
+        num_pes=4, mips_per_pe=500.0, failure_rate=failure_rate,
+    )
+    broker = GridResourceBroker(session, consumer)
+    jobs = [
+        Job(job_id=f"r{i}", user_subject=consumer.subject, application_name="app",
+            length_mi=180_000.0)
+        for i in range(16)
+    ]
+    return broker.run_campaign(
+        jobs, deadline_s=30_000.0, budget=Credits(200),
+        algorithm=Algorithm.COST_OPTIMIZATION, max_retries=10,
+    ), session, consumer
+
+
+@pytest.mark.parametrize("failure_rate", [0.0, 0.2, 0.4])
+def test_retry_cost_sweep(benchmark, failure_rate):
+    result, session, consumer = benchmark.pedantic(
+        run_campaign, args=(failure_rate,), rounds=3, iterations=1
+    )
+    assert result.jobs_done == 16
+    if failure_rate == 0.0:
+        assert result.retries == 0
+    else:
+        assert result.retries > 0
+    # conservation regardless of how many attempts burned
+    provider = session.participants["site"]
+    assert consumer.balance() + provider.balance() == Credits(10_000)
+
+
+def test_flakiness_costs_money(benchmark):
+    def compare():
+        reliable, _s1, _c1 = run_campaign(0.0)
+        flaky, _s2, _c2 = run_campaign(0.4)
+        return reliable, flaky
+
+    reliable, flaky = benchmark.pedantic(compare, rounds=2, iterations=1)
+    assert flaky.total_paid > reliable.total_paid
+    assert flaky.makespan_s > reliable.makespan_s

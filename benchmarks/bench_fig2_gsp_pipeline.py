@@ -1,0 +1,109 @@
+"""FIG2 — Figure 2: the GSP-side pipeline (GTS / GRM / GBCM / GridBank).
+
+Benchmarks each stage of the provider-side dataflow separately — raw
+usage -> conversion unit -> standard RUR; per-resource aggregation;
+rates x usage charge calculation + GSP signature; signed redemption at
+the bank — and asserts the cross-flavor property the conversion unit
+exists for: identical physical usage yields identical standard RURs
+regardless of the reporting OS.
+"""
+
+import pytest
+
+from _worlds import make_grid_session, standard_job
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import PaymentStrategy
+from repro.grid.meter import GridResourceMeter
+from repro.rur.aggregate import aggregate_records
+from repro.rur.conversion import ConversionUnit, OSFlavor, RawUsageRecord
+from repro.rur.formats import to_blob
+
+
+RAW_LINUX = RawUsageRecord(
+    flavor=OSFlavor.LINUX,
+    local_job_id="pid-1",
+    start_epoch=0.0,
+    end_epoch=1800.0,
+    fields={
+        "utime_jiffies": 180_000.0,
+        "stime_jiffies": 5_400.0,
+        "mem_kb_hours": 32_768.0,
+        "disk_kb_hours": 1_024.0,
+        "net_kb": 15_360.0,
+    },
+)
+
+RAW_SOLARIS = RawUsageRecord(
+    flavor=OSFlavor.SOLARIS,
+    local_job_id="pr-1",
+    start_epoch=0.0,
+    end_epoch=1800.0,
+    fields={
+        "pr_utime_us": 1_800_000_000.0,
+        "pr_stime_us": 54_000_000.0,
+        "pr_mem_mb_hours": 32.0,
+        "pr_disk_mb_hours": 1.0,
+        "pr_net_mb": 15.0,
+    },
+)
+
+
+def _convert(raw):
+    return ConversionUnit().convert(
+        raw,
+        user_certificate_name="/O=VO-A/CN=alice",
+        user_host="alice.vo-a.org",
+        job_id="fig2-job",
+        application_name="bench",
+        resource_certificate_name="/O=VO-B/CN=gsp",
+        resource_host="cluster.vo-b.org",
+    )
+
+
+def test_fig2_conversion_unit(benchmark):
+    rur = benchmark(_convert, RAW_LINUX)
+    assert rur.usage.cpu_time_s == pytest.approx(1800.0)
+    # OS-independence: the Solaris encoding of the same usage converts equal
+    assert _convert(RAW_SOLARIS).usage.as_dict() == pytest.approx(rur.usage.as_dict())
+
+
+def test_fig2_aggregation_of_per_resource_records(benchmark):
+    records = [_convert(RAW_LINUX) for _ in range(4)]  # R1..R4 of Figure 1
+    merged = benchmark(aggregate_records, records, "/O=VO-B/CN=gsp", "head.vo-b.org")
+    assert merged.usage.cpu_time_s == pytest.approx(4 * 1800.0)
+    assert len(merged.aggregated_from) == 4
+
+
+def test_fig2_charge_calculation_and_signature(benchmark):
+    session, consumer, providers = make_grid_session(seed=102)
+    gbcm = providers[0].provider.gbcm
+    rates = ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1)
+    rur = _convert(RAW_LINUX)
+    calculation = benchmark(gbcm.calculate_charge, rur, rates)
+    # 0.5 CPU-h x 6 + 15 MB x 0.1 = 4.5
+    assert calculation.total.to_float() == pytest.approx(4.5)
+    calculation.recompute_check()
+    assert calculation.verify(providers[0].identity.private_key.public_key())
+
+
+def test_fig2_rur_blob_encoding(benchmark):
+    rur = _convert(RAW_LINUX)
+    blob = benchmark(to_blob, rur)
+    assert blob[0:1] == b"\x01"
+
+
+def test_fig2_full_pipeline_meter_to_settlement(benchmark):
+    world = make_grid_session(seed=103)
+    counter = [0]
+
+    def pipeline():
+        session, consumer, providers = world
+        counter[0] += 1
+        job = standard_job(consumer.subject, f"fig2-{counter[0]:05d}")
+        outcome = session.run_job(
+            consumer, providers[0], job, strategy=PaymentStrategy.PAY_AFTER_USE
+        )
+        return outcome
+
+    outcome = benchmark.pedantic(pipeline, rounds=15, iterations=1)
+    assert outcome.service.rur.local_job_id  # metered through the GRM

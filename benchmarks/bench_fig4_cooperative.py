@@ -1,0 +1,57 @@
+"""FIG4 — Figure 4: co-operative resource sharing.
+
+Regenerates the four-provider bartering community and reports the
+account table (consumed vs provided per member). Shape assertions encode
+the figure's caption: heterogeneous hardware, identical exchanged value
+(slower resources compensate by running longer), zero equilibrium drift
+under the community valuation authority — and, as the ablation DESIGN.md
+calls out, positive drift without it.
+"""
+
+import pytest
+
+from repro.core.models import CooperativeCommunity
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession
+from repro.util.money import Credits
+
+SPECS = [
+    {"name": "member0", "num_pes": 2, "mips_per_pe": 250.0},
+    {"name": "member1", "num_pes": 2, "mips_per_pe": 500.0},
+    {"name": "member2", "num_pes": 2, "mips_per_pe": 750.0},
+    {"name": "member3", "num_pes": 2, "mips_per_pe": 1000.0},
+]
+
+
+def run_community(valued: bool):
+    session = GridSession(seed=104)
+    community = CooperativeCommunity(session, SPECS, initial_credits=1000.0)
+    if not valued:
+        for member in community.members:
+            member.provider.trade_server.posted_rates = ServiceRatesRecord.flat(
+                cpu_per_hour=6.0
+            )
+    ledger = community.run(rounds=2, job_length_mi=90_000.0)
+    return community, ledger
+
+
+def test_fig4_cooperative_sharing_round(benchmark):
+    community, ledger = benchmark.pedantic(run_community, args=(True,), rounds=3, iterations=1)
+    # Figure 4's account view: everyone consumed exactly what they provided
+    for name in ledger.consumed:
+        assert ledger.consumed[name] == ledger.provided[name]
+        assert ledger.consumed[name] > Credits(0)
+    assert ledger.drift() == pytest.approx(0.0)
+    # caption: 4x hardware spread -> 4x wall-clock spread, same G$ value
+    walls = [m.provider.sessions[-1].rur.usage.wall_clock_s for m in community.members]
+    charges = [m.provider.sessions[-1].calculation.total for m in community.members]
+    assert max(walls) / min(walls) == pytest.approx(4.0)
+    assert len(set(charges)) == 1
+
+
+def test_fig4_ablation_no_valuation_authority(benchmark):
+    _community, ledger = benchmark.pedantic(run_community, args=(False,), rounds=3, iterations=1)
+    # without community valuation, slow hardware profits and balance drifts
+    assert ledger.drift() > 0.0
+    assert ledger.balances["member0"] > Credits(1000)  # slowest earns most
+    assert ledger.balances["member3"] < Credits(1000)

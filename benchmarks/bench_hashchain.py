@@ -1,0 +1,65 @@
+"""HASH — sec 3.1 GridHash ablation: chain length vs per-payment cost.
+
+PayWord's promise: one signature amortized over N micropayments, each
+verified with a single hash. The sweep shows per-payment verification
+cost is flat (one SHA-256) while the per-payment *signature* cost falls
+as 1/N; the baseline pays one full RSA signature per payment (what
+per-payment cheques would cost).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.hashes import HashChain, verify_link
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signature import sign, verify
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=512, rng=random.Random(601))
+
+
+@pytest.mark.parametrize("length", [16, 64, 256, 1024])
+def test_chain_generation_cost(benchmark, length):
+    def make():
+        return HashChain(length, seed=b"bench-seed-0123456789abcdef!!")
+
+    chain = benchmark(make)
+    assert len(chain) == length
+
+
+@pytest.mark.parametrize("length", [16, 256])
+def test_spend_whole_chain(benchmark, length, keypair):
+    """Commit once (1 signature), then spend+verify every link."""
+    chain = HashChain(length, seed=b"bench-seed-0123456789abcdef!!")
+    commitment_sig = sign(keypair.private, {"root": chain.root, "length": length})
+
+    def spend_all():
+        assert verify(keypair.public, {"root": chain.root, "length": length}, commitment_sig)
+        last = chain.root
+        for i in range(1, length + 1):
+            link = chain.link(i)
+            assert verify_link(link, last)
+            last = link
+
+    benchmark.pedantic(spend_all, rounds=10, iterations=1)
+
+
+def test_single_micropayment_verification(benchmark):
+    """The steady-state per-payment cost: ONE hash."""
+    chain = HashChain(64, seed=b"bench-seed-0123456789abcdef!!")
+    link5, link4 = chain.link(5), chain.link(4)
+    assert benchmark(verify_link, link5, link4)
+
+
+def test_baseline_signature_per_payment(benchmark, keypair):
+    """What per-payment signing (per-payment cheques) would cost instead."""
+    payment = {"payee": "/O=B/CN=gsp", "amount_micro": 10_000, "seq": 1}
+
+    def sign_and_verify():
+        signature = sign(keypair.private, payment)
+        assert verify(keypair.public, payment, signature)
+
+    benchmark(sign_and_verify)

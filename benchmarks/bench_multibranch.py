@@ -1,0 +1,105 @@
+"""BRANCH — sec 6: multi-branch GridBank and inter-branch settlement.
+
+Sweeps the fraction of cross-VO traffic over a 4-branch deployment and
+reports settlement message volume. Expected shape: every cross-branch
+payment costs two ledger legs immediately, but netting clears any number
+of them with at most one movement per branch pair — message volume grows
+with the *pair count*, not the payment count.
+"""
+
+import random
+
+import pytest
+
+from repro.bank.branch import BranchNetwork
+from repro.bank.server import GridBankServer
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.sim.distributions import Distributions
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits, ZERO
+
+N_BRANCHES = 4
+
+
+def build_network(seed=801):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock,
+        rng=random.Random(seed), key_bits=512,
+    )
+    store = CertificateStore([ca.root_certificate])
+    network = BranchNetwork()
+    accounts = {}
+    for branch in range(1, N_BRANCHES + 1):
+        ident = ca.issue_identity(DistinguishedName("GridBank", f"b{branch}"), key_bits=512)
+        server = GridBankServer(
+            ident, store, clock=clock, rng=random.Random(seed + branch),
+            bank_number=1, branch_number=branch,
+        )
+        network.add_branch(server)
+        user = server.accounts.create_account(f"/O=VO-{branch}/CN=user")
+        server.admin.deposit(user, Credits(1_000_000))
+        accounts[branch] = user
+    return network, accounts
+
+
+@pytest.mark.parametrize("cross_fraction", [0.0, 0.25, 0.75])
+def test_traffic_mix_sweep(benchmark, cross_fraction):
+    payments = 200
+
+    def run_mix():
+        network, accounts = build_network()
+        dist = Distributions(99)
+        for branch in range(1, N_BRANCHES + 1):
+            extra = network.branch_for(accounts[branch]).accounts.create_account(
+                f"/O=VO-{branch}/CN=gsp"
+            )
+            accounts[(branch, "gsp")] = extra
+        for _ in range(payments):
+            src = dist.randint(1, N_BRANCHES)
+            if dist.bernoulli(cross_fraction):
+                dst = src % N_BRANCHES + 1
+            else:
+                dst = src
+            network.transfer(accounts[src], accounts[(dst, "gsp")], Credits(0.5))
+        batches = network.settle()
+        return network, batches
+
+    network, batches = benchmark.pedantic(run_mix, rounds=3, iterations=1)
+    expected_cross = int(payments * cross_fraction * 1.2)  # loose upper bound
+    if cross_fraction == 0.0:
+        assert network.cross_transfers == 0
+        assert batches == []
+    else:
+        assert 0 < network.cross_transfers <= expected_cross
+        # netting: movements bounded by branch pairs, not payment count
+        assert len(batches) <= N_BRANCHES * (N_BRANCHES - 1) // 2
+        assert network.cross_transfers > len(batches)
+
+
+def test_settlement_restores_zero_positions(benchmark):
+    def run_and_settle():
+        network, accounts = build_network(seed=802)
+        gsp2 = network.branch_for(accounts[2]).accounts.create_account("/O=VO-2/CN=gsp")
+        for _ in range(50):
+            network.transfer(accounts[1], gsp2, Credits(1))
+        network.settle()
+        return network
+
+    network = benchmark.pedantic(run_and_settle, rounds=3, iterations=1)
+    for a in range(1, N_BRANCHES + 1):
+        for b in range(1, N_BRANCHES + 1):
+            if a != b:
+                assert network.settlement_account_balance((1, a), (1, b)) == ZERO
+
+
+def test_single_cross_branch_transfer(benchmark):
+    network, accounts = build_network(seed=803)
+    gsp2 = network.branch_for(accounts[2]).accounts.create_account("/O=VO-2/CN=gsp")
+
+    def transfer():
+        network.transfer(accounts[1], gsp2, Credits(0.01))
+
+    benchmark(transfer)

@@ -1,0 +1,40 @@
+"""SUB-SIM — open-queue grid economy at scale (GridSim-style).
+
+An accounting-enabled grid under Poisson load: every job is paid by
+GridCheque through the GBPM, metered, charged and settled. Sweeps the
+offered load and reports simulator throughput plus the queueing/economic
+shape: waits explode as utilization approaches saturation, busy fractions
+rise, and the books stay exactly balanced throughout.
+"""
+
+import pytest
+
+from repro.workloads import run_open_queue
+
+
+@pytest.mark.parametrize("interarrival", [240.0, 120.0, 60.0])
+def test_open_queue_load_sweep(benchmark, interarrival):
+    result = benchmark.pedantic(
+        run_open_queue,
+        kwargs=dict(mean_interarrival_s=interarrival, horizon_s=24_000.0, seed=3),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.completion_rate == 1.0
+    assert result.funds_conserved
+    if interarrival == 240.0:
+        assert result.mean_wait_s < 5.0
+    if interarrival == 60.0:
+        assert result.mean_wait_s > 100.0
+        assert max(result.per_provider_busy_fraction.values()) > 0.8
+
+
+def test_open_queue_shape_comparison(benchmark):
+    def sweep():
+        light = run_open_queue(mean_interarrival_s=240.0, horizon_s=24_000.0, seed=3)
+        heavy = run_open_queue(mean_interarrival_s=60.0, horizon_s=24_000.0, seed=3)
+        return light, heavy
+
+    light, heavy = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert heavy.mean_wait_s > 10 * light.mean_wait_s  # the queueing knee
+    assert heavy.total_paid > light.total_paid

@@ -1,0 +1,94 @@
+"""GUAR — sec 3.4: payment guarantee via locked balances.
+
+A consumer with G$100 tries to write ten G$60 cheques. With the paper's
+locked-balance guarantee only one can issue (the second would exceed
+available+limit); with a naive unlocked credit-card model all ten issue
+and redemption overspends the account by G$500. The bench measures the
+cost of the guarantee (lock+unlock on the issue path) and asserts the
+overspend numbers on both sides of the ablation.
+"""
+
+import pytest
+
+from _worlds import connect_client, make_bank_world
+from repro.core.api import GridBankAPI
+from repro.errors import InsufficientFundsError
+from repro.pki.certificate import DistinguishedName
+from repro.util.money import Credits, ZERO
+
+
+@pytest.fixture()
+def world():
+    w = make_bank_world(seed=501)
+    w["alice"] = w["ca"].issue_identity(DistinguishedName("VO-A", "alice"), key_bits=512)
+    w["gsp"] = w["ca"].issue_identity(DistinguishedName("VO-B", "gsp"), key_bits=512)
+    import random
+
+    w["alice_api"] = GridBankAPI(connect_client(w, w["alice"], seed=1), rng=random.Random(1))
+    w["gsp_api"] = GridBankAPI(connect_client(w, w["gsp"], seed=2), rng=random.Random(2))
+    w["admin_api"] = GridBankAPI(connect_client(w, w["admin_ident"], seed=3), rng=random.Random(3))
+    w["alice_account"] = w["alice_api"].create_account()
+    w["gsp_account"] = w["gsp_api"].create_account()
+    w["admin_api"].admin_deposit(w["alice_account"], Credits(100))
+    return w
+
+
+def test_guarantee_blocks_overspend(benchmark, world):
+    api = world["alice_api"]
+    gsp_subject = world["gsp"].subject
+
+    def attempt_ten_cheques():
+        issued = []
+        rejected = 0
+        for _ in range(10):
+            try:
+                issued.append(api.request_cheque(world["alice_account"], gsp_subject, Credits(60)))
+            except InsufficientFundsError:
+                rejected += 1
+        for cheque in issued:  # reset for the next round
+            api.cancel_cheque(cheque)
+        return len(issued), rejected
+
+    issued, rejected = benchmark.pedantic(attempt_ten_cheques, rounds=10, iterations=1)
+    assert issued == 1  # only the first 60 fits in 100
+    assert rejected == 9
+    # and the books are intact
+    assert world["alice_api"].check_balance(world["alice_account"]) == Credits(100)
+
+
+def test_guarantee_issue_cost(benchmark, world):
+    """The price of safety: lock at issue, unlock at cancel."""
+    api = world["alice_api"]
+    gsp_subject = world["gsp"].subject
+
+    def issue_and_cancel():
+        cheque = api.request_cheque(world["alice_account"], gsp_subject, Credits(10))
+        api.cancel_cheque(cheque)
+
+    benchmark(issue_and_cancel)
+
+
+def test_ablation_unguaranteed_credit_overspends(benchmark, world):
+    """Baseline without locking: simulate the credit-card model by paying
+    each charge with an unguaranteed direct debit at redemption time."""
+    bank = world["bank"]
+    alice_account = world["alice_account"]
+    gsp_account = world["gsp_account"]
+    # give the account an effectively unlimited credit line (no guarantee
+    # checking at 'issue' time is equivalent to deferring to a credit model)
+    bank.admin.change_credit_limit(alice_account, Credits(10_000))
+
+    def overspend_round():
+        start = bank.accounts.available_balance(alice_account)
+        for _ in range(10):
+            bank.accounts.transfer(alice_account, gsp_account, Credits(60))
+        end = bank.accounts.available_balance(alice_account)
+        # undo for the next benchmark round
+        for _ in range(10):
+            bank.accounts.transfer(gsp_account, alice_account, Credits(60))
+        return start - end
+
+    spent = benchmark.pedantic(overspend_round, rounds=10, iterations=1)
+    assert spent == Credits(600)  # 6x the account's actual funds
+    balance = bank.accounts.available_balance(alice_account)
+    assert balance == Credits(100)

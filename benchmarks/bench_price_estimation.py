@@ -1,0 +1,101 @@
+"""PRICE — sec 4.2: market-value estimation from transaction history.
+
+The estimator ingests settled (resource description, realized unit
+price) pairs and answers confidential market-value queries. Sweep:
+estimate error vs history size. Expected shape: error falls as history
+grows; estimates for faster hardware come out higher.
+"""
+
+import pytest
+
+from repro.bank.pricing import PriceEstimator, ResourceDescription
+from repro.sim.distributions import Distributions
+from repro.util.money import Credits
+
+
+def true_price(mips: float) -> float:
+    """Ground-truth market rule the observations are drawn around."""
+    return mips / 100.0
+
+
+def make_description(dist: Distributions) -> ResourceDescription:
+    mips = dist.uniform(100.0, 2000.0)
+    return ResourceDescription(
+        cpu_speed_mips=mips,
+        num_processors=dist.randint(1, 16),
+        memory_mb=dist.uniform(256.0, 8192.0),
+        storage_gb=dist.uniform(10.0, 1000.0),
+        bandwidth_mbps=dist.uniform(10.0, 1000.0),
+    )
+
+
+def train(history: int, seed: int = 901) -> PriceEstimator:
+    dist = Distributions(seed)
+    estimator = PriceEstimator(k=5)
+    for _ in range(history):
+        description = make_description(dist)
+        noisy = true_price(description.cpu_speed_mips) * dist.uniform(0.9, 1.1)
+        estimator.observe(description, Credits(noisy))
+    return estimator
+
+
+@pytest.mark.parametrize("history", [10, 100, 1000])
+def test_estimation_error_vs_history(benchmark, history):
+    estimator = train(history)
+    dist = Distributions(902)
+    queries = [make_description(dist) for _ in range(50)]
+
+    def mean_relative_error():
+        total = 0.0
+        for query in queries:
+            estimate = estimator.estimate(query).to_float()
+            truth = true_price(query.cpu_speed_mips)
+            total += abs(estimate - truth) / truth
+        return total / len(queries)
+
+    error = benchmark.pedantic(mean_relative_error, rounds=3, iterations=1)
+    # more history -> tighter estimates
+    bounds = {10: 1.0, 100: 0.45, 1000: 0.25}
+    assert error < bounds[history]
+
+
+def test_error_shrinks_monotonically(benchmark):
+    dist = Distributions(903)
+    queries = [make_description(dist) for _ in range(50)]
+
+    def error_at(history):
+        estimator = train(history)
+        return sum(
+            abs(estimator.estimate(q).to_float() - true_price(q.cpu_speed_mips))
+            / true_price(q.cpu_speed_mips)
+            for q in queries
+        ) / len(queries)
+
+    def compare():
+        return error_at(10), error_at(1000)
+
+    sparse, dense = benchmark.pedantic(compare, rounds=2, iterations=1)
+    assert dense < sparse
+
+
+def test_single_estimate_latency(benchmark):
+    estimator = train(1000)
+    query = make_description(Distributions(904))
+    estimate = benchmark(estimator.estimate, query)
+    assert estimate > Credits(0)
+
+
+def test_faster_hardware_estimates_higher(benchmark):
+    estimator = train(500)
+
+    def compare():
+        slow = estimator.estimate(
+            ResourceDescription(200.0, 4, 1024.0, 100.0, 100.0)
+        )
+        fast = estimator.estimate(
+            ResourceDescription(1800.0, 4, 1024.0, 100.0, 100.0)
+        )
+        return slow, fast
+
+    slow, fast = benchmark.pedantic(compare, rounds=5, iterations=1)
+    assert fast > slow

@@ -1,0 +1,117 @@
+"""SUB-DB — relational-engine micro-benchmarks.
+
+The accounts layer's substrate: row insertion, indexed vs scan selects,
+transaction commit/rollback, WAL append, and recovery replay.
+"""
+
+import pytest
+
+from repro.db import Column, Database, Float, TableSchema, VarChar, eq, gt
+from repro.util.gbtime import VirtualClock
+
+
+def schema():
+    return TableSchema(
+        "bench",
+        [
+            Column.make("id", VarChar(16)),
+            Column.make("owner", VarChar(64)),
+            Column.make("amount", Float(), default=0.0),
+        ],
+        primary_key=["id"],
+        indexes=["owner"],
+    )
+
+
+@pytest.fixture()
+def populated():
+    db = Database()
+    db.create_table(schema())
+    for i in range(10_000):
+        db.insert("bench", {"id": f"{i:016d}", "owner": f"owner-{i % 100}", "amount": float(i)})
+    return db
+
+
+def test_db_insert(benchmark):
+    db = Database()
+    db.create_table(schema())
+    seq = [0]
+
+    def insert():
+        seq[0] += 1
+        db.insert("bench", {"id": f"{seq[0]:016d}", "owner": "o", "amount": 1.0})
+
+    benchmark(insert)
+
+
+def test_db_point_lookup(benchmark, populated):
+    row = benchmark(populated.get, "bench", ("0000000000005000",))
+    assert row["amount"] == 5000.0
+
+
+def test_db_indexed_select(benchmark, populated):
+    rows = benchmark(populated.select, "bench", [eq("owner", "owner-42")])
+    assert len(rows) == 100
+
+
+def test_db_full_scan_select(benchmark, populated):
+    rows = benchmark(populated.select, "bench", [gt("amount", 9989.0)])
+    assert len(rows) == 10
+
+
+def test_db_transaction_commit(benchmark, populated):
+    seq = [0]
+
+    def txn():
+        seq[0] += 1
+        with populated.transaction():
+            populated.update("bench", ("0000000000000001",), {"amount": float(seq[0])})
+            populated.update("bench", ("0000000000000002",), {"amount": float(seq[0])})
+
+    benchmark(txn)
+
+
+def test_db_transaction_rollback(benchmark, populated):
+    def rolled_back():
+        try:
+            with populated.transaction():
+                populated.update("bench", ("0000000000000001",), {"amount": -1.0})
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+
+    benchmark(rolled_back)
+    assert populated.get("bench", ("0000000000000001",))["amount"] != -1.0
+
+
+def test_db_wal_append(benchmark, tmp_path):
+    db = Database(path=tmp_path)
+    db.create_table(schema())
+    db.recover()
+    seq = [0]
+
+    def journaled_insert():
+        seq[0] += 1
+        db.insert("bench", {"id": f"{seq[0]:016d}", "owner": "o", "amount": 1.0})
+
+    benchmark(journaled_insert)
+    db.close()
+
+
+def test_db_recovery_replay(benchmark, tmp_path):
+    db = Database(path=tmp_path)
+    db.create_table(schema())
+    db.recover()
+    for i in range(2_000):
+        db.insert("bench", {"id": f"{i:016d}", "owner": "o", "amount": 1.0})
+    db.close()
+
+    def recover():
+        fresh = Database(path=tmp_path)
+        fresh.create_table(schema())
+        replayed = fresh.recover()
+        fresh.close()
+        return replayed
+
+    replayed = benchmark.pedantic(recover, rounds=5, iterations=1)
+    assert replayed == 2_000

@@ -1,0 +1,83 @@
+"""SUB-SCHED — broker algorithms vs the economy-blind baseline.
+
+A 32-task sweep over a cheap-slow / expensive-fast marketplace under each
+deadline-and-budget algorithm. Expected shape: cost-optimization is the
+cheapest plan, time-optimization the fastest, round-robin dominated by
+both on its weak axis.
+"""
+
+import pytest
+
+from repro.broker import Algorithm, GridResourceBroker
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession
+from repro.grid.job import Job
+from repro.util.money import Credits
+
+
+def build_world(seed):
+    session = GridSession(seed=seed)
+    consumer = session.add_consumer("consumer", funds=100_000.0)
+    session.add_provider(
+        "cheap", ServiceRatesRecord.flat(cpu_per_hour=2.0), num_pes=4, mips_per_pe=300.0
+    )
+    session.add_provider(
+        "fast", ServiceRatesRecord.flat(cpu_per_hour=16.0), num_pes=8, mips_per_pe=1200.0
+    )
+    return session, consumer
+
+
+def make_jobs(subject, tag):
+    return [
+        Job(job_id=f"{tag}-{i:03d}", user_subject=subject, application_name="sweep",
+            length_mi=360_000.0)
+        for i in range(32)
+    ]
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [Algorithm.COST_OPTIMIZATION, Algorithm.TIME_OPTIMIZATION,
+     Algorithm.COST_TIME_OPTIMIZATION, Algorithm.ROUND_ROBIN],
+    ids=lambda a: a.value,
+)
+def test_campaign_by_algorithm(benchmark, algorithm):
+    def run():
+        session, consumer = build_world(seed=1201)
+        broker = GridResourceBroker(session, consumer)
+        jobs = make_jobs(consumer.subject, algorithm.value)
+        return broker.run_campaign(
+            jobs, deadline_s=8000.0, budget=Credits(1000), algorithm=algorithm
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.jobs_done == 32
+    assert result.within_deadline and result.within_budget
+
+
+def test_algorithm_shape_comparison(benchmark):
+    """The who-wins table: cost-opt cheapest, time-opt fastest."""
+
+    def run_all():
+        results = {}
+        for algorithm in (
+            Algorithm.COST_OPTIMIZATION,
+            Algorithm.TIME_OPTIMIZATION,
+            Algorithm.ROUND_ROBIN,
+        ):
+            session, consumer = build_world(seed=1202)
+            broker = GridResourceBroker(session, consumer)
+            results[algorithm] = broker.run_campaign(
+                make_jobs(consumer.subject, algorithm.value),
+                deadline_s=8000.0,
+                budget=Credits(1000),
+                algorithm=algorithm,
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    cost = results[Algorithm.COST_OPTIMIZATION]
+    time = results[Algorithm.TIME_OPTIMIZATION]
+    rr = results[Algorithm.ROUND_ROBIN]
+    assert cost.total_paid < rr.total_paid < time.total_paid
+    assert time.makespan_s < rr.makespan_s <= cost.makespan_s

@@ -1,0 +1,139 @@
+"""TAB-API — sec 5.2 GridBank API + sec 5.2.1 Admin API.
+
+Drives every listed operation through the authenticated, encrypted RPC
+path and reports ops/sec each — the "table" the paper gives as an API
+listing, regenerated as a measured row per operation.
+"""
+
+import random
+
+import pytest
+
+from _worlds import connect_client, make_bank_world
+from repro.core.api import GridBankAPI
+from repro.crypto.hashes import HashChain
+from repro.pki.certificate import DistinguishedName
+from repro.util.gbtime import Timestamp
+from repro.util.money import Credits
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = make_bank_world(seed=301)
+    w["alice"] = w["ca"].issue_identity(DistinguishedName("VO-A", "alice"), key_bits=512)
+    w["gsp"] = w["ca"].issue_identity(DistinguishedName("VO-B", "gsp"), key_bits=512)
+    w["alice_api"] = GridBankAPI(connect_client(w, w["alice"], seed=1), rng=random.Random(11))
+    w["gsp_api"] = GridBankAPI(connect_client(w, w["gsp"], seed=2), rng=random.Random(12))
+    w["admin_api"] = GridBankAPI(connect_client(w, w["admin_ident"], seed=3), rng=random.Random(13))
+    w["alice_account"] = w["alice_api"].create_account()
+    w["gsp_account"] = w["gsp_api"].create_account()
+    w["admin_api"].admin_deposit(w["alice_account"], Credits(10_000_000))
+    return w
+
+
+def test_api_create_account(benchmark, world):
+    account_id = benchmark(world["alice_api"].create_account)
+    assert account_id.startswith("01-0001-")
+
+
+def test_api_request_account_details(benchmark, world):
+    details = benchmark(world["alice_api"].account_details, world["alice_account"])
+    assert details["AccountID"] == world["alice_account"]
+
+
+def test_api_update_account_details(benchmark, world):
+    result = benchmark(
+        world["alice_api"].update_account, world["alice_account"], organization_name="VO-A"
+    )
+    assert result["OrganizationName"] == "VO-A"
+
+
+def test_api_request_account_statement(benchmark, world):
+    start = Timestamp(world["clock"].now().epoch - 3600)
+    statement = benchmark(
+        world["alice_api"].account_statement, world["alice_account"], start, world["clock"].now()
+    )
+    assert statement["account"]["AccountID"] == world["alice_account"]
+
+
+def test_api_funds_availability_check(benchmark, world):
+    api = world["alice_api"]
+
+    def check_then_release():
+        assert api.funds_availability_check(world["alice_account"], Credits(5))
+        api.release_funds(world["alice_account"], Credits(5))
+
+    benchmark(check_then_release)
+
+
+def test_api_request_direct_transfer(benchmark, world):
+    confirmation = benchmark(
+        world["alice_api"].request_direct_transfer,
+        world["alice_account"],
+        world["gsp_account"],
+        Credits(0.01),
+        "gsp.vo-b.org/pay",
+    )
+    assert confirmation.amount == Credits(0.01)
+
+
+def test_api_cheque_issue_and_redeem(benchmark, world):
+    alice, gsp = world["alice_api"], world["gsp_api"]
+
+    def cycle():
+        cheque = alice.request_cheque(world["alice_account"], world["gsp"].subject, Credits(1))
+        return gsp.redeem_cheque(cheque, world["gsp_account"], Credits(0.5))
+
+    result = benchmark(cycle)
+    assert result["paid"] == Credits(0.5)
+
+
+def test_api_hashchain_issue_and_redeem(benchmark, world):
+    alice, gsp = world["alice_api"], world["gsp_api"]
+
+    def cycle():
+        wallet = alice.request_hashchain(
+            world["alice_account"], world["gsp"].subject, 32, Credits(0.01)
+        )
+        tick = wallet.pay(ticks=20)
+        return gsp.redeem_hashchain(wallet.commitment, world["gsp_account"], tick)
+
+    result = benchmark(cycle)
+    assert result["links_redeemed"] == 20
+
+
+def test_api_admin_deposit_withdraw(benchmark, world):
+    admin = world["admin_api"]
+
+    def cycle():
+        admin.admin_deposit(world["alice_account"], Credits(1))
+        admin.admin_withdraw(world["alice_account"], Credits(1))
+
+    benchmark(cycle)
+
+
+def test_api_admin_change_credit_limit(benchmark, world):
+    benchmark(world["admin_api"].admin_change_credit_limit, world["alice_account"], Credits(10))
+
+
+def test_api_admin_cancel_transfer(benchmark, world):
+    alice, admin = world["alice_api"], world["admin_api"]
+
+    def cycle():
+        confirmation = alice.request_direct_transfer(
+            world["alice_account"], world["gsp_account"], Credits(0.01)
+        )
+        admin.admin_cancel_transfer(confirmation.transaction_id)
+
+    benchmark(cycle)
+
+
+def test_api_admin_close_account(benchmark, world):
+    admin = world["admin_api"]
+    api = world["alice_api"]
+
+    def cycle():
+        account = api.create_account()
+        admin.admin_close_account(account)
+
+    benchmark(cycle)

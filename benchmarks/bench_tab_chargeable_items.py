@@ -1,0 +1,74 @@
+"""TAB-ITEMS — sec 2.1: the chargeable-items table.
+
+One measured row per chargeable item class (processors, memory, storage,
+I/O, software libraries, wall clock), asserting the unit arithmetic the
+paper specifies verbatim, plus the rates/RUR conformance check.
+"""
+
+import pytest
+
+from repro.core.rates import BILLING_UNITS, ServiceRatesRecord
+from repro.errors import ConformanceError
+from repro.rur.record import CHARGEABLE_ITEMS, UsageVector
+from repro.util.money import Credits
+
+FULL_RATES = ServiceRatesRecord.flat(
+    cpu_per_hour=6.0,
+    memory_per_mb_hour=0.01,
+    storage_per_mb_hour=0.002,
+    network_per_mb=0.1,
+    software_per_hour=1.0,
+    wall_per_hour=0.5,
+)
+
+FULL_USAGE = UsageVector(
+    cpu_time_s=7200.0,       # 2 CPU-hours -> G$12
+    memory_mb_h=500.0,       # -> G$5
+    storage_mb_h=1000.0,     # -> G$2
+    network_mb=30.0,         # -> G$3
+    software_time_s=3600.0,  # 1 h system time -> G$1
+    wall_clock_s=7200.0,     # 2 h -> G$1
+)
+
+EXPECTED = {
+    "cpu_time_s": 12.0,
+    "memory_mb_h": 5.0,
+    "storage_mb_h": 2.0,
+    "network_mb": 3.0,
+    "software_time_s": 1.0,
+    "wall_clock_s": 1.0,
+}
+
+
+def test_items_per_item_charges(benchmark):
+    charges = benchmark(FULL_RATES.item_charges, FULL_USAGE)
+    for item, expected in EXPECTED.items():
+        assert charges[item].to_float() == pytest.approx(expected)
+
+
+def test_items_total_is_sum_of_items(benchmark):
+    total = benchmark(FULL_RATES.total_charge, FULL_USAGE)
+    assert total.to_float() == pytest.approx(sum(EXPECTED.values()))
+
+
+def test_items_conformance_check(benchmark):
+    usage_items = FULL_USAGE.as_dict()
+    benchmark(FULL_RATES.check_conformance, usage_items)
+    # a rates record charging an item the RUR lacks must be rejected
+    with pytest.raises(ConformanceError):
+        FULL_RATES.check_conformance({"cpu_time_s": 1.0})
+
+
+def test_items_cover_paper_list(benchmark):
+    # processors, memory, storage, I/O, software (+ wall clock in the RUR)
+    items = benchmark(lambda: set(CHARGEABLE_ITEMS))
+    assert items == set(BILLING_UNITS)
+    assert len(items) == 6
+
+
+@pytest.mark.parametrize("item", CHARGEABLE_ITEMS)
+def test_items_single_item_charge(benchmark, item):
+    rates = ServiceRatesRecord(rates={item: Credits(2)})
+    charge = benchmark(rates.total_charge, FULL_USAGE)
+    _unit, divisor = BILLING_UNITS[item]
+    assert charge == Credits(2) * (getattr(FULL_USAGE, item) / divisor)

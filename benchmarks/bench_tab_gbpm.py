@@ -1,0 +1,67 @@
+"""TAB-GBPM — sec 5.3: the GridBank Payment Module API.
+
+Measures ``grid-bank-job-submit`` — payment forwarded to GBCM, template
+account set up, job submitted — plus the GBPM budget ledger under a
+stream of reservations/refunds, and the mirrored account operations.
+"""
+
+import pytest
+
+from _worlds import make_grid_session, standard_job
+from repro.broker.gbpm import GridBankPaymentModule
+from repro.errors import BudgetExceededError
+from repro.util.money import Credits
+
+
+@pytest.fixture(scope="module")
+def world():
+    session, consumer, providers = make_grid_session(seed=1001, consumer_funds=1_000_000.0)
+    gbpm = GridBankPaymentModule(consumer.api, consumer.account_id)
+    return session, consumer, providers[0], gbpm
+
+
+COUNTER = [0]
+
+
+def test_gbpm_grid_bank_job_submit(benchmark, world):
+    session, consumer, provider, gbpm = world
+    gsp = provider.provider
+    rates = gsp.trade_server.current_rates()
+
+    def submit_and_run():
+        COUNTER[0] += 1
+        job = standard_job(consumer.subject, f"gbpm-{COUNTER[0]:05d}")
+        process = gbpm.grid_bank_job_submit(gsp, session.sim, job, rates)
+        session.sim.run()
+        return process.result
+
+    service = benchmark.pedantic(submit_and_run, rounds=15, iterations=1)
+    assert service.settlement["paid"] > Credits(0)
+
+
+def test_gbpm_budget_ledger_under_churn(benchmark, world):
+    _session, consumer, provider, _ = world
+
+    def churn():
+        gbpm = GridBankPaymentModule(consumer.api, consumer.account_id, budget=Credits(100))
+        cheques = []
+        rejected = 0
+        for _ in range(30):
+            try:
+                cheques.append(gbpm.obtain_cheque(provider.subject, Credits(6)))
+            except BudgetExceededError:
+                rejected += 1
+        for cheque in cheques:
+            released = consumer.api.cancel_cheque(cheque)
+            gbpm.record_refund(released)
+        return len(cheques), rejected, gbpm.remaining_budget()
+
+    issued, rejected, remaining = benchmark.pedantic(churn, rounds=5, iterations=1)
+    assert issued == 16  # floor(100/6)
+    assert rejected == 14
+    assert remaining == Credits(100)  # all reservations refunded
+
+
+def test_gbpm_check_balance(benchmark, world):
+    _session, _consumer, _provider, gbpm = world
+    assert benchmark(gbpm.check_balance) > Credits(0)

@@ -1,0 +1,90 @@
+"""TAB-REC — sec 5.1 record types.
+
+Throughput of the structures the paper specifies byte-for-byte: AccountID
+parse/format, ACCOUNT/TRANSACTION/TRANSFER row insertion into the
+relational engine, indexed statement scans, and RUR blob round-trips into
+the TRANSFER record's BLOB column.
+"""
+
+import pytest
+
+from repro.bank.accounts import GBAccounts
+from repro.bank.admin import GBAdmin
+from repro.bank.records import AccountID
+from repro.db.database import Database
+from repro.rur.formats import from_blob, to_blob
+from repro.rur.record import ResourceUsageRecord, UsageVector
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+
+def test_tabrec_account_id_parse(benchmark):
+    aid = benchmark(AccountID.parse, "01-0001-00000001")
+    assert str(aid) == "01-0001-00000001"
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    clock = VirtualClock()
+    accounts = GBAccounts(Database(), clock=clock)
+    admin = GBAdmin(accounts)
+    a = accounts.create_account("/O=A/CN=alice")
+    b = accounts.create_account("/O=B/CN=gsp")
+    admin.deposit(a, Credits(10_000_000))
+    # seed some statement history
+    for _ in range(200):
+        accounts.transfer(a, b, Credits(0.01))
+        clock.advance(30)
+    return {"clock": clock, "accounts": accounts, "a": a, "b": b}
+
+
+def test_tabrec_transfer_row_insertion(benchmark, ledger):
+    accounts = ledger["accounts"]
+
+    def one_transfer():
+        accounts.transfer(ledger["a"], ledger["b"], Credits(0.01))
+
+    benchmark(one_transfer)
+
+
+def test_tabrec_statement_scan(benchmark, ledger):
+    accounts = ledger["accounts"]
+    clock = ledger["clock"]
+    from repro.util.gbtime import Timestamp
+
+    start = Timestamp(clock.now().epoch - 200 * 30)
+    statement = benchmark(accounts.statement, ledger["a"], start, clock.now())
+    assert len(statement["transactions"]) >= 200
+    assert len(statement["transfers"]) >= 200
+
+
+def _rur():
+    return ResourceUsageRecord(
+        user_certificate_name="/O=A/CN=alice",
+        user_host="h1",
+        job_id="tabrec",
+        application_name="bench",
+        job_start_epoch=0.0,
+        job_end_epoch=1800.0,
+        resource_certificate_name="/O=B/CN=gsp",
+        resource_host="h2",
+        usage=UsageVector(cpu_time_s=1800.0, network_mb=15.0, wall_clock_s=1800.0),
+    )
+
+
+def test_tabrec_rur_blob_roundtrip(benchmark):
+    rur = _rur()
+
+    def roundtrip():
+        return from_blob(to_blob(rur))
+
+    assert benchmark(roundtrip) == rur
+
+
+def test_tabrec_rur_xml_roundtrip(benchmark):
+    rur = _rur()
+
+    def roundtrip():
+        return from_blob(to_blob(rur, fmt="xml"))
+
+    assert benchmark(roundtrip) == rur

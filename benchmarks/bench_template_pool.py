@@ -1,0 +1,80 @@
+"""POOL — sec 2.3: access scalability via template accounts.
+
+"Thousands (or even millions) of GSCs can be clients of GridBank and the
+requirement to have a local account at each resource is simply not
+realistic." The bench sweeps the consumer count with a fixed pool of 16
+template accounts and shows admission stays O(1) and peak local accounts
+stay bounded by the pool — versus the static baseline where local
+accounts grow linearly with the user population.
+"""
+
+import pytest
+
+from repro.grid.accounts_pool import TemplateAccountPool
+from repro.pki.mapfile import GridMapfile
+
+
+@pytest.mark.parametrize("consumers", [100, 1000, 10_000])
+def test_pool_admission_sweep(benchmark, consumers):
+    def churn():
+        pool = TemplateAccountPool(16)
+        for i in range(consumers):
+            subject = f"/O=VO/CN=user{i}"
+            pool.assign(subject)
+            pool.release(subject)
+        return pool.stats()
+
+    stats = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert stats["total_assignments"] == consumers
+    assert stats["peak_in_use"] <= 16
+    assert stats["rejections"] == 0
+
+
+def test_pool_single_admission_latency(benchmark):
+    pool = TemplateAccountPool(16)
+    seq = [0]
+
+    def admit_release():
+        seq[0] += 1
+        subject = f"/O=VO/CN=user{seq[0]}"
+        pool.assign(subject)
+        pool.release(subject)
+
+    benchmark(admit_release)
+    assert pool.in_use == 0
+
+
+def test_baseline_static_accounts_grow_linearly(benchmark):
+    """The pre-paper model: one permanent grid-mapfile entry per user."""
+    consumers = 10_000
+
+    def provision_all():
+        mapfile = GridMapfile()
+        for i in range(consumers):
+            mapfile.add(f"/O=VO/CN=user{i}", f"user{i:05d}")
+        return len(mapfile)
+
+    local_accounts = benchmark.pedantic(provision_all, rounds=3, iterations=1)
+    assert local_accounts == consumers  # linear, vs 16 for the pool
+
+
+def test_pool_concurrency_bounded_by_size(benchmark):
+    """When more consumers are simultaneously active than the pool holds,
+    the overflow is rejected (admission control), never oversubscribed."""
+    from repro.errors import PoolExhaustedError
+
+    def saturate():
+        pool = TemplateAccountPool(16)
+        admitted = 0
+        rejected = 0
+        for i in range(50):
+            try:
+                pool.assign(f"/O=VO/CN=active{i}")
+                admitted += 1
+            except PoolExhaustedError:
+                rejected += 1
+        return admitted, rejected
+
+    admitted, rejected = benchmark.pedantic(saturate, rounds=5, iterations=1)
+    assert admitted == 16
+    assert rejected == 34

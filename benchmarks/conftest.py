@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each bench file
+regenerates one paper artifact (figure / table / section claim); see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+import sys
+from pathlib import Path
+
+# make the shared _worlds helper importable regardless of rootdir
+sys.path.insert(0, str(Path(__file__).parent))

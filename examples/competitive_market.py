@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Competitive open market — paper sec 4.2.
+
+Providers solicit open-market prices and adjust them round by round with
+demand (commodity-market pricing); consumers chase the cheapest adequate
+listing through the Grid Market Directory. GridBank's confidential
+transaction history powers the price estimator a new provider would ask
+for a market-value estimate.
+
+Watch the initially-cheap provider's price rise under load and the
+expensive one's fall while it sits idle, until trade spreads across both.
+
+Run:  python examples/competitive_market.py
+"""
+
+from repro.core.models import CompetitiveMarket
+from repro.core.session import GridSession
+
+
+def main() -> None:
+    session = GridSession(seed=5)
+    market = CompetitiveMarket(
+        session,
+        provider_specs=[
+            {"name": "bargain-grid", "num_pes": 2, "mips_per_pe": 500.0, "cpu_rate": 2.0},
+            {"name": "midrange", "num_pes": 2, "mips_per_pe": 500.0, "cpu_rate": 5.0},
+            {"name": "premium", "num_pes": 2, "mips_per_pe": 500.0, "cpu_rate": 10.0},
+        ],
+        consumer_names=["buyer-a", "buyer-b", "buyer-c"],
+        consumer_funds=5000.0,
+        target_utilization=0.5,
+        sensitivity=0.4,
+    )
+
+    rounds = 10
+    print(f"{'round':>5} | " + " | ".join(f"{name:>14}" for name in market.prices) + " | winner(s)")
+    for _ in range(rounds):
+        report = market.run_round(job_length_mi=60_000.0)
+        winners = [name for name, n in report.jobs_won.items() if n > 0]
+        prices = " | ".join(f"{report.prices[name]:>10.3f} G$" for name in market.prices)
+        print(f"{report.round_number:>5} | {prices} | {','.join(winners)}")
+
+    print()
+    errors = [r.estimator_error for r in market.rounds if r.estimator_error is not None]
+    if errors:
+        print(f"price-estimator error: first {errors[0]:.2%}, last {errors[-1]:.2%} "
+              f"(history size {market.estimator.history_size})")
+    # what would GridBank quote a brand-new 500 MIPS provider?
+    description = market.providers[0].provider.resource.description()
+    print(f"estimated market value for a comparable resource: "
+          f"{market.estimator.estimate(description)} per CPU-hour")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""A day in an accounting-enabled grid: open-queue economy simulation.
+
+Jobs arrive as a Poisson process over three priced provider sites; every
+single one is paid by GridCheque through the GBPM, executed, metered into
+an RUR, charged by the GBCM and settled at GridBank. The load sweep shows
+the classic queueing knee — and that the bank's books balance exactly at
+every load level, which is the whole point of the architecture.
+
+Run:  python examples/grid_economy_simulation.py
+"""
+
+from repro.workloads import run_open_queue
+
+
+def main() -> None:
+    print(f"{'interarrival':>12} {'jobs':>6} {'mean wait':>10} {'max wait':>10} "
+          f"{'busiest site':>13} {'total paid':>12} {'books':>6}")
+    for interarrival in (360.0, 240.0, 120.0, 60.0):
+        result = run_open_queue(
+            num_providers=3,
+            num_consumers=4,
+            mean_interarrival_s=interarrival,
+            horizon_s=24_000.0,
+            seed=3,
+        )
+        busiest = max(result.per_provider_busy_fraction.values())
+        print(
+            f"{interarrival:>10.0f} s {result.jobs_completed:>6} "
+            f"{result.mean_wait_s:>9.1f}s {result.max_wait_s:>9.1f}s "
+            f"{busiest:>12.0%} {str(result.total_paid):>12} "
+            f"{'OK' if result.funds_conserved else 'BROKEN':>6}"
+        )
+    print()
+    print("note the queueing knee: halving the interarrival time from 120s to 60s")
+    print("multiplies waiting far beyond 2x while the ledgers stay exactly balanced.")
+
+
+if __name__ == "__main__":
+    main()

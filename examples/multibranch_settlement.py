@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Multi-branch GridBank with inter-branch settlement — paper sec 6.
+
+Three Virtual Organizations each run their own GridBank branch (that is
+why AccountIDs carry branch numbers). Users pay providers in other VOs:
+each cross-branch payment executes immediately as two local legs through
+bilateral settlement accounts, and a periodic netting pass clears the
+branches' positions with at most one movement per indebted pair — the
+deferred-net-settlement design of the NetCash/NetCheque currency servers
+the paper cites.
+
+Run:  python examples/multibranch_settlement.py
+"""
+
+import random
+
+from repro.bank.branch import BranchNetwork
+from repro.bank.server import GridBankServer
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+
+def main() -> None:
+    clock = VirtualClock()
+    ca = CertificateAuthority(DistinguishedName("GridBank", "Root CA"), clock=clock, key_bits=512)
+    store = CertificateStore([ca.root_certificate])
+
+    network = BranchNetwork()
+    branches = {}
+    for vo in (1, 2, 3):
+        ident = ca.issue_identity(DistinguishedName("GridBank", f"branch-{vo}"), key_bits=512)
+        server = GridBankServer(
+            ident, store, clock=clock, rng=random.Random(vo), bank_number=1, branch_number=vo
+        )
+        network.add_branch(server)
+        branches[vo] = server
+
+    # one user and one provider per VO
+    accounts = {}
+    for vo, server in branches.items():
+        user = server.accounts.create_account(f"/O=VO-{vo}/CN=user")
+        gsp = server.accounts.create_account(f"/O=VO-{vo}/CN=gsp")
+        server.admin.deposit(user, Credits(500))
+        accounts[vo] = {"user": user, "gsp": gsp}
+        print(f"VO-{vo}: user {user}  gsp {gsp}")
+
+    print()
+    print("cross-VO payments (user of one VO pays gsp of another):")
+    payments = [(1, 2, 120.0), (2, 3, 80.0), (3, 1, 50.0), (1, 3, 30.0), (2, 1, 10.0)]
+    for src, dst, amount in payments:
+        result = network.transfer(
+            accounts[src]["user"], accounts[dst]["gsp"], Credits(amount)
+        )
+        kind = "local" if result["local"] else "cross-branch"
+        print(f"  VO-{src} user -> VO-{dst} gsp  {Credits(amount)}  ({kind}, "
+              f"{len(result['transactions'])} ledger legs)")
+
+    print()
+    print("bilateral positions before settlement:")
+    for a in (1, 2, 3):
+        for b in (1, 2, 3):
+            if a < b:
+                net = network.net_position((1, a), (1, b))
+                print(f"  branch {a} owes branch {b}: {net}")
+
+    batches = network.settle()
+    print()
+    print(f"settlement: {network.cross_transfers} cross-branch transfers cleared by "
+          f"{len(batches)} net movement(s) ({network.settlement_messages} clearing messages)")
+    for batch in batches:
+        print(f"  branch {batch.debtor[1]} -> branch {batch.creditor[1]}: {batch.amount} "
+              f"(netting {batch.transfers_netted} transfers)")
+
+    print()
+    print("per-VO gsp earnings:")
+    for vo, server in branches.items():
+        balance = server.accounts.available_balance(accounts[vo]["gsp"])
+        print(f"  VO-{vo} gsp: {balance}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: one job, end to end, under each payment strategy.
+
+Builds the paper's Figure-1 world — a GridBank server, a consumer (GSC),
+and a provider (GSP) with a 4-PE cluster — then runs the same rendering
+job under all three sec 3.1 charging policies and prints what each side
+saw: the negotiated rates, the metered usage, the GSP-signed charge, and
+the funds movement at the bank.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Credits, GridSession, Job, PaymentStrategy, ServiceRatesRecord
+
+
+def main() -> None:
+    session = GridSession(seed=7)
+
+    # Both parties open accounts with GridBank (the session deposits the
+    # consumer's starting funds through the admin, i.e. "real money in").
+    alice = session.add_consumer("alice", funds=1000.0)
+    gsp = session.add_provider(
+        "renderfarm",
+        ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1, memory_per_mb_hour=0.001),
+        num_pes=4,
+        mips_per_pe=500.0,
+    )
+
+    print(f"consumer: {alice.subject}  account {alice.account_id}")
+    print(f"provider: {gsp.subject}  account {gsp.account_id}")
+    print(f"provider posted rates: {gsp.provider.trade_server.posted_rates.rates}")
+    print()
+
+    for strategy in PaymentStrategy:
+        job = Job(
+            job_id=f"render-{strategy.value}",
+            user_subject=alice.subject,
+            application_name="ray-tracer",
+            length_mi=900_000.0,  # 30 min on one 500-MIPS PE
+            input_mb=10.0,
+            output_mb=5.0,
+            memory_mb=128.0,
+        )
+        outcome = session.run_job(alice, gsp, job, strategy=strategy)
+        rur = outcome.service.rur
+        print(f"=== {strategy.value} ===")
+        print(
+            f"  metered: cpu={rur.usage.cpu_time_s:.0f}s  wall={rur.usage.wall_clock_s:.0f}s  "
+            f"io={rur.usage.network_mb:.0f}MB  mem={rur.usage.memory_mb_h:.1f}MB*h"
+        )
+        print(f"  GSP-signed charge: {outcome.charge}  (items: "
+              + ", ".join(f"{k}={v}" for k, v in outcome.calculation.item_charges.items() if v)
+              + ")")
+        print(
+            f"  paid {outcome.paid}, refunded reservation {outcome.refunded}, "
+            f"{outcome.bank_messages} bank messages, wall {outcome.wall_clock_s:.0f}s"
+        )
+        print(f"  balances: alice {alice.balance()}  gsp {gsp.balance()}")
+        print()
+
+    total = alice.balance() + gsp.balance()
+    print(f"conservation check: alice + gsp = {total} (expected G$1000)")
+    assert total == Credits(1000)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""GridBank / GASA reproduction.
+
+A from-scratch Python implementation of *GridBank: A Grid Accounting
+Services Architecture (GASA) for Distributed Systems Sharing and
+Integration* (Barmouta & Buyya, 2003): the GridBank server (accounts,
+admin, security, payment protocols over a relational engine), the
+client-side GBPM/GBCM modules, Resource Usage Records, the GSP substrate
+(metering, trading, template accounts) and a Nimrod-G-like broker, all
+runnable end to end on a discrete-event grid simulator or over real TCP.
+
+Quick start::
+
+    from repro import GridSession, PaymentStrategy, ServiceRatesRecord, Job
+
+    session = GridSession(seed=1)
+    alice = session.add_consumer("alice", funds=1000)
+    gsp = session.add_provider("gsp1", ServiceRatesRecord.flat(cpu_per_hour=6.0))
+    job = Job(job_id="j1", user_subject=alice.subject,
+              application_name="render", length_mi=900_000)
+    outcome = session.run_job(alice, gsp, job, PaymentStrategy.PAY_AFTER_USE)
+    print(outcome.charge, outcome.paid)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+from repro.util.money import Credits, ZERO
+from repro.util.gbtime import Timestamp, VirtualClock, SystemClock
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession, PaymentStrategy, SessionOutcome, Participant
+from repro.grid.job import Job, JobStatus
+from repro.rur.record import ResourceUsageRecord, UsageVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Credits",
+    "ZERO",
+    "Timestamp",
+    "VirtualClock",
+    "SystemClock",
+    "ServiceRatesRecord",
+    "GridSession",
+    "PaymentStrategy",
+    "SessionOutcome",
+    "Participant",
+    "Job",
+    "JobStatus",
+    "ResourceUsageRecord",
+    "UsageVector",
+    "__version__",
+]

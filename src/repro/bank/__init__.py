@@ -1,0 +1,58 @@
+"""GridBank server internals.
+
+The three-layer server of Figure 3: the Accounts Layer
+(:mod:`repro.bank.accounts`, :mod:`repro.bank.admin`) over the relational
+database (:mod:`repro.bank.records` defines the sec 5.1 schemas), the
+Payment Protocol Layer (:mod:`repro.payments`), and the Security Layer
+(:mod:`repro.bank.security`), wired together by
+:class:`repro.bank.server.GridBankServer`. :mod:`repro.bank.branch`
+implements the sec 6 future-work multi-branch settlement, and
+:mod:`repro.bank.pricing` the sec 4.2 market-value estimation.
+"""
+
+from repro.bank.records import (
+    AccountID,
+    account_schema,
+    transaction_schema,
+    transfer_schema,
+    admin_schema,
+    instrument_schema,
+)
+from repro.bank.accounts import GBAccounts
+from repro.bank.admin import GBAdmin
+from repro.bank.security import bank_authorization_policy
+from repro.bank.pricing import PriceEstimator
+
+# GridBankServer and BranchNetwork pull in the payment protocol layer,
+# which itself builds on the accounts layer above — import them lazily to
+# keep `import repro.payments` acyclic.
+_LAZY = {
+    "GridBankServer": ("repro.bank.server", "GridBankServer"),
+    "BranchNetwork": ("repro.bank.branch", "BranchNetwork"),
+    "SettlementBatch": ("repro.bank.branch", "SettlementBatch"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AccountID",
+    "account_schema",
+    "transaction_schema",
+    "transfer_schema",
+    "admin_schema",
+    "instrument_schema",
+    "GBAccounts",
+    "GBAdmin",
+    "bank_authorization_policy",
+    "GridBankServer",
+    "PriceEstimator",
+    "BranchNetwork",
+    "SettlementBatch",
+]

@@ -1,0 +1,107 @@
+"""GB Admin — privileged account management (paper sec 3.2, API sec 5.2.1).
+
+"GB Admin module provides account management such as deposit, withdrawal,
+change credit limit, cancel transfers and close account functions. These
+functions are performed by GridBank's administrators who are responsible
+for transferring real money to and from clients."
+
+The external money rails (credit cards, PayPal) are out of the paper's
+scope; an external-funds ledger records what the administrators moved in
+and out so the books balance end to end.
+"""
+
+from __future__ import annotations
+
+from repro.bank.accounts import GBAccounts
+from repro.bank.records import ACCOUNT_STATUS_CLOSED, credits_to_db, db_to_credits
+from repro.errors import AccountError, ValidationError
+from repro.util.money import Credits, ZERO
+
+__all__ = ["GBAdmin"]
+
+
+class GBAdmin:
+    def __init__(self, accounts: GBAccounts) -> None:
+        self.accounts = accounts
+        self.db = accounts.db
+        # Net external funds received minus paid out (the "real money" side).
+        self.external_funds_in = ZERO
+        self.external_funds_out = ZERO
+
+    # -- administrators table ------------------------------------------------
+
+    def add_administrator(self, certificate_name: str) -> None:
+        if not certificate_name:
+            raise ValidationError("administrator certificate name must be non-empty")
+        if self.db.find("administrators", (certificate_name,)) is None:
+            self.db.insert("administrators", {"CertificateName": certificate_name})
+
+    def remove_administrator(self, certificate_name: str) -> None:
+        if self.db.find("administrators", (certificate_name,)) is not None:
+            self.db.delete("administrators", (certificate_name,))
+
+    def is_administrator(self, certificate_name: str) -> bool:
+        return self.db.find("administrators", (certificate_name,)) is not None
+
+    # -- sec 5.2.1 operations ----------------------------------------------------
+
+    def deposit(self, account_id: str, amount: Credits) -> int:
+        """Deposit funds received via an external payment system."""
+        txn_id = self.accounts.deposit(account_id, amount)
+        self.external_funds_in = self.external_funds_in + Credits(amount)
+        return txn_id
+
+    def withdraw(self, account_id: str, amount: Credits) -> int:
+        """Withdraw funds to an actual bank account."""
+        txn_id = self.accounts.withdraw(account_id, amount)
+        self.external_funds_out = self.external_funds_out + Credits(amount)
+        return txn_id
+
+    def change_credit_limit(self, account_id: str, new_limit: Credits) -> None:
+        new_limit = Credits(new_limit)
+        if new_limit < ZERO:
+            raise ValidationError("credit limit must be >= 0")
+        row = self.accounts.require_open(account_id)
+        # Tightening the limit must not strand an already-overdrawn account.
+        available = db_to_credits(row["AvailableBalance"])
+        if available < ZERO and new_limit < -available:
+            raise AccountError(
+                f"account {account_id} is overdrawn by {-available}; cannot set limit below that"
+            )
+        self.db.update("accounts", (account_id,), {"CreditLimit": credits_to_db(new_limit)})
+
+    def cancel_transfer(self, txn_id: int) -> int:
+        """Reverse a transfer with a compensating transfer (audit-preserving).
+
+        Returns the TransactionID of the compensating transfer.
+        """
+        transfer = self.accounts.transfer_record(txn_id)
+        return self.accounts.transfer(
+            transfer["RecipientAccountID"],
+            transfer["DrawerAccountID"],
+            db_to_credits(transfer["Amount"]),
+        )
+
+    def close_account(self, account_id: str, transfer_to: str = "") -> Credits:
+        """Close the account and return the outstanding balance.
+
+        The balance is transferred to *transfer_to* (another GridBank
+        account) if given, otherwise withdrawn to the external rails.
+        Accounts with locked funds (in-flight payments) or a negative
+        balance cannot close.
+        """
+        with self.db.transaction():
+            row = self.accounts.require_open(account_id)
+            locked = db_to_credits(row["LockedBalance"])
+            if locked > ZERO:
+                raise AccountError(f"account {account_id} has {locked} locked; settle first")
+            balance = db_to_credits(row["AvailableBalance"])
+            if balance < ZERO:
+                raise AccountError(f"account {account_id} owes {-balance}; repay before closing")
+            if balance > ZERO:
+                if transfer_to:
+                    self.accounts.transfer(account_id, transfer_to, balance)
+                else:
+                    self.withdraw(account_id, balance)
+            self.db.update("accounts", (account_id,), {"Status": ACCOUNT_STATUS_CLOSED})
+            return balance

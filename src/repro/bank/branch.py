@@ -1,0 +1,195 @@
+"""Multi-branch GridBank — the sec 6 future-work extension.
+
+"GridBank system will be expanded to provide multiple servers/branches
+across the Grid... Each Virtual Organization associates a GridBank server
+that all participants of the organization use. If a GSC is from one VO
+and GSP is from another, then their respective servers will need to
+define protocols for settling accounts between the branches."
+
+Model: a :class:`BranchNetwork` routes account ids (whose ``bank-branch``
+prefix identifies the serving branch, the very reason "GridBank accounts
+have branch numbers") to branch servers. A cross-branch payment executes
+as two local legs through bilateral *settlement accounts* — the payer
+branch credits its "due to peer" account, the payee branch overdrafts its
+"due from peer" account — and periodic :meth:`settle` netting clears the
+bilateral positions with one inter-branch movement per indebted pair,
+exactly the deferred-net-settlement pattern of NetCash/NetCheque currency
+servers the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bank.records import AccountID
+from repro.bank.server import GridBankServer
+from repro.errors import SettlementError, ValidationError
+from repro.util.money import Credits, ZERO
+
+__all__ = ["BranchNetwork", "SettlementBatch"]
+
+# Settlement accounts may overdraft arbitrarily between settlements; they are
+# inter-branch liabilities, not customer credit.
+_SETTLEMENT_CREDIT_LIMIT = Credits(10**9)
+
+
+@dataclass(frozen=True)
+class SettlementBatch:
+    """One net inter-branch clearing movement."""
+
+    debtor: tuple[int, int]  # (bank, branch) owing
+    creditor: tuple[int, int]
+    amount: Credits
+    transfers_netted: int
+
+
+class BranchNetwork:
+    def __init__(self) -> None:
+        self._branches: dict[tuple[int, int], GridBankServer] = {}
+        # settlement account ids: (holder_branch, peer_branch) -> account id
+        self._settlement_accounts: dict[tuple[tuple[int, int], tuple[int, int]], str] = {}
+        # gross pending flows: (src_branch, dst_branch) -> (amount, count)
+        self._pending: dict[tuple[tuple[int, int], tuple[int, int]], tuple[Credits, int]] = {}
+        self.cross_transfers = 0
+        self.settlement_messages = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_branch(self, server: GridBankServer) -> None:
+        key = (server.bank_number, server.branch_number)
+        if key in self._branches:
+            raise ValidationError(f"branch {key} already registered")
+        for peer_key, peer in self._branches.items():
+            self._open_settlement_pair(key, server, peer_key, peer)
+        self._branches[key] = server
+
+    def _open_settlement_pair(
+        self,
+        key_a: tuple[int, int],
+        server_a: GridBankServer,
+        key_b: tuple[int, int],
+        server_b: GridBankServer,
+    ) -> None:
+        for holder_key, holder, peer_key in ((key_a, server_a, key_b), (key_b, server_b, key_a)):
+            subject = f"/O=GridBank/CN=settlement-{peer_key[0]:02d}-{peer_key[1]:04d}"
+            account = holder.accounts.create_account(
+                subject, organization_name="interbranch", credit_limit=_SETTLEMENT_CREDIT_LIMIT
+            )
+            self._settlement_accounts[(holder_key, peer_key)] = account
+
+    def branch_for(self, account_id: str) -> GridBankServer:
+        aid = AccountID.parse(account_id)
+        key = (aid.bank, aid.branch)
+        server = self._branches.get(key)
+        if server is None:
+            raise SettlementError(f"no branch registered for account {account_id}")
+        return server
+
+    def branches(self) -> list[GridBankServer]:
+        return [self._branches[k] for k in sorted(self._branches)]
+
+    # -- payments -------------------------------------------------------------
+
+    def transfer(
+        self,
+        from_account: str,
+        to_account: str,
+        amount: Credits,
+        rur_blob: bytes = b"",
+    ) -> dict:
+        """Transfer that may cross branches; returns per-leg transaction ids."""
+        amount = Credits(amount).require_positive("transfer amount")
+        src = self.branch_for(from_account)
+        dst = self.branch_for(to_account)
+        src_key = (src.bank_number, src.branch_number)
+        dst_key = (dst.bank_number, dst.branch_number)
+        if src_key == dst_key:
+            txn = src.accounts.transfer(from_account, to_account, amount, rur_blob=rur_blob)
+            return {"local": True, "transactions": [txn]}
+        due_to_dst = self._settlement_accounts.get((src_key, dst_key))
+        due_from_src = self._settlement_accounts.get((dst_key, src_key))
+        if due_to_dst is None or due_from_src is None:
+            raise SettlementError(f"no settlement channel between {src_key} and {dst_key}")
+        txn1 = src.accounts.transfer(from_account, due_to_dst, amount, rur_blob=rur_blob)
+        txn2 = dst.accounts.transfer(due_from_src, to_account, amount, rur_blob=rur_blob)
+        pending_amount, pending_count = self._pending.get((src_key, dst_key), (ZERO, 0))
+        self._pending[(src_key, dst_key)] = (pending_amount + amount, pending_count + 1)
+        self.cross_transfers += 1
+        return {"local": False, "transactions": [txn1, txn2]}
+
+    # -- settlement -----------------------------------------------------------
+
+    def net_position(self, key_a: tuple[int, int], key_b: tuple[int, int]) -> Credits:
+        """Net amount branch *a* owes branch *b* from pending flows."""
+        a_to_b, _ = self._pending.get((key_a, key_b), (ZERO, 0))
+        b_to_a, _ = self._pending.get((key_b, key_a), (ZERO, 0))
+        return a_to_b - b_to_a
+
+    def settle(self) -> list[SettlementBatch]:
+        """Bilateral netting: one clearing movement per indebted pair.
+
+        Moves real value between branches (external rails), restoring every
+        settlement account to zero, then clears the pending log.
+        """
+        batches: list[SettlementBatch] = []
+        keys = sorted(self._branches)
+        for i, key_a in enumerate(keys):
+            for key_b in keys[i + 1 :]:
+                flow_ab, count_ab = self._pending.get((key_a, key_b), (ZERO, 0))
+                flow_ba, count_ba = self._pending.get((key_b, key_a), (ZERO, 0))
+                total_count = count_ab + count_ba
+                if total_count == 0:
+                    continue
+                net = flow_ab - flow_ba
+                if net > ZERO:
+                    debtor, creditor, amount = key_a, key_b, net
+                elif net < ZERO:
+                    debtor, creditor, amount = key_b, key_a, -net
+                else:
+                    debtor = creditor = None
+                    amount = ZERO
+                self._clear_pair(key_a, key_b, flow_ab, flow_ba)
+                self.settlement_messages += 1
+                if debtor is not None:
+                    batches.append(
+                        SettlementBatch(
+                            debtor=debtor,
+                            creditor=creditor,
+                            amount=amount,
+                            transfers_netted=total_count,
+                        )
+                    )
+                self._pending.pop((key_a, key_b), None)
+                self._pending.pop((key_b, key_a), None)
+        return batches
+
+    def _clear_pair(
+        self,
+        key_a: tuple[int, int],
+        key_b: tuple[int, int],
+        flow_ab: Credits,
+        flow_ba: Credits,
+    ) -> None:
+        """Zero the bilateral settlement accounts via the external rails.
+
+        Each branch holds ONE account per peer that nets both directions:
+        at branch A the (A,B) account sits at ``flow_ab - flow_ba`` and at
+        branch B the (B,A) account sits at ``flow_ba - flow_ab``. Clearing
+        withdraws the net at the creditor-side surplus account and deposits
+        it into the debtor-side overdrawn account.
+        """
+        net = flow_ab - flow_ba  # > 0 means A owes B
+        if net == ZERO:
+            return
+        server_a = self._branches[key_a]
+        server_b = self._branches[key_b]
+        if net > ZERO:
+            server_a.admin.withdraw(self._settlement_accounts[(key_a, key_b)], net)
+            server_b.admin.deposit(self._settlement_accounts[(key_b, key_a)], net)
+        else:
+            server_b.admin.withdraw(self._settlement_accounts[(key_b, key_a)], -net)
+            server_a.admin.deposit(self._settlement_accounts[(key_a, key_b)], -net)
+
+    def settlement_account_balance(self, holder: tuple[int, int], peer: tuple[int, int]) -> Credits:
+        account = self._settlement_accounts[(holder, peer)]
+        return self._branches[holder].accounts.available_balance(account)

@@ -1,0 +1,106 @@
+"""Competitive-model price estimation from transaction history (sec 4.2).
+
+"GridBank's transaction history can assist in deciding how much a
+computational service is worth. Such transaction history is confidential
+and cannot be disclosed as is. Therefore GridBank would receive a
+description of the resource, process the information in its database
+regarding prices paid for resources of similar type, and then produce an
+estimate. The simplest approach to compare resources is to consider
+hardware parameters such as processor speed, number of processors, amount
+of main memory and secondary storage, network bandwidth, etc."
+
+The estimator ingests (resource description, realized unit price) pairs
+from settled transactions and answers queries with a similarity-weighted
+estimate — never disclosing individual transactions. Similarity is an
+L2 distance over normalized hardware parameters; the estimate is the
+inverse-distance-weighted mean of the k nearest observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import NotFoundError, ValidationError
+from repro.util.money import Credits
+
+__all__ = ["ResourceDescription", "PriceEstimator"]
+
+_FEATURES = ("cpu_speed_mips", "num_processors", "memory_mb", "storage_gb", "bandwidth_mbps")
+
+
+@dataclass(frozen=True)
+class ResourceDescription:
+    """Hardware parameters of a computational service (sec 4.2 list)."""
+
+    cpu_speed_mips: float
+    num_processors: int
+    memory_mb: float
+    storage_gb: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        for feature in _FEATURES:
+            value = getattr(self, feature)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+                raise ValidationError(f"resource feature {feature!r} must be positive")
+
+    def vector(self) -> list[float]:
+        return [float(getattr(self, feature)) for feature in _FEATURES]
+
+
+class PriceEstimator:
+    """Confidential k-nearest-neighbour price estimation."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        self.k = k
+        self._observations: list[tuple[list[float], float]] = []
+
+    def observe(self, description: ResourceDescription, unit_price: Credits) -> None:
+        """Record a settled transaction's realized price (G$ per CPU-hour)."""
+        price = Credits(unit_price)
+        if price < Credits(0):
+            raise ValidationError("unit price must be >= 0")
+        self._observations.append((description.vector(), price.to_float()))
+
+    @property
+    def history_size(self) -> int:
+        return len(self._observations)
+
+    def _scales(self) -> list[float]:
+        scales = []
+        for dim in range(len(_FEATURES)):
+            values = [obs[0][dim] for obs in self._observations]
+            spread = max(values) - min(values)
+            scales.append(spread if spread > 0 else max(abs(values[0]), 1.0))
+        return scales
+
+    def estimate(self, description: ResourceDescription) -> Credits:
+        """Estimated market unit price for a resource like *description*."""
+        if not self._observations:
+            raise NotFoundError("no transaction history to estimate from")
+        query = description.vector()
+        scales = self._scales()
+        scored: list[tuple[float, float]] = []
+        for vector, price in self._observations:
+            distance = math.sqrt(
+                sum(((a - b) / s) ** 2 for a, b, s in zip(query, vector, scales))
+            )
+            scored.append((distance, price))
+        scored.sort(key=lambda pair: pair[0])
+        nearest = scored[: self.k]
+        # Exact match short-circuits (infinite weight).
+        exact = [price for distance, price in nearest if distance == 0.0]
+        if exact:
+            return Credits(sum(exact) / len(exact))
+        total_weight = sum(1.0 / distance for distance, _ in nearest)
+        estimate = sum(price / distance for distance, price in nearest) / total_weight
+        return Credits(estimate)
+
+    def estimate_or_default(self, description: ResourceDescription, default: Credits) -> Credits:
+        try:
+            return self.estimate(description)
+        except NotFoundError:
+            return Credits(default)

@@ -1,0 +1,181 @@
+"""Database record types — the paper's sec 5.1 schemas, verbatim where
+possible.
+
+ACCOUNT RECORD: AccountID VARCHAR(16) (``bank-branch-account``, e.g.
+``01-0001-00000001``), CertificateName VARCHAR(150), OrganizationName
+VARCHAR(30) optional, AvailableBalance FLOAT, LockedBalance FLOAT,
+Currency VARCHAR(10), CreditLimit FLOAT.
+
+TRANSACTION RECORD: TransactionID BIGINT(20) UNSIGNED, Type VARCHAR(10)
+(Deposit / Withdrawal / Transfer), Date TIMESTAMP(14), Amount FLOAT
+(negative when funds leave the account).
+
+TRANSFER RECORD: TransactionID, Date, DrawerAccountID, Amount (always
+positive), RecipientAccountID, ResourceUsageRecord BLOB.
+
+Documented deviations (see DESIGN.md): the TRANSACTION record as printed
+has no account linkage, yet statements are per-account — an ``AccountID``
+column is added (it is plainly implied: "if withdrawal or transfer *from
+the account*..."). An account ``Status`` column supports the Admin API's
+close-account operation, and per-account transaction rows need their own
+``EntryID`` because one TransactionID produces two rows (drawer negative,
+recipient positive). Balances are carried as FLOAT per the paper but all
+arithmetic happens in fixed-point :class:`~repro.util.money.Credits`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.db.schema import Column, TableSchema
+from repro.db.types import BigIntUnsigned, Blob, Float, Timestamp14, VarChar
+from repro.errors import ValidationError
+from repro.util.money import Credits
+
+__all__ = [
+    "AccountID",
+    "TXN_DEPOSIT",
+    "TXN_WITHDRAWAL",
+    "TXN_TRANSFER",
+    "ACCOUNT_STATUS_OPEN",
+    "ACCOUNT_STATUS_CLOSED",
+    "account_schema",
+    "transaction_schema",
+    "transfer_schema",
+    "admin_schema",
+    "instrument_schema",
+    "credits_to_db",
+    "db_to_credits",
+]
+
+TXN_DEPOSIT = "Deposit"
+TXN_WITHDRAWAL = "Withdrawal"
+TXN_TRANSFER = "Transfer"
+
+ACCOUNT_STATUS_OPEN = "open"
+ACCOUNT_STATUS_CLOSED = "closed"
+
+_ACCOUNT_ID_RE = re.compile(r"^(\d{2})-(\d{4})-(\d{8})$")
+
+
+@dataclass(frozen=True)
+class AccountID:
+    """``bank-branch-account``: 2, 4, and 8 decimal digits (16 chars total).
+
+    "It is precisely for this purpose that GridBank accounts have branch
+    numbers" (sec 6) — the bank and branch components route inter-branch
+    settlement.
+    """
+
+    bank: int
+    branch: int
+    account: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bank <= 99:
+            raise ValidationError("bank number out of range")
+        if not 0 <= self.branch <= 9999:
+            raise ValidationError("branch number out of range")
+        if not 0 <= self.account <= 99_999_999:
+            raise ValidationError("account number out of range")
+
+    def __str__(self) -> str:
+        return f"{self.bank:02d}-{self.branch:04d}-{self.account:08d}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AccountID":
+        match = _ACCOUNT_ID_RE.match(text)
+        if match is None:
+            raise ValidationError(f"not an AccountID: {text!r}")
+        return cls(bank=int(match.group(1)), branch=int(match.group(2)), account=int(match.group(3)))
+
+    def same_branch(self, other: "AccountID") -> bool:
+        return self.bank == other.bank and self.branch == other.branch
+
+
+def credits_to_db(amount: Credits) -> float:
+    """Credits -> the FLOAT column value (exact for realistic balances)."""
+    return amount.to_float()
+
+
+def db_to_credits(value: float) -> Credits:
+    return Credits(value)
+
+
+def account_schema() -> TableSchema:
+    return TableSchema(
+        "accounts",
+        [
+            Column.make("AccountID", VarChar(16)),
+            Column.make("CertificateName", VarChar(150)),
+            Column.make("OrganizationName", VarChar(30), default=""),
+            Column.make("AvailableBalance", Float(), default=0.0),
+            Column.make("LockedBalance", Float(), default=0.0),
+            Column.make("Currency", VarChar(10), default="GridDollar"),
+            Column.make("CreditLimit", Float(), default=0.0),
+            Column.make("Status", VarChar(10), default=ACCOUNT_STATUS_OPEN),
+        ],
+        primary_key=["AccountID"],
+        indexes=["CertificateName", "Status"],
+    )
+
+
+def transaction_schema() -> TableSchema:
+    return TableSchema(
+        "transactions",
+        [
+            Column.make("EntryID", BigIntUnsigned()),
+            Column.make("TransactionID", BigIntUnsigned()),
+            Column.make("AccountID", VarChar(16)),
+            Column.make("Type", VarChar(10)),
+            Column.make("Date", Timestamp14()),
+            Column.make("Amount", Float()),
+        ],
+        primary_key=["EntryID"],
+        indexes=["AccountID", "TransactionID"],
+    )
+
+
+def transfer_schema() -> TableSchema:
+    return TableSchema(
+        "transfers",
+        [
+            Column.make("TransactionID", BigIntUnsigned()),
+            Column.make("Date", Timestamp14()),
+            Column.make("DrawerAccountID", VarChar(16)),
+            Column.make("Amount", Float()),
+            Column.make("RecipientAccountID", VarChar(16)),
+            Column.make("ResourceUsageRecord", Blob(), default=b""),
+        ],
+        primary_key=["TransactionID"],
+        indexes=["DrawerAccountID", "RecipientAccountID"],
+    )
+
+
+def admin_schema() -> TableSchema:
+    """Administrators table — privileged subjects (sec 3.2)."""
+    return TableSchema(
+        "administrators",
+        [Column.make("CertificateName", VarChar(150))],
+        primary_key=["CertificateName"],
+    )
+
+
+def instrument_schema() -> TableSchema:
+    """Issued/redeemed payment instruments (double-spend registry)."""
+    return TableSchema(
+        "instruments",
+        [
+            Column.make("InstrumentID", VarChar(24)),
+            Column.make("Type", VarChar(10)),
+            Column.make("DrawerAccountID", VarChar(16)),
+            Column.make("PayeeSubject", VarChar(150)),
+            Column.make("AmountLimit", Float()),
+            Column.make("IssuedAt", Timestamp14()),
+            Column.make("State", VarChar(10)),  # issued | redeemed | cancelled
+            Column.make("RedeemedUnits", BigIntUnsigned(), default=0),
+        ],
+        primary_key=["InstrumentID"],
+        indexes=["DrawerAccountID", "State"],
+    )

@@ -1,0 +1,36 @@
+"""GB Security Protocol module — connection-time authorization.
+
+"Once clients are authenticated, the certificate subject name is retrieved
+... and is checked against the database. If the subject name appears either
+in the accounts or in administrator tables, then the client is authorized
+to establish a connection. Otherwise connection is refused, and this
+provides a mechanism to limit denial-of-service attacks." (paper sec 3.2)
+
+Authentication itself is the GSI handshake (:mod:`repro.gsi.context`); this
+module supplies the live database-backed policy the RPC endpoint consults,
+with one carve-out: the ``create_account`` bootstrap may be left open so
+new principals can join (the paper's clients already "open account with
+GridBank" before anything else — someone has to let them in).
+"""
+
+from __future__ import annotations
+
+from repro.bank.accounts import GBAccounts
+from repro.bank.admin import GBAdmin
+from repro.gsi.authorization import AuthorizationPolicy, CallbackPolicy
+
+__all__ = ["bank_authorization_policy", "admin_only_policy"]
+
+
+def bank_authorization_policy(accounts: GBAccounts, admin: GBAdmin) -> AuthorizationPolicy:
+    """Subject must hold an account or be an administrator."""
+
+    def check(subject: str) -> bool:
+        return accounts.subject_has_account(subject) or admin.is_administrator(subject)
+
+    return CallbackPolicy(check, description="accounts-or-administrators tables")
+
+
+def admin_only_policy(admin: GBAdmin) -> AuthorizationPolicy:
+    """Subject must be an administrator (privileged operations)."""
+    return CallbackPolicy(admin.is_administrator, description="administrators table")

@@ -1,0 +1,411 @@
+"""The GridBank server — Figure 3's three layers wired together.
+
+Security Layer: GSI handshake + the accounts-or-administrators
+connection policy (:mod:`repro.bank.security`). Payment Protocol Layer:
+GridCheque, GridHash and direct-transfer modules (:mod:`repro.payments`).
+Accounts Layer: :class:`~repro.bank.accounts.GBAccounts` and
+:class:`~repro.bank.admin.GBAdmin` over the relational database.
+
+Every sec 5.2 / 5.2.1 API operation is exposed as a named RPC operation;
+the authenticated certificate subject is the caller identity for all
+ownership and privilege checks. Instruments and confirmations cross the
+wire as their ``to_dict()`` forms (canonically serializable).
+
+``open_enrollment`` controls the connection policy: the paper's strict
+rule refuses any subject without an account, but then nobody could ever
+open one — with enrollment on (default), authenticated-but-unknown
+subjects may connect and call ``CreateAccount`` only.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.bank.accounts import GBAccounts
+from repro.bank.admin import GBAdmin
+from repro.bank.pricing import PriceEstimator, ResourceDescription
+from repro.bank.security import bank_authorization_policy
+from repro.db.database import Database
+from repro.errors import AuthorizationError, ValidationError
+from repro.gsi.authorization import CallbackPolicy
+from repro.net.rpc import ServiceEndpoint
+from repro.payments.cheque import GridCheque, GridChequeProtocol
+from repro.payments.direct import DirectTransferProtocol
+from repro.payments.hashchain import GridHashCommitment, GridHashProtocol, PaymentTick
+from repro.payments.instruments import InstrumentRegistry
+from repro.pki.ca import Identity
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import Clock, SystemClock, Timestamp
+from repro.util.money import Credits
+
+__all__ = ["GridBankServer"]
+
+
+class GridBankServer:
+    def __init__(
+        self,
+        identity: Identity,
+        trust_store: CertificateStore,
+        db: Optional[Database] = None,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+        bank_number: int = 1,
+        branch_number: int = 1,
+        open_enrollment: bool = True,
+    ) -> None:
+        self.identity = identity
+        self.clock = clock if clock is not None else SystemClock()
+        self.db = db if db is not None else Database()
+        self.bank_number = bank_number
+        self.branch_number = branch_number
+
+        self.accounts = GBAccounts(
+            self.db, clock=self.clock, bank_number=bank_number, branch_number=branch_number
+        )
+        self.admin = GBAdmin(self.accounts)
+        self.registry = InstrumentRegistry(self.db, self.clock)
+        subject = identity.subject
+        key = identity.private_key
+        self.cheques = GridChequeProtocol(self.accounts, self.registry, key, subject, self.clock)
+        self.hashchains = GridHashProtocol(self.accounts, self.registry, key, subject, self.clock)
+        self.direct = DirectTransferProtocol(self.accounts, key, subject, self.clock)
+        self.pricing = PriceEstimator()
+        # pay-before-use confirmations awaiting pickup, keyed by GSP URL
+        self._confirmation_inboxes: dict[str, list[dict]] = {}
+
+        base_policy = bank_authorization_policy(self.accounts, self.admin)
+        if open_enrollment:
+            policy = CallbackPolicy(lambda s: True, description="open enrollment")
+        else:
+            policy = base_policy
+        self._has_standing = base_policy
+        self.endpoint = ServiceEndpoint(
+            identity, trust_store, policy, clock=self.clock, rng=rng
+        )
+        self._register_operations()
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def subject(self) -> str:
+        return self.identity.subject
+
+    def recover(self) -> int:
+        """Replay persistent storage and re-derive id counters.
+
+        For a bank on a persistent :class:`~repro.db.database.Database`,
+        call this once right after construction (tables must exist before
+        the journal replays). Returns the number of replayed journal
+        transactions.
+        """
+        replayed = self.db.recover()
+        self.accounts.rescan_ids()
+        self.registry.rescan_ids()
+        return replayed
+
+    def connection_handler(self):
+        return self.endpoint.connection_handler()
+
+    def _register_operations(self) -> None:
+        register = self.endpoint.register
+        register("BankInfo", self.op_bank_info)
+        register("CreateAccount", self.op_create_account)
+        register("RequestAccountDetails", self.op_account_details)
+        register("UpdateAccountDetails", self.op_update_account)
+        register("RequestAccountStatement", self.op_statement)
+        register("FundsAvailabilityCheck", self.op_funds_availability_check)
+        register("ReleaseFunds", self.op_release_funds)
+        register("RequestDirectTransfer", self.op_direct_transfer)
+        register("FetchConfirmations", self.op_fetch_confirmations)
+        register("RequestGridCheque", self.op_request_cheque)
+        register("RedeemGridCheque", self.op_redeem_cheque)
+        register("RedeemGridChequeBatch", self.op_redeem_cheque_batch)
+        register("CancelGridCheque", self.op_cancel_cheque)
+        register("RequestGridHash", self.op_request_hashchain)
+        register("RedeemGridHash", self.op_redeem_hashchain)
+        register("EstimatePrice", self.op_estimate_price)
+        register("Admin.Deposit", self.op_admin_deposit)
+        register("Admin.Withdraw", self.op_admin_withdraw)
+        register("Admin.ChangeCreditLimit", self.op_admin_change_credit_limit)
+        register("Admin.CancelTransfer", self.op_admin_cancel_transfer)
+        register("Admin.CloseAccount", self.op_admin_close_account)
+        register("Admin.AddAdministrator", self.op_admin_add_administrator)
+
+    # -- per-call checks ----------------------------------------------------------
+
+    def _require_standing(self, subject: str) -> None:
+        """Operations beyond CreateAccount require an account or admin bit."""
+        if not self._has_standing.is_authorized(subject):
+            raise AuthorizationError(f"subject {subject!r} has no account at this bank")
+
+    def _require_owner_or_admin(self, subject: str, account_id: str) -> dict:
+        row = self.accounts.get_account(account_id)
+        if row["CertificateName"] != subject and not self.admin.is_administrator(subject):
+            raise AuthorizationError(f"subject {subject!r} does not own account {account_id}")
+        return row
+
+    def _require_admin(self, subject: str) -> None:
+        if not self.admin.is_administrator(subject):
+            raise AuthorizationError(f"subject {subject!r} is not an administrator")
+
+    @staticmethod
+    def _amount(params: dict, key: str = "amount") -> Credits:
+        value = params.get(key)
+        if isinstance(value, Credits):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return Credits(value)
+        raise ValidationError(f"parameter {key!r} must be an amount")
+
+    # -- public operations (sec 5.2) -------------------------------------------------
+
+    def op_bank_info(self, subject: str, params: dict) -> dict:
+        from repro.crypto.keys import public_key_to_dict
+
+        return {
+            "subject": self.subject,
+            "bank_number": self.bank_number,
+            "branch_number": self.branch_number,
+            "public_key": public_key_to_dict(self.identity.private_key.public_key()),
+        }
+
+    def op_create_account(self, subject: str, params: dict) -> dict:
+        account_id = self.accounts.create_account(
+            certificate_name=subject,
+            organization_name=params.get("organization_name", ""),
+            currency=params.get("currency", "GridDollar"),
+        )
+        return {"account_id": account_id}
+
+    def op_account_details(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        return self._require_owner_or_admin(subject, params["account_id"])
+
+    def op_update_account(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        self._require_owner_or_admin(subject, params["account_id"])
+        return self.accounts.update_account(
+            params["account_id"],
+            certificate_name=params.get("certificate_name"),
+            organization_name=params.get("organization_name"),
+        )
+
+    def op_statement(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        self._require_owner_or_admin(subject, params["account_id"])
+        return self.accounts.statement(
+            params["account_id"],
+            Timestamp.from_stamp14(params["start"]),
+            Timestamp.from_stamp14(params["end"]),
+        )
+
+    def op_funds_availability_check(self, subject: str, params: dict) -> dict:
+        """Perform Funds Availability Check (sec 5.2): the confirmed amount
+        moves to the locked balance as the guarantee."""
+        self._require_standing(subject)
+        account_id = params["account_id"]
+        self._require_owner_or_admin(subject, account_id)
+        amount = self._amount(params)
+        self.accounts.lock_funds(account_id, amount)
+        return {"confirmed": True, "locked": amount}
+
+    def unreserved_locked(self, account_id: str) -> Credits:
+        """Locked funds NOT backing an outstanding payment instrument.
+
+        Only this portion may be released by the account owner; the rest
+        is the sec 3.4 payment guarantee and can leave the locked balance
+        only through instrument redemption or cancellation.
+        """
+        locked = self.accounts.locked_balance(account_id)
+        reserved = Credits(0)
+        for row in self.registry.outstanding_for(account_id):
+            reserved = reserved + self.registry.amount_limit(row)
+        return locked - reserved
+
+    def op_release_funds(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        account_id = params["account_id"]
+        self._require_owner_or_admin(subject, account_id)
+        amount = self._amount(params)
+        releasable = self.unreserved_locked(account_id)
+        if amount > releasable:
+            from repro.errors import AccountError
+
+            raise AccountError(
+                f"only {releasable} of the locked balance is releasable; the rest "
+                f"guarantees outstanding payment instruments"
+            )
+        self.accounts.unlock_funds(account_id, amount)
+        return {"released": amount}
+
+    def op_direct_transfer(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        from_account = params["from_account"]
+        self._require_owner_or_admin(subject, from_account)
+        to_account = params["to_account"]
+        confirmation = self.direct.transfer(
+            drawer_subject=self.accounts.owner_of(from_account),
+            from_account=from_account,
+            to_account=to_account,
+            amount=self._amount(params),
+            recipient_address=params.get("recipient_address", ""),
+            rur_blob=params.get("rur_blob", b""),
+        )
+        address = confirmation.recipient_address
+        if address:
+            # inbox entries are owned by the recipient account's subject;
+            # only that principal may pick them up
+            self._confirmation_inboxes.setdefault(address, []).append(
+                {"owner": self.accounts.owner_of(to_account), "confirmation": confirmation.to_dict()}
+            )
+        return {"confirmation": confirmation.to_dict()}
+
+    def op_fetch_confirmations(self, subject: str, params: dict) -> list:
+        """GSP pickup of pay-before-use confirmations for its URL.
+
+        Only entries addressed to accounts the caller owns are returned
+        (and drained); other principals' confirmations stay queued.
+        """
+        self._require_standing(subject)
+        inbox = self._confirmation_inboxes.get(params["address"], [])
+        mine = [entry["confirmation"] for entry in inbox if entry["owner"] == subject]
+        remaining = [entry for entry in inbox if entry["owner"] != subject]
+        if remaining:
+            self._confirmation_inboxes[params["address"]] = remaining
+        else:
+            self._confirmation_inboxes.pop(params["address"], None)
+        return mine
+
+    def op_request_cheque(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        cheque = self.cheques.issue(
+            drawer_subject=subject,
+            drawer_account=params["account_id"],
+            payee_subject=params["payee_subject"],
+            amount=self._amount(params),
+        )
+        return {"cheque": cheque.to_dict()}
+
+    def op_redeem_cheque(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        result = self.cheques.redeem(
+            redeemer_subject=subject,
+            cheque=GridCheque.from_dict(params["cheque"]),
+            payee_account=params["payee_account"],
+            charge=self._amount(params, "charge"),
+            rur_blob=params.get("rur_blob", b""),
+        )
+        return {
+            "cheque_id": result.cheque_id,
+            "transaction_id": result.transaction_id,
+            "paid": result.paid,
+            "released": result.released,
+        }
+
+    def op_redeem_cheque_batch(self, subject: str, params: dict) -> list:
+        self._require_standing(subject)
+        items = [
+            (
+                GridCheque.from_dict(item["cheque"]),
+                item["payee_account"],
+                Credits(item["charge"]) if not isinstance(item["charge"], Credits) else item["charge"],
+                item.get("rur_blob", b""),
+            )
+            for item in params["items"]
+        ]
+        results = self.cheques.redeem_batch(subject, items)
+        return [
+            {
+                "cheque_id": r.cheque_id,
+                "transaction_id": r.transaction_id,
+                "paid": r.paid,
+                "released": r.released,
+            }
+            for r in results
+        ]
+
+    def op_cancel_cheque(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        released = self.cheques.cancel(subject, GridCheque.from_dict(params["cheque"]))
+        return {"released": released}
+
+    def op_request_hashchain(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        length = params["length"]
+        if not isinstance(length, int) or isinstance(length, bool):
+            raise ValidationError("length must be an int")
+        commitment = self.hashchains.issue(
+            drawer_subject=subject,
+            drawer_account=params["account_id"],
+            payee_subject=params["payee_subject"],
+            root=params["root"],
+            length=length,
+            link_value=self._amount(params, "link_value"),
+        )
+        return {"commitment": commitment.to_dict()}
+
+    def op_redeem_hashchain(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        commitment = GridHashCommitment.from_dict(params["commitment"])
+        tick = None
+        if params.get("index"):
+            tick = PaymentTick(
+                commitment_id=commitment.commitment_id,
+                index=params["index"],
+                link=params["link"],
+            )
+        result = self.hashchains.redeem(
+            redeemer_subject=subject,
+            commitment=commitment,
+            payee_account=params["payee_account"],
+            tick=tick,
+            rur_blob=params.get("rur_blob", b""),
+        )
+        return {
+            "commitment_id": result.commitment_id,
+            "transaction_id": result.transaction_id,
+            "paid": result.paid,
+            "released": result.released,
+            "links_redeemed": result.links_redeemed,
+        }
+
+    def op_estimate_price(self, subject: str, params: dict) -> dict:
+        self._require_standing(subject)
+        description = ResourceDescription(**params["description"])
+        estimate = self.pricing.estimate(description)
+        return {"unit_price": estimate}
+
+    # -- admin operations (sec 5.2.1) ------------------------------------------------
+
+    def op_admin_deposit(self, subject: str, params: dict) -> dict:
+        self._require_admin(subject)
+        txn = self.admin.deposit(params["account_id"], self._amount(params))
+        return {"transaction_id": txn}
+
+    def op_admin_withdraw(self, subject: str, params: dict) -> dict:
+        self._require_admin(subject)
+        txn = self.admin.withdraw(params["account_id"], self._amount(params))
+        return {"transaction_id": txn}
+
+    def op_admin_change_credit_limit(self, subject: str, params: dict) -> dict:
+        self._require_admin(subject)
+        self.admin.change_credit_limit(params["account_id"], self._amount(params, "credit_limit"))
+        return {"confirmed": True}
+
+    def op_admin_cancel_transfer(self, subject: str, params: dict) -> dict:
+        self._require_admin(subject)
+        compensating = self.admin.cancel_transfer(params["transaction_id"])
+        return {"compensating_transaction_id": compensating}
+
+    def op_admin_close_account(self, subject: str, params: dict) -> dict:
+        self._require_admin(subject)
+        balance = self.admin.close_account(
+            params["account_id"], transfer_to=params.get("transfer_to", "")
+        )
+        return {"outstanding_balance": balance}
+
+    def op_admin_add_administrator(self, subject: str, params: dict) -> dict:
+        self._require_admin(subject)
+        self.admin.add_administrator(params["certificate_name"])
+        return {"confirmed": True}

@@ -1,0 +1,33 @@
+"""Grid Resource Broker — the consumer side of Figure 1.
+
+A Nimrod-G-like broker: parameterized (sweep) applications, resource
+discovery through the GMD, deadline-and-budget constrained scheduling
+algorithms (cost-, time- and cost-time-optimization from the GRACE line
+of work the paper builds on), and the GridBank Payment Module (GBPM) that
+"receives requests for job execution from the Grid Resource Broker,
+obtains a payment instrument from the GridBank, forwards the payment to
+GBCM and submits the job when GBCM notifies GBPM that a local account has
+been set up" (paper conclusion).
+"""
+
+from repro.broker.application import Parameter, ParameterizedApplication
+from repro.broker.scheduling import (
+    Algorithm,
+    ResourceOffer,
+    AllocationPlan,
+    plan_allocation,
+)
+from repro.broker.gbpm import GridBankPaymentModule
+from repro.broker.grb import GridResourceBroker, CampaignResult
+
+__all__ = [
+    "Parameter",
+    "ParameterizedApplication",
+    "Algorithm",
+    "ResourceOffer",
+    "AllocationPlan",
+    "plan_allocation",
+    "GridBankPaymentModule",
+    "GridResourceBroker",
+    "CampaignResult",
+]

@@ -1,0 +1,144 @@
+"""GridBank Payment Module (GBPM) — sec 5.3.
+
+The consumer-side payment agent: "GRB interacts with GridBank Payment
+Module to manage funds on user's behalf. The user can then set the budget
+to prevent overspending." Provides the sec 5.3 API — ``grid-bank-job-
+submit`` plus the account operations delegated to the GridBank API — and
+enforces the user budget across everything the broker commits to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.api import GridBankAPI
+from repro.core.session import PaymentStrategy
+from repro.errors import BudgetExceededError, ValidationError
+from repro.payments.cheque import GridCheque
+from repro.payments.hashchain import HashChainWallet
+from repro.util.money import Credits, ZERO
+
+__all__ = ["GridBankPaymentModule"]
+
+
+class GridBankPaymentModule:
+    def __init__(
+        self,
+        api: GridBankAPI,
+        account_id: str,
+        budget: Optional[Credits] = None,
+    ) -> None:
+        self.api = api
+        self.account_id = account_id
+        self._budget = Credits(budget) if budget is not None else None
+        self.committed = ZERO   # reserved via instruments / prepayments
+        self.refunded = ZERO    # reservations released at settlement
+
+    # -- budget management -----------------------------------------------------
+
+    def set_budget(self, budget: Optional[Credits]) -> None:
+        """Set (or clear) the user's spending cap."""
+        if budget is not None and Credits(budget) < ZERO:
+            raise ValidationError("budget must be >= 0")
+        self._budget = Credits(budget) if budget is not None else None
+
+    @property
+    def budget(self) -> Optional[Credits]:
+        return self._budget
+
+    @property
+    def spent_or_committed(self) -> Credits:
+        return self.committed - self.refunded
+
+    def remaining_budget(self) -> Optional[Credits]:
+        if self._budget is None:
+            return None
+        return self._budget - self.spent_or_committed
+
+    def _reserve(self, amount: Credits) -> None:
+        remaining = self.remaining_budget()
+        if remaining is not None and amount > remaining:
+            raise BudgetExceededError(
+                f"reserving {amount} would exceed the remaining budget {remaining}"
+            )
+        self.committed = self.committed + amount
+
+    def record_refund(self, amount: Credits) -> None:
+        """Settlement released part of a reservation back to the user."""
+        self.refunded = self.refunded + Credits(amount)
+
+    # -- payment acquisition -----------------------------------------------------
+
+    def obtain_cheque(self, payee_subject: str, amount: Credits) -> GridCheque:
+        amount = Credits(amount)
+        self._reserve(amount)
+        return self.api.request_cheque(self.account_id, payee_subject, amount)
+
+    def obtain_hashchain(self, payee_subject: str, length: int, link_value: Credits) -> HashChainWallet:
+        total = Credits(link_value) * length
+        self._reserve(total)
+        return self.api.request_hashchain(self.account_id, payee_subject, length, link_value)
+
+    def pay_before(self, payee_account: str, amount: Credits, recipient_address: str = ""):
+        amount = Credits(amount)
+        self._reserve(amount)
+        return self.api.request_direct_transfer(
+            self.account_id, payee_account, amount, recipient_address=recipient_address
+        )
+
+    # -- sec 5.3 convenience mirrors of the GB API ---------------------------------
+
+    def create_new_account(self, organization_name: str = "") -> str:
+        return self.api.create_account(organization_name=organization_name)
+
+    def check_balance(self) -> Credits:
+        return self.api.check_balance(self.account_id)
+
+    def request_account_details(self) -> dict:
+        return self.api.account_details(self.account_id)
+
+    def update_account_details(self, **kwargs) -> dict:
+        return self.api.update_account(self.account_id, **kwargs)
+
+    def request_account_statement(self, start, end) -> dict:
+        return self.api.account_statement(self.account_id, start, end)
+
+    # -- grid-bank-job-submit ------------------------------------------------------
+
+    def grid_bank_job_submit(
+        self,
+        gsp,
+        sim,
+        job,
+        rates,
+        strategy: PaymentStrategy = PaymentStrategy.PAY_AFTER_USE,
+        reserve: Optional[Credits] = None,
+        user_host: str = "",
+        ref: str = "",
+    ):
+        """Like globus-job-submit, "but for GridBank-enabled Grid services"
+        (sec 5.3): forward the payment to GBCM first, then submit the job
+        once the local account is set up. Returns the simulation process
+        whose result is the :class:`~repro.grid.gsp.ServiceSession`.
+
+        *ref* names the engagement (default: the job id) — retries of the
+        same job use distinct refs so each attempt is paid separately.
+        """
+        if strategy is not PaymentStrategy.PAY_AFTER_USE:
+            raise ValidationError("grid_bank_job_submit currently pays by GridCheque")
+        ref = ref or job.job_id
+        cpu_hours = job.runtime_on(gsp.resource.mips_per_pe) / 3600.0
+        estimate = rates.estimate_job_cost(
+            cpu_hours=cpu_hours,
+            io_mb=job.total_io_mb,
+            memory_mb_hours=job.memory_mb * cpu_hours,
+        )
+        amount = reserve if reserve is not None else estimate * 2 + Credits(0.01)
+        cheque = self.obtain_cheque(gsp.subject, amount)
+        # GBCM validates the instrument and sets up the local account...
+        gsp.admit(job.user_subject, cheque, ref=ref)
+        # ...and GBPM submits the job on notification.
+        return sim.spawn(
+            gsp.serve_job(job, rates, user_host=user_host, ref=ref),
+            name=f"gbjs-{ref}",
+        )

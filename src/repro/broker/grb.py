@@ -1,0 +1,186 @@
+"""Grid Resource Broker (GRB).
+
+"users submit their applications to Grid Resource Broker, which discovers
+resources, negotiates for service costs, performs resource selection,
+schedules tasks to resources and monitors task executions" (paper sec 1).
+
+:meth:`run_campaign` is the full consumer-side loop: GMD discovery ->
+per-provider GTS negotiation -> deadline/budget allocation planning ->
+GBPM payment + submission per job -> simulated execution -> settlement
+accounting. Jobs on one provider run concurrently (one template account,
+one engagement per job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.broker.gbpm import GridBankPaymentModule
+from repro.broker.scheduling import Algorithm, AllocationPlan, ResourceOffer, plan_allocation
+from repro.core.session import GridSession, Participant
+from repro.errors import ValidationError
+from repro.grid.job import Job, JobStatus
+from repro.util.money import Credits, ZERO
+
+__all__ = ["CampaignResult", "GridResourceBroker"]
+
+
+@dataclass
+class CampaignResult:
+    plan: AllocationPlan
+    jobs_done: int
+    jobs_total: int
+    total_charged: Credits      # sum of GSP charge calculations
+    total_paid: Credits         # funds that actually moved
+    makespan_s: float
+    deadline_s: float
+    budget: Credits
+    per_resource_jobs: dict[str, int]
+    per_resource_paid: dict[str, Credits]
+    retries: int = 0            # re-submissions after job failures
+
+    @property
+    def within_deadline(self) -> bool:
+        return self.makespan_s <= self.deadline_s + 1e-9
+
+    @property
+    def within_budget(self) -> bool:
+        return self.total_paid <= self.budget
+
+
+class GridResourceBroker:
+    def __init__(self, session: GridSession, consumer: Participant) -> None:
+        self.session = session
+        self.consumer = consumer
+        self.gbpm = GridBankPaymentModule(consumer.api, consumer.account_id)
+
+    # -- discovery + negotiation ---------------------------------------------------
+
+    def discover(self, min_mips: float = 0.0, max_cpu_rate: Optional[Credits] = None) -> list[Participant]:
+        """Providers advertised in the GMD, as session participants."""
+        listings = self.session.gmd.query(min_mips=min_mips, max_cpu_rate=max_cpu_rate)
+        by_resource = {
+            p.provider.resource.name: p
+            for p in self.session.participants.values()
+            if p.provider is not None
+        }
+        return [by_resource[l.resource_name] for l in listings if l.resource_name in by_resource]
+
+    def collect_offers(
+        self, providers: Sequence[Participant], bid_fraction: Optional[float] = None
+    ) -> list[tuple[Participant, ResourceOffer]]:
+        offers = []
+        for provider in providers:
+            gsp = provider.provider
+            outcome = gsp.negotiate(bid_fraction=bid_fraction)
+            offers.append(
+                (
+                    provider,
+                    ResourceOffer(
+                        resource_name=gsp.resource.name,
+                        mips_per_pe=gsp.resource.mips_per_pe,
+                        num_pes=gsp.resource.num_pes,
+                        rates=outcome.rates,
+                    ),
+                )
+            )
+        return offers
+
+    # -- campaign ---------------------------------------------------------------------
+
+    def run_campaign(
+        self,
+        jobs: Sequence[Job],
+        deadline_s: float,
+        budget: Credits,
+        algorithm: Algorithm = Algorithm.COST_OPTIMIZATION,
+        min_mips: float = 0.0,
+        bid_fraction: Optional[float] = None,
+        max_retries: int = 0,
+    ) -> CampaignResult:
+        """Plan, pay and execute *jobs*; failed jobs are re-submitted (and
+        re-paid — the GSP already charged for the consumed fraction) up to
+        *max_retries* extra rounds."""
+        budget = Credits(budget)
+        providers = self.discover(min_mips=min_mips)
+        if not providers:
+            raise ValidationError("no providers discovered")
+        provider_offers = self.collect_offers(providers, bid_fraction=bid_fraction)
+        offers = [offer for _, offer in provider_offers]
+        plan = plan_allocation(jobs, offers, deadline_s, budget, algorithm=algorithm)
+
+        self.gbpm.set_budget(budget)
+        provider_by_resource = {offer.resource_name: p for p, offer in provider_offers}
+        rates_by_resource = {offer.resource_name: offer.rates for offer in offers}
+
+        start = self.session.sim.now
+        processes = []
+        retries = 0
+
+        def submit(resource_name: str, job: Job, attempt: int) -> None:
+            provider = provider_by_resource[resource_name]
+            gsp = provider.provider
+            job.status = JobStatus.CREATED
+            process = self.gbpm.grid_bank_job_submit(
+                gsp,
+                self.session.sim,
+                job,
+                rates_by_resource[resource_name],
+                user_host=self.consumer.host,
+                ref=f"{job.job_id}#{attempt}",
+            )
+            processes.append((resource_name, job, process))
+
+        for resource_name, assigned in plan.assignments.items():
+            for job in assigned:
+                submit(resource_name, job, attempt=0)
+        self.session.sim.run()
+
+        for attempt in range(1, max_retries + 1):
+            failed: dict[str, str] = {}  # job_id -> resource (dedup: a job
+            # appears once per prior attempt in `processes`)
+            for resource_name, job, _process in processes:
+                if job.status is JobStatus.FAILED:
+                    failed[job.job_id] = resource_name
+            if not failed:
+                break
+            jobs_by_id = {job.job_id: job for _r, job, _p in processes}
+            for job_id, resource_name in failed.items():
+                retries += 1
+                submit(resource_name, jobs_by_id[job_id], attempt=attempt)
+            self.session.sim.run()
+
+        total_charged = ZERO
+        total_paid = ZERO
+        done_job_ids: set[str] = set()
+        per_resource_jobs: dict[str, int] = {}
+        per_resource_paid: dict[str, Credits] = {}
+        for resource_name, job, process in processes:
+            # every attempt (including failed ones) settled and paid for
+            # the resources it consumed
+            service = process.result
+            if service is None:
+                continue
+            paid = service.settlement.get("paid", ZERO)
+            released = service.settlement.get("released", ZERO)
+            self.gbpm.record_refund(released)
+            total_charged = total_charged + service.calculation.total
+            total_paid = total_paid + paid
+            per_resource_paid[resource_name] = per_resource_paid.get(resource_name, ZERO) + paid
+            if job.status is JobStatus.DONE and job.job_id not in done_job_ids:
+                done_job_ids.add(job.job_id)
+                per_resource_jobs[resource_name] = per_resource_jobs.get(resource_name, 0) + 1
+        return CampaignResult(
+            plan=plan,
+            jobs_done=len(done_job_ids),
+            jobs_total=len(jobs),
+            total_charged=total_charged,
+            total_paid=total_paid,
+            makespan_s=self.session.sim.now - start,
+            deadline_s=deadline_s,
+            budget=budget,
+            per_resource_jobs=per_resource_jobs,
+            per_resource_paid=per_resource_paid,
+            retries=retries,
+        )

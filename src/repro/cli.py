@@ -1,0 +1,402 @@
+"""Command-line interface to a persistent GridBank.
+
+A "bank home" directory holds the bank's CA, identity (certificate +
+private key) and the WAL-backed database, so the books survive between
+invocations::
+
+    python -m repro.cli init --home ./mybank
+    python -m repro.cli create-account --home ./mybank --subject "/O=VO-A/CN=alice"
+    python -m repro.cli deposit --home ./mybank --account 01-0001-00000001 --amount 100
+    python -m repro.cli transfer --home ./mybank --from-account ... --to-account ... --amount 25
+    python -m repro.cli balance --home ./mybank --account 01-0001-00000001
+    python -m repro.cli statement --home ./mybank --account 01-0001-00000001
+    python -m repro.cli serve --home ./mybank --port 7776   # real TCP service
+
+Administrative commands (deposit/withdraw/credit-limit/close) act as the
+bank operator — the sec 5.2.1 role of "GridBank's administrators who are
+responsible for transferring real money to and from clients".
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.bank.server import GridBankServer
+from repro.crypto.keys import private_key_from_dict, private_key_to_dict
+from repro.db.database import Database
+from repro.errors import ReproError
+from repro.pki.ca import CertificateAuthority, Identity
+from repro.pki.certificate import Certificate, DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import SystemClock, Timestamp
+from repro.util.money import Credits
+from repro.util.serialize import canonical_dumps, canonical_loads
+
+__all__ = ["main"]
+
+_IDENTITY_FILE = "bank-identity.gbk"
+_ROOT_FILE = "ca-root.gbk"
+_DB_DIR = "db"
+
+
+def _save_identity(home: Path, identity: Identity, root: Certificate) -> None:
+    (home / _IDENTITY_FILE).write_bytes(
+        canonical_dumps(
+            {
+                "certificate": identity.certificate.to_dict(),
+                "private_key": private_key_to_dict(identity.private_key),
+            }
+        )
+    )
+    (home / _ROOT_FILE).write_bytes(canonical_dumps(root.to_dict()))
+
+
+def _load_bank(home: Path, bank_number: int = 1, branch_number: int = 1) -> GridBankServer:
+    identity_blob = canonical_loads((home / _IDENTITY_FILE).read_bytes())
+    identity = Identity(
+        certificate=Certificate.from_dict(identity_blob["certificate"]),
+        private_key=private_key_from_dict(identity_blob["private_key"]),
+    )
+    root = Certificate.from_dict(canonical_loads((home / _ROOT_FILE).read_bytes()))
+    store = CertificateStore([root])
+    db = Database(path=home / _DB_DIR)
+    server = GridBankServer(
+        identity, store, db=db, clock=SystemClock(),
+        bank_number=bank_number, branch_number=branch_number,
+    )
+    server.recover()
+    return server
+
+
+def cmd_init(args) -> int:
+    home = Path(args.home)
+    if (home / _IDENTITY_FILE).exists():
+        print(f"error: {home} already holds a bank", file=sys.stderr)
+        return 1
+    home.mkdir(parents=True, exist_ok=True)
+    clock = SystemClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", f"CA-{args.bank_number:02d}-{args.branch_number:04d}"),
+        clock=clock,
+        rng=random.Random(args.seed) if args.seed is not None else None,
+        key_bits=args.key_bits,
+    )
+    identity = ca.issue_identity(
+        DistinguishedName("GridBank", f"server-{args.bank_number:02d}-{args.branch_number:04d}"),
+        key_bits=args.key_bits,
+    )
+    _save_identity(home, identity, ca.root_certificate)
+    # keep the CA signing key so this home can enroll users (issue-identity)
+    (home / "ca-key.gbk").write_bytes(
+        canonical_dumps({"private_key": private_key_to_dict(ca._private)})
+    )
+    db = Database(path=home / _DB_DIR)
+    server = GridBankServer(
+        identity, CertificateStore([ca.root_certificate]), db=db, clock=clock,
+        bank_number=args.bank_number, branch_number=args.branch_number,
+    )
+    server.recover()
+    db.checkpoint()
+    db.close()
+    print(f"initialized GridBank {args.bank_number:02d}-{args.branch_number:04d} at {home}")
+    print(f"bank subject: {identity.subject}")
+    return 0
+
+
+def cmd_create_account(args) -> int:
+    bank = _load_bank(Path(args.home))
+    account_id = bank.accounts.create_account(
+        args.subject, organization_name=args.organization, currency=args.currency
+    )
+    bank.db.close()
+    print(account_id)
+    return 0
+
+
+def cmd_deposit(args) -> int:
+    bank = _load_bank(Path(args.home))
+    txn = bank.admin.deposit(args.account, Credits(args.amount))
+    bank.db.close()
+    print(f"deposited G${args.amount} into {args.account} (transaction {txn})")
+    return 0
+
+
+def cmd_withdraw(args) -> int:
+    bank = _load_bank(Path(args.home))
+    txn = bank.admin.withdraw(args.account, Credits(args.amount))
+    bank.db.close()
+    print(f"withdrew G${args.amount} from {args.account} (transaction {txn})")
+    return 0
+
+
+def cmd_transfer(args) -> int:
+    bank = _load_bank(Path(args.home))
+    txn = bank.accounts.transfer(args.from_account, args.to_account, Credits(args.amount))
+    bank.db.close()
+    print(f"transferred G${args.amount}: {args.from_account} -> {args.to_account} "
+          f"(transaction {txn})")
+    return 0
+
+
+def cmd_balance(args) -> int:
+    bank = _load_bank(Path(args.home))
+    row = bank.accounts.get_account(args.account)
+    bank.db.close()
+    print(f"account:   {row['AccountID']} ({row['Status']})")
+    print(f"subject:   {row['CertificateName']}")
+    print(f"available: {Credits(row['AvailableBalance'])}")
+    print(f"locked:    {Credits(row['LockedBalance'])}")
+    print(f"limit:     {Credits(row['CreditLimit'])}  currency: {row['Currency']}")
+    return 0
+
+
+def cmd_statement(args) -> int:
+    bank = _load_bank(Path(args.home))
+    start = Timestamp.from_stamp14(args.start) if args.start else Timestamp(0.0)
+    end = Timestamp.from_stamp14(args.end) if args.end else bank.clock.now()
+    statement = bank.accounts.statement(args.account, start, end)
+    bank.db.close()
+    print(f"statement for {args.account} [{start.stamp14} .. {end.stamp14}]")
+    for entry in statement["transactions"]:
+        print(
+            f"  {entry['Date']}  txn {entry['TransactionID']:>6}  "
+            f"{entry['Type']:<10} {Credits(entry['Amount'])}"
+        )
+    print(f"{len(statement['transactions'])} transaction(s), "
+          f"{len(statement['transfers'])} transfer record(s)")
+    return 0
+
+
+def cmd_accounts(args) -> int:
+    bank = _load_bank(Path(args.home))
+    rows = bank.accounts.db.select("accounts", order_by="AccountID")
+    bank.db.close()
+    for row in rows:
+        print(f"{row['AccountID']}  {row['Status']:<7} {Credits(row['AvailableBalance'])!s:>14}  "
+              f"{row['CertificateName']}")
+    print(f"{len(rows)} account(s)")
+    return 0
+
+
+def cmd_add_admin(args) -> int:
+    bank = _load_bank(Path(args.home))
+    bank.admin.add_administrator(args.subject)
+    bank.db.close()
+    print(f"administrator added: {args.subject}")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    bank = _load_bank(Path(args.home))
+    bank.db.checkpoint()
+    bank.db.close()
+    print("checkpoint written; journal truncated")
+    return 0
+
+
+def cmd_issue_identity(args) -> int:
+    """Enroll a user: the bank home's CA signs a credential file the user
+    can then present to ``remote`` commands (and any GSI service)."""
+    home = Path(args.home)
+    root = Certificate.from_dict(canonical_loads((home / _ROOT_FILE).read_bytes()))
+    ca_file = home / "ca-key.gbk"
+    if not ca_file.exists():
+        print("error: this bank home has no CA signing key (ca-key.gbk)", file=sys.stderr)
+        return 1
+    ca_blob = canonical_loads(ca_file.read_bytes())
+    from repro.crypto.rsa import generate_keypair
+    from repro.pki.certificate import make_body
+
+    ca_private = private_key_from_dict(ca_blob["private_key"])
+    keypair = generate_keypair(bits=args.key_bits)
+    clock = SystemClock()
+    body = make_body(
+        subject=str(DistinguishedName(args.organization, args.name)),
+        issuer=root.subject,
+        serial=int(clock.now().epoch),  # wall-clock serials avoid state here
+        public_key=keypair.public,
+        not_before=clock.now(),
+        lifetime_seconds=args.lifetime_days * 24 * 3600.0,
+    )
+    certificate = Certificate.issue(body, ca_private)
+    out = Path(args.out)
+    out.write_bytes(
+        canonical_dumps(
+            {
+                "certificate": certificate.to_dict(),
+                "private_key": private_key_to_dict(keypair.private),
+                "trust_root": root.to_dict(),
+            }
+        )
+    )
+    print(f"credential written to {out}")
+    print(f"subject: {certificate.subject}")
+    return 0
+
+
+def _load_credential(path: str):
+    blob = canonical_loads(Path(path).read_bytes())
+    identity = Identity(
+        certificate=Certificate.from_dict(blob["certificate"]),
+        private_key=private_key_from_dict(blob["private_key"]),
+    )
+    store = CertificateStore([Certificate.from_dict(blob["trust_root"])])
+    return identity, store
+
+
+def _remote_api(args):
+    from repro.core.api import GridBankAPI
+    from repro.net.rpc import RPCClient
+    from repro.net.tcp import TCPClientConnection
+
+    identity, store = _load_credential(args.credential)
+    host, _, port = args.address.partition(":")
+    client = RPCClient(TCPClientConnection((host, int(port))), identity, store)
+    client.connect()
+    return GridBankAPI(client)
+
+
+def cmd_remote_create_account(args) -> int:
+    api = _remote_api(args)
+    account = api.create_account(organization_name=args.organization)
+    api.close()
+    print(account)
+    return 0
+
+
+def cmd_remote_balance(args) -> int:
+    api = _remote_api(args)
+    details = api.account_details(args.account)
+    api.close()
+    print(f"available: {Credits(details['AvailableBalance'])}")
+    print(f"locked:    {Credits(details['LockedBalance'])}")
+    return 0
+
+
+def cmd_remote_transfer(args) -> int:
+    api = _remote_api(args)
+    confirmation = api.request_direct_transfer(
+        args.from_account, args.to_account, Credits(args.amount)
+    )
+    api.close()
+    print(f"transferred G${args.amount} (transaction {confirmation.transaction_id})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.net.tcp import TCPServer
+
+    bank = _load_bank(Path(args.home))
+    with TCPServer(bank.connection_handler, host=args.host, port=args.port) as server:
+        host, port = server.address
+        print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
+              f"({bank.subject}) listening on {host}:{port}")
+        try:
+            import threading
+
+            threading.Event().wait(args.duration if args.duration else None)
+        except KeyboardInterrupt:
+            pass
+    bank.db.close()
+    print("server stopped")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="gridbank", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **help_kw):
+        p = sub.add_parser(name, **help_kw)
+        p.add_argument("--home", required=True, help="bank home directory")
+        p.set_defaults(fn=fn)
+        return p
+
+    p = add("init", cmd_init, help="create a new bank home")
+    p.add_argument("--bank-number", type=int, default=1)
+    p.add_argument("--branch-number", type=int, default=1)
+    p.add_argument("--key-bits", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=None, help="deterministic keys (testing)")
+
+    p = add("create-account", cmd_create_account, help="open an account")
+    p.add_argument("--subject", required=True, help="certificate name of the owner")
+    p.add_argument("--organization", default="")
+    p.add_argument("--currency", default="GridDollar")
+
+    for name, fn in (("deposit", cmd_deposit), ("withdraw", cmd_withdraw)):
+        p = add(name, fn, help=f"{name} external funds")
+        p.add_argument("--account", required=True)
+        p.add_argument("--amount", type=float, required=True)
+
+    p = add("transfer", cmd_transfer, help="move funds between accounts")
+    p.add_argument("--from-account", required=True)
+    p.add_argument("--to-account", required=True)
+    p.add_argument("--amount", type=float, required=True)
+
+    p = add("balance", cmd_balance, help="show one account")
+    p.add_argument("--account", required=True)
+
+    p = add("statement", cmd_statement, help="account statement")
+    p.add_argument("--account", required=True)
+    p.add_argument("--start", default=None, help="TIMESTAMP(14), default epoch")
+    p.add_argument("--end", default=None, help="TIMESTAMP(14), default now")
+
+    add("accounts", cmd_accounts, help="list all accounts")
+
+    p = add("add-admin", cmd_add_admin, help="grant administrator privilege")
+    p.add_argument("--subject", required=True)
+
+    add("checkpoint", cmd_checkpoint, help="compact the journal")
+
+    p = add("serve", cmd_serve, help="serve the bank over TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--duration", type=float, default=None, help="seconds to run (default: forever)")
+
+    p = add("issue-identity", cmd_issue_identity, help="enroll a user credential")
+    p.add_argument("--organization", required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("--out", required=True, help="credential file to write")
+    p.add_argument("--key-bits", type=int, default=1024)
+    p.add_argument("--lifetime-days", type=float, default=365.0)
+
+    def add_remote(name, fn, **help_kw):
+        p = sub.add_parser(name, **help_kw)
+        p.add_argument("--credential", required=True, help="credential file from issue-identity")
+        p.add_argument("--address", required=True, help="host:port of a served bank")
+        p.set_defaults(fn=fn)
+        return p
+
+    p = add_remote("remote-create-account", cmd_remote_create_account,
+                   help="open an account over TCP")
+    p.add_argument("--organization", default="")
+
+    p = add_remote("remote-balance", cmd_remote_balance, help="check a balance over TCP")
+    p.add_argument("--account", required=True)
+
+    p = add_remote("remote-transfer", cmd_remote_transfer, help="pay over TCP")
+    p.add_argument("--from-account", required=True)
+    p.add_argument("--to-account", required=True)
+    p.add_argument("--amount", type=float, required=True)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: bank home not initialized ({exc})", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

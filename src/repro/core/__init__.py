@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the Grid Accounting Services
+Architecture glue.
+
+* :mod:`repro.core.rates` — service-rates records with the sec 2.1
+  chargeable items and units;
+* :mod:`repro.core.charging` — the GridBank Charging Module (GBCM):
+  conformance checking, rate x usage cost calculation, GSP-signed charge
+  records, redemption;
+* :mod:`repro.core.api` — the client-side GridBank API of sec 5.2;
+* :mod:`repro.core.session` — the Figure-1 end-to-end use case;
+* :mod:`repro.core.models` — co-operative and competitive operating models
+  (sec 4);
+* :mod:`repro.core.economy` — supply/demand price adjustment and
+  equilibrium metrics.
+"""
+
+from repro.core.rates import ServiceRatesRecord, BILLING_UNITS
+from repro.core.charging import ChargeCalculation, GridBankChargingModule
+from repro.core.api import GridBankAPI
+from repro.core.session import GridSession, SessionOutcome, PaymentStrategy
+from repro.core.models import CooperativeCommunity, CompetitiveMarket
+from repro.core.economy import adjust_price, equilibrium_drift, gini_coefficient
+
+__all__ = [
+    "ServiceRatesRecord",
+    "BILLING_UNITS",
+    "ChargeCalculation",
+    "GridBankChargingModule",
+    "GridBankAPI",
+    "GridSession",
+    "SessionOutcome",
+    "PaymentStrategy",
+    "CooperativeCommunity",
+    "CompetitiveMarket",
+    "adjust_price",
+    "equilibrium_drift",
+    "gini_coefficient",
+]

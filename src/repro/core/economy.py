@@ -1,0 +1,98 @@
+"""Computational-economy mechanics (paper sec 1, 4.1).
+
+"when there is less demand for resources, the price is lowered; when
+there is high demand, the price is raised. This helps in regulating the
+supply-and-demand for access to Grid resources" — implemented as a
+multiplicative utilization-tracking price update.
+
+Section 4.1's equilibrium concern — "Otherwise the whole environment will
+end up in a state where some participants, who do not require any
+services, have all the money while others ... have none" — is quantified
+by :func:`equilibrium_drift` and :func:`gini_coefficient` over
+participants' net positions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.util.money import Credits, ZERO
+
+__all__ = ["adjust_price", "equilibrium_drift", "gini_coefficient", "PriceController"]
+
+
+def adjust_price(
+    current: Credits,
+    utilization: float,
+    target_utilization: float = 0.7,
+    sensitivity: float = 0.3,
+    floor: Credits = Credits(0.01),
+    ceiling: Credits = Credits(1000),
+) -> Credits:
+    """One supply/demand price step.
+
+    Price moves proportionally to the utilization gap: oversubscribed
+    resources (> target) raise prices, undersubscribed ones lower them.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValidationError("utilization must be in [0, 1]")
+    if not 0.0 < target_utilization < 1.0:
+        raise ValidationError("target utilization must be in (0, 1)")
+    if sensitivity <= 0:
+        raise ValidationError("sensitivity must be positive")
+    factor = 1.0 + sensitivity * (utilization - target_utilization)
+    updated = current * factor
+    if updated < floor:
+        return floor
+    if updated > ceiling:
+        return ceiling
+    return updated
+
+
+class PriceController:
+    """Stateful wrapper a provider uses between rounds."""
+
+    def __init__(self, initial: Credits, **kwargs) -> None:
+        self.price = Credits(initial)
+        self.kwargs = kwargs
+        self.history: list[float] = [self.price.to_float()]
+
+    def update(self, utilization: float) -> Credits:
+        self.price = adjust_price(self.price, utilization, **self.kwargs)
+        self.history.append(self.price.to_float())
+        return self.price
+
+
+def equilibrium_drift(net_positions: Mapping[str, Credits], initial_allocation: Credits) -> float:
+    """Largest |earned - spent| relative to the initial allocation.
+
+    0 means perfect bartering balance (everyone provided exactly as much
+    value as they consumed); 1 means someone drifted by their entire
+    starting allocation.
+    """
+    if initial_allocation <= ZERO:
+        raise ValidationError("initial allocation must be positive")
+    if not net_positions:
+        return 0.0
+    worst = max(abs(position).micro for position in net_positions.values())
+    return worst / initial_allocation.micro
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Inequality of a wealth distribution: 0 = equal, -> 1 = concentrated."""
+    if not values:
+        raise ValidationError("gini of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValidationError("gini requires non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    cumulative = 0.0
+    weighted = 0.0
+    for i, value in enumerate(ordered, start=1):
+        cumulative += value
+        weighted += i * value
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,244 @@
+"""Operating models — sec 4 of the paper.
+
+:class:`CooperativeCommunity` reproduces Figure 4: participants both
+provide and consume services, settle everything through GridBank, and the
+accounts show how much each client consumed and provided. The community
+pricing authority (sec 4.1: "A community based resource valuation and
+pricing authority is needed to control prices") values each resource in
+proportion to its speed, so a job costs the same G$ wherever it runs —
+"although computations on some resources are faster because of better
+hardware, the slower resources have to compensate by running longer".
+
+:class:`CompetitiveMarket` implements sec 4.2: providers solicit open
+prices (commodity-market adjustment on utilization), consumers chase the
+cheapest adequate listing through the GMD, and GridBank's
+:class:`~repro.bank.pricing.PriceEstimator` learns market value from the
+settled transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bank.pricing import PriceEstimator
+from repro.core.economy import adjust_price, equilibrium_drift, gini_coefficient
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession, Participant, PaymentStrategy
+from repro.errors import ValidationError
+from repro.grid.job import Job
+from repro.sim.distributions import Distributions
+from repro.util.money import Credits, ZERO
+
+__all__ = ["CooperativeCommunity", "CommunityLedger", "CompetitiveMarket", "MarketRoundReport"]
+
+
+@dataclass
+class CommunityLedger:
+    """Per-participant consumed/provided totals — Figure 4's account view."""
+
+    consumed: dict[str, Credits]
+    provided: dict[str, Credits]
+    balances: dict[str, Credits]
+    initial_allocation: Credits
+
+    def net_positions(self) -> dict[str, Credits]:
+        return {
+            name: self.provided[name] - self.consumed[name] for name in self.consumed
+        }
+
+    def drift(self) -> float:
+        return equilibrium_drift(self.net_positions(), self.initial_allocation)
+
+    def gini(self) -> float:
+        return gini_coefficient([b.to_float() for b in self.balances.values()])
+
+
+class CooperativeCommunity:
+    """N participants bartering compute through GridBank (sec 4.1)."""
+
+    def __init__(
+        self,
+        session: GridSession,
+        participant_specs: list[dict],
+        initial_credits: float = 1000.0,
+        base_rate_per_cpu_hour: float = 6.0,
+        reference_mips: float = 500.0,
+        seed: int = 0,
+    ) -> None:
+        if len(participant_specs) < 2:
+            raise ValidationError("a community needs at least two participants")
+        self.session = session
+        self.initial_credits = Credits(initial_credits)
+        self.dist = Distributions(seed)
+        self.members: list[Participant] = []
+        for spec in participant_specs:
+            mips = spec.get("mips_per_pe", reference_mips)
+            # community valuation: G$/CPU-hour proportional to speed, so
+            # cost per MI is uniform across heterogeneous hardware
+            rate = base_rate_per_cpu_hour * (mips / reference_mips)
+            member = session.add_provider(
+                spec["name"],
+                ServiceRatesRecord.flat(cpu_per_hour=rate),
+                num_pes=spec.get("num_pes", 4),
+                mips_per_pe=mips,
+                funds=initial_credits,
+                org=spec.get("org", "Co-op"),
+            )
+            self.members.append(member)
+        self.consumed: dict[str, Credits] = {m.name: ZERO for m in self.members}
+        self.provided: dict[str, Credits] = {m.name: ZERO for m in self.members}
+        self._job_counter = 0
+
+    def _next_job(self, consumer: Participant, length_mi: float) -> Job:
+        self._job_counter += 1
+        return Job(
+            job_id=f"coop-{self._job_counter:05d}",
+            user_subject=consumer.subject,
+            application_name="community-workload",
+            length_mi=length_mi,
+            memory_mb=32.0,
+        )
+
+    def run_round(self, job_length_mi: float = 90_000.0) -> None:
+        """Every member submits one job to the next member (ring order)."""
+        n = len(self.members)
+        for i, consumer in enumerate(self.members):
+            provider = self.members[(i + 1) % n]
+            job = self._next_job(consumer, job_length_mi)
+            outcome = self.session.run_job(
+                consumer, provider, job, strategy=PaymentStrategy.PAY_AFTER_USE
+            )
+            self.consumed[consumer.name] = self.consumed[consumer.name] + outcome.paid
+            self.provided[provider.name] = self.provided[provider.name] + outcome.paid
+
+    def run(self, rounds: int, job_length_mi: float = 90_000.0) -> CommunityLedger:
+        for _ in range(rounds):
+            self.run_round(job_length_mi=job_length_mi)
+        return self.ledger()
+
+    def ledger(self) -> CommunityLedger:
+        return CommunityLedger(
+            consumed=dict(self.consumed),
+            provided=dict(self.provided),
+            balances={m.name: m.balance() for m in self.members},
+            initial_allocation=self.initial_credits,
+        )
+
+
+@dataclass
+class MarketRoundReport:
+    round_number: int
+    prices: dict[str, float]          # provider -> G$/CPU-hour
+    jobs_won: dict[str, int]
+    utilization: dict[str, float]
+    estimator_error: Optional[float]  # |estimate - realized| / realized
+
+
+class CompetitiveMarket:
+    """Open-market providers vs price-chasing consumers (sec 4.2)."""
+
+    def __init__(
+        self,
+        session: GridSession,
+        provider_specs: list[dict],
+        consumer_names: list[str],
+        consumer_funds: float = 5000.0,
+        target_utilization: float = 0.5,
+        sensitivity: float = 0.4,
+        seed: int = 0,
+    ) -> None:
+        if not provider_specs or not consumer_names:
+            raise ValidationError("market needs providers and consumers")
+        self.session = session
+        self.dist = Distributions(seed)
+        self.target_utilization = target_utilization
+        self.sensitivity = sensitivity
+        self.providers: list[Participant] = []
+        self.prices: dict[str, Credits] = {}
+        for spec in provider_specs:
+            price = Credits(spec.get("cpu_rate", 5.0))
+            provider = session.add_provider(
+                spec["name"],
+                ServiceRatesRecord.flat(cpu_per_hour=price.to_float()),
+                num_pes=spec.get("num_pes", 4),
+                mips_per_pe=spec.get("mips_per_pe", 500.0),
+                org=spec.get("org", "Market"),
+            )
+            self.providers.append(provider)
+            self.prices[provider.name] = price
+        self.consumers = [session.add_consumer(n, funds=consumer_funds) for n in consumer_names]
+        self.estimator = PriceEstimator(k=3)
+        self.rounds: list[MarketRoundReport] = []
+        self._job_counter = 0
+
+    def _cheapest_provider(self) -> Participant:
+        listings = self.session.gmd.query(sort_by_price=True)
+        by_name = {p.provider.resource.name: p for p in self.providers}
+        for listing in listings:
+            provider = by_name.get(listing.resource_name)
+            if provider is not None:
+                return provider
+        raise ValidationError("no providers advertised")
+
+    def run_round(self, job_length_mi: float = 60_000.0) -> MarketRoundReport:
+        jobs_won = {p.name: 0 for p in self.providers}
+        estimator_error = None
+        for consumer in self.consumers:
+            provider = self._cheapest_provider()
+            self._job_counter += 1
+            job = Job(
+                job_id=f"mkt-{self._job_counter:05d}",
+                user_subject=consumer.subject,
+                application_name="market-workload",
+                length_mi=job_length_mi,
+                memory_mb=32.0,
+            )
+            outcome = self.session.run_job(
+                consumer, provider, job, strategy=PaymentStrategy.PAY_AFTER_USE
+            )
+            jobs_won[provider.name] += 1
+            # feed the bank's confidential estimator with the realized
+            # unit price (G$ per CPU-hour)
+            cpu_hours = outcome.service.rur.usage.cpu_time_s / 3600.0
+            if cpu_hours > 0 and outcome.paid > ZERO:
+                realized = Credits(outcome.paid.to_float() / cpu_hours)
+                description = provider.provider.resource.description()
+                if self.estimator.history_size >= 3:
+                    estimate = self.estimator.estimate(description)
+                    estimator_error = abs(estimate.to_float() - realized.to_float()) / max(
+                        realized.to_float(), 1e-9
+                    )
+                self.estimator.observe(description, realized)
+
+        utilization: dict[str, float] = {}
+        for provider in self.providers:
+            gsp = provider.provider
+            capacity = gsp.resource.num_pes
+            utilization[provider.name] = min(1.0, jobs_won[provider.name] / capacity)
+            new_price = adjust_price(
+                self.prices[provider.name],
+                utilization[provider.name],
+                target_utilization=self.target_utilization,
+                sensitivity=self.sensitivity,
+            )
+            self.prices[provider.name] = new_price
+            gsp.trade_server.posted_rates = ServiceRatesRecord.flat(
+                cpu_per_hour=new_price.to_float()
+            )
+            gsp.refresh_advertisement(self.session.gmd)
+
+        report = MarketRoundReport(
+            round_number=len(self.rounds) + 1,
+            prices={name: price.to_float() for name, price in self.prices.items()},
+            jobs_won=jobs_won,
+            utilization=utilization,
+            estimator_error=estimator_error,
+        )
+        self.rounds.append(report)
+        return report
+
+    def run(self, rounds: int, job_length_mi: float = 60_000.0) -> list[MarketRoundReport]:
+        for _ in range(rounds):
+            self.run_round(job_length_mi=job_length_mi)
+        return self.rounds

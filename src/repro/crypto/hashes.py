@@ -1,0 +1,83 @@
+"""Hash helpers and PayWord hash chains.
+
+The pay-as-you-go "GridHash" protocol (paper sec 3.1) is based on PayWord
+[Rivest & Shamir 1996]: the consumer picks a random seed ``w_N`` and hashes
+it N times to a *root* ``w_0``. The signed commitment covers the root; each
+successive payment reveals the next preimage ``w_i`` and is verified by
+hashing back to the last seen link. One signature thus amortizes over N
+micropayments, with each payment costing one hash to verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Optional
+
+from repro.errors import ValidationError
+from repro.util.serialize import to_bytes
+
+__all__ = ["sha256", "sha256_hex", "HashChain", "verify_link"]
+
+
+def sha256(value: Any) -> bytes:
+    """SHA-256 of the canonical byte view of *value*."""
+    return hashlib.sha256(to_bytes(value)).digest()
+
+
+def sha256_hex(value: Any) -> str:
+    return hashlib.sha256(to_bytes(value)).hexdigest()
+
+
+def verify_link(claimed: bytes, prior: bytes, distance: int = 1) -> bool:
+    """True iff hashing *claimed* ``distance`` times yields *prior*.
+
+    Supports distance > 1 so a verifier can catch up after skipped payments
+    (the payer may reveal w_{i+k} against last-seen w_i).
+    """
+    if distance < 1:
+        raise ValidationError("distance must be >= 1")
+    digest = claimed
+    for _ in range(distance):
+        digest = hashlib.sha256(digest).digest()
+    return digest == prior
+
+
+class HashChain:
+    """A PayWord chain of *length* spendable links.
+
+    ``root`` is link 0 (committed, not spendable). :meth:`link` returns the
+    i-th preimage, i in [0, length]; callers spend links in increasing order.
+    The full chain is materialized once at construction (length hashes).
+    """
+
+    __slots__ = ("_links", "length")
+
+    def __init__(self, length: int, rng: Optional[random.Random] = None, seed: Optional[bytes] = None) -> None:
+        if length < 1:
+            raise ValidationError("hash chain needs at least one link")
+        if seed is None:
+            r = rng if rng is not None else random.Random()
+            seed = bytes(r.getrandbits(8) for _ in range(32))
+        if len(seed) < 16:
+            raise ValidationError("hash chain seed must be at least 16 bytes")
+        links = [b""] * (length + 1)
+        links[length] = seed
+        for i in range(length - 1, -1, -1):
+            links[i] = hashlib.sha256(links[i + 1]).digest()
+        self._links = links
+        self.length = length
+
+    @property
+    def root(self) -> bytes:
+        """Link 0 — the value the signed commitment covers."""
+        return self._links[0]
+
+    def link(self, index: int) -> bytes:
+        """Preimage number *index* (0 == root, length == seed)."""
+        if not 0 <= index <= self.length:
+            raise ValidationError(f"link index {index} outside [0, {self.length}]")
+        return self._links[index]
+
+    def __len__(self) -> int:
+        return self.length

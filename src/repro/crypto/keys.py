@@ -1,0 +1,57 @@
+"""Key (de)serialization to canonical-JSON-friendly dicts.
+
+Public keys travel inside certificates; private keys only ever persist to
+local key stores. Integers are hex-encoded strings to keep payloads compact
+and hashable by the canonical serializer.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.errors import ValidationError
+
+__all__ = [
+    "public_key_to_dict",
+    "public_key_from_dict",
+    "private_key_to_dict",
+    "private_key_from_dict",
+]
+
+
+def public_key_to_dict(key: RSAPublicKey) -> dict:
+    return {"kty": "RSA", "n": f"{key.n:x}", "e": f"{key.e:x}"}
+
+
+def public_key_from_dict(data: dict) -> RSAPublicKey:
+    try:
+        if data["kty"] != "RSA":
+            raise ValidationError(f"unsupported key type {data['kty']!r}")
+        return RSAPublicKey(n=int(data["n"], 16), e=int(data["e"], 16))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed public key: {exc}") from exc
+
+
+def private_key_to_dict(key: RSAPrivateKey) -> dict:
+    return {
+        "kty": "RSA",
+        "n": f"{key.n:x}",
+        "e": f"{key.e:x}",
+        "d": f"{key.d:x}",
+        "p": f"{key.p:x}",
+        "q": f"{key.q:x}",
+    }
+
+
+def private_key_from_dict(data: dict) -> RSAPrivateKey:
+    try:
+        if data["kty"] != "RSA":
+            raise ValidationError(f"unsupported key type {data['kty']!r}")
+        return RSAPrivateKey(
+            n=int(data["n"], 16),
+            e=int(data["e"], 16),
+            d=int(data["d"], 16),
+            p=int(data["p"], 16),
+            q=int(data["q"], 16),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed private key: {exc}") from exc

@@ -1,0 +1,89 @@
+"""Prime generation for RSA key material.
+
+Miller–Rabin probabilistic primality testing with a deterministic witness
+set for small inputs and random witnesses above, preceded by trial division
+against a sieve of small primes (which rejects ~80% of candidates cheaply).
+All randomness comes from a caller-supplied ``random.Random`` so key
+generation is reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ValidationError
+
+__all__ = ["SMALL_PRIMES", "is_probable_prime", "generate_prime"]
+
+
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0] = flags[1] = 0
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES: list[int] = _sieve(2000)
+
+# For n < 3.3e24 these witnesses make Miller-Rabin deterministic.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+
+def _miller_rabin_round(n: int, d: int, r: int, a: int) -> bool:
+    """One MR round; returns True if *n* passes (is possibly prime)."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rng: Optional[random.Random] = None, rounds: int = 40) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (and exact) for n below ~3.3e24; otherwise *rounds*
+    random-witness iterations giving error probability <= 4**-rounds.
+    """
+    if not isinstance(n, int) or isinstance(n, bool):
+        raise ValidationError("primality test requires an int")
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_LIMIT:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n - 1]
+    else:
+        r_rng = rng if rng is not None else random.Random()
+        witnesses = [r_rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, d, r, a) for a in witnesses)
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly *bits* bits.
+
+    The top two bits are forced to 1 (so the product of two such primes has
+    exactly ``2*bits`` bits) and the candidate is forced odd.
+    """
+    if bits < 8:
+        raise ValidationError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate

@@ -1,0 +1,160 @@
+"""RSA key generation and raw modular operations.
+
+Textbook RSA over two Miller–Rabin primes with CRT-accelerated private
+operations. Padding/encoding live in :mod:`repro.crypto.signature`; this
+module only provides the trapdoor permutation and key structures.
+
+Default modulus size is 1024 bits — small enough that seeded key generation
+in pure Python stays well under a second, large enough to exercise real
+multi-precision paths. Sizes are configurable per call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.primes import generate_prime
+from repro.errors import ValidationError
+
+__all__ = [
+    "RSAPublicKey",
+    "RSAPrivateKey",
+    "RSAKeyPair",
+    "generate_keypair",
+    "encrypt_bytes",
+    "decrypt_bytes",
+    "DEFAULT_BITS",
+]
+
+DEFAULT_BITS = 1024
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """Public half: modulus *n* and exponent *e*."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt_int(self, m: int) -> int:
+        """Raw public operation m^e mod n (also signature verification)."""
+        if not 0 <= m < self.n:
+            raise ValidationError("message representative out of range")
+        return pow(m, self.e, self.n)
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for the key (first 16 hex of SHA-256)."""
+        import hashlib
+
+        digest = hashlib.sha256(f"{self.n:x}:{self.e:x}".encode("ascii")).hexdigest()
+        return digest[:16]
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """Private half with CRT components for ~4x faster private operations."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+    def decrypt_int(self, c: int) -> int:
+        """Raw private operation c^d mod n via CRT (also signing)."""
+        if not 0 <= c < self.n:
+            raise ValidationError("ciphertext representative out of range")
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = pow(self.q, -1, self.p)
+        m1 = pow(c, dp, self.p)
+        m2 = pow(c, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    private: RSAPrivateKey
+    public: RSAPublicKey
+
+
+def encrypt_bytes(public: RSAPublicKey, plaintext: bytes, rng: Optional[random.Random] = None) -> bytes:
+    """PKCS#1-v1.5-style public-key encryption of a short message.
+
+    Used by the GSI handshake to ship the pre-master secret. The message
+    representative is ``0x00 0x02 <nonzero random pad> 0x00 <plaintext>``.
+    """
+    k = public.byte_length
+    if len(plaintext) > k - 11:
+        raise ValidationError(f"message too long for {public.bits}-bit RSA encryption")
+    r = rng if rng is not None else random.Random()
+    pad = bytes(r.randrange(1, 256) for _ in range(k - len(plaintext) - 3))
+    em = b"\x00\x02" + pad + b"\x00" + plaintext
+    c = pow(int.from_bytes(em, "big"), public.e, public.n)
+    return c.to_bytes(k, "big")
+
+
+def decrypt_bytes(private: RSAPrivateKey, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`encrypt_bytes`; raises on malformed padding."""
+    k = private.byte_length
+    if len(ciphertext) != k:
+        raise ValidationError("ciphertext length does not match modulus")
+    m = private.decrypt_int(int.from_bytes(ciphertext, "big"))
+    em = m.to_bytes(k, "big")
+    if not em.startswith(b"\x00\x02"):
+        raise ValidationError("malformed encryption padding")
+    try:
+        sep = em.index(b"\x00", 2)
+    except ValueError:
+        raise ValidationError("malformed encryption padding") from None
+    if sep < 10:
+        raise ValidationError("malformed encryption padding")
+    return em[sep + 1 :]
+
+
+def generate_keypair(bits: int = DEFAULT_BITS, rng: Optional[random.Random] = None) -> RSAKeyPair:
+    """Generate an RSA keypair with modulus of exactly *bits* bits.
+
+    Pass a seeded ``random.Random`` for reproducible keys in tests and
+    simulations; an unseeded one is created otherwise.
+    """
+    if bits < 256:
+        raise ValidationError("modulus must be at least 256 bits")
+    if bits % 2 != 0:
+        raise ValidationError("modulus bit size must be even")
+    r = rng if rng is not None else random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, r)
+        q = generate_prime(half, r)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        e = _PUBLIC_EXPONENT
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        private = RSAPrivateKey(n=n, e=e, d=d, p=p, q=q)
+        return RSAKeyPair(private=private, public=private.public_key())

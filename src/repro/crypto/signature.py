@@ -1,0 +1,92 @@
+"""RSA/SHA-256 signatures with PKCS#1-v1.5-style encoding.
+
+Used everywhere the paper requires non-repudiation: certificates, signed
+charge calculations ("These calculations along with the rates and RUR
+records are signed by GSP", sec 2.1), GridCheques and hash-chain
+commitments.
+
+The message representative is ``0x00 0x01 FF.. 0x00 || DigestInfo`` where
+DigestInfo is the SHA-256 ASN.1 prefix plus digest — byte-compatible in
+structure with PKCS#1 v1.5 signing, implemented directly over our RSA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.crypto.hashes import sha256
+from repro.errors import SignatureError, ValidationError
+from repro.util.serialize import to_bytes
+
+__all__ = ["sign", "verify", "require_valid", "Signed"]
+
+# ASN.1 DER prefix for a SHA-256 DigestInfo (RFC 8017 section 9.2 note 1).
+_SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+def _emsa_encode(message: Any, em_len: int) -> int:
+    digest_info = _SHA256_PREFIX + sha256(to_bytes(message))
+    if em_len < len(digest_info) + 11:
+        raise ValidationError("RSA modulus too small for SHA-256 signature")
+    padding = b"\xff" * (em_len - len(digest_info) - 3)
+    em = b"\x00\x01" + padding + b"\x00" + digest_info
+    return int.from_bytes(em, "big")
+
+
+def sign(private: RSAPrivateKey, message: Any) -> bytes:
+    """Sign the canonical byte view of *message*; returns the raw signature."""
+    m = _emsa_encode(message, private.byte_length)
+    s = private.decrypt_int(m)
+    return s.to_bytes(private.byte_length, "big")
+
+
+def verify(public: RSAPublicKey, message: Any, signature: bytes) -> bool:
+    """True iff *signature* is a valid signature of *message* under *public*."""
+    if not isinstance(signature, bytes) or len(signature) != public.byte_length:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= public.n:
+        return False
+    try:
+        expected = _emsa_encode(message, public.byte_length)
+    except ValidationError:
+        return False
+    return public.encrypt_int(s) == expected
+
+
+def require_valid(public: RSAPublicKey, message: Any, signature: bytes, what: str = "signature") -> None:
+    """Raise :class:`SignatureError` unless the signature verifies."""
+    if not verify(public, message, signature):
+        raise SignatureError(f"invalid {what}")
+
+
+@dataclass(frozen=True)
+class Signed:
+    """A payload bundled with its signature and the signer's subject name.
+
+    The subject name is advisory (lookups resolve it to a certificate whose
+    key actually verifies); the signature is over the payload alone.
+    """
+
+    payload: Any
+    signature: bytes
+    signer: str
+
+    @classmethod
+    def make(cls, private: RSAPrivateKey, payload: Any, signer: str) -> "Signed":
+        return cls(payload=payload, signature=sign(private, payload), signer=signer)
+
+    def check(self, public: RSAPublicKey) -> bool:
+        return verify(public, self.payload, self.signature)
+
+    def to_dict(self) -> dict:
+        return {"payload": self.payload, "signature": self.signature, "signer": self.signer}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Signed":
+        try:
+            return cls(payload=data["payload"], signature=data["signature"], signer=data["signer"])
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed Signed envelope: {exc}") from exc

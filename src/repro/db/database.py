@@ -1,0 +1,252 @@
+"""The database: named tables, ACID-ish transactions, WAL persistence.
+
+Transactions collect *undo* closures (for rollback) and *redo* operation
+records (for the write-ahead journal). Commit appends one journal line per
+transaction — crash recovery replays the snapshot plus every complete
+journal line, so a transaction is either fully visible after recovery or
+not at all. Nested ``transaction()`` blocks behave as savepoints: an inner
+rollback undoes only the inner operations.
+
+Thread-safe via a single re-entrant lock (the paper's bank is a single
+server process; concurrency correctness matters more than parallelism).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.db.query import Condition
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.errors import DatabaseError, DuplicateError, NotFoundError, TransactionError, ValidationError
+from repro.util.serialize import canonical_dumps, canonical_loads
+
+__all__ = ["Database"]
+
+_SNAPSHOT_NAME = "snapshot.gbdb"
+_WAL_NAME = "wal.gbdb"
+
+
+class _TxnFrame:
+    __slots__ = ("undo", "redo")
+
+    def __init__(self) -> None:
+        self.undo: list = []
+        self.redo: list = []
+
+
+class Database:
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.RLock()
+        self._frames: list[_TxnFrame] = []
+        self._path: Optional[Path] = Path(path) if path is not None else None
+        self._wal_handle = None
+        self._recovered = False
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        with self._lock:
+            if schema.name in self._tables:
+                raise DuplicateError(f"table {schema.name!r} already exists")
+            table = Table(schema)
+            self._tables[schema.name] = table
+            return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NotFoundError(f"no table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- transactions ----------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Atomic block; nested blocks act as savepoints."""
+        with self._lock:
+            frame = _TxnFrame()
+            self._frames.append(frame)
+            try:
+                yield
+            except BaseException:
+                self._rollback_frame(frame)
+                self._frames.pop()
+                raise
+            self._frames.pop()
+            if self._frames:
+                outer = self._frames[-1]
+                outer.undo.extend(frame.undo)
+                outer.redo.extend(frame.redo)
+            else:
+                self._write_journal(frame.redo)
+
+    def _rollback_frame(self, frame: _TxnFrame) -> None:
+        for undo in reversed(frame.undo):
+            undo()
+
+    def _record(self, undo, redo_op: Optional[dict]) -> None:
+        if self._frames:
+            self._frames[-1].undo.append(undo)
+            if redo_op is not None:
+                self._frames[-1].redo.append(redo_op)
+        elif redo_op is not None:
+            # autocommit: single-op transaction
+            self._write_journal([redo_op])
+
+    # -- mutations ---------------------------------------------------------------
+
+    def insert(self, table_name: str, row: dict) -> tuple:
+        with self._lock:
+            table = self.table(table_name)
+            pk = table.insert(row)
+            stored = table.get(pk)
+            self._record(
+                lambda: table.delete(pk),
+                {"op": "insert", "table": table_name, "row": stored},
+            )
+            return pk
+
+    def update(self, table_name: str, pk: tuple, changes: dict) -> None:
+        with self._lock:
+            table = self.table(table_name)
+            before = table.update(pk, changes)
+            restore = {k: before[k] for k in changes if k in before}
+            self._record(
+                lambda: table.update(pk, restore),
+                {"op": "update", "table": table_name, "pk": list(pk), "changes": dict(changes)},
+            )
+
+    def delete(self, table_name: str, pk: tuple) -> None:
+        with self._lock:
+            table = self.table(table_name)
+            removed = table.delete(pk)
+            self._record(
+                lambda: table.insert(removed),
+                {"op": "delete", "table": table_name, "pk": list(pk)},
+            )
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, table_name: str, pk: tuple) -> dict:
+        with self._lock:
+            return self.table(table_name).get(pk)
+
+    def find(self, table_name: str, pk: tuple) -> Optional[dict]:
+        with self._lock:
+            return self.table(table_name).find(pk)
+
+    def select(
+        self,
+        table_name: str,
+        conditions: Sequence[Condition] = (),
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        with self._lock:
+            return self.table(table_name).select(conditions, order_by, descending, limit)
+
+    def count(self, table_name: str, conditions: Sequence[Condition] = ()) -> int:
+        with self._lock:
+            return self.table(table_name).count(conditions)
+
+    # -- persistence ----------------------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        return self._path is not None
+
+    def recover(self) -> int:
+        """Load snapshot + journal from the storage path.
+
+        Must be called after all tables are created and before any writes.
+        Returns the number of journal transactions replayed. A torn final
+        journal line (crash mid-write) is skipped.
+        """
+        if self._path is None:
+            raise DatabaseError("no storage path configured")
+        with self._lock:
+            if self._recovered:
+                raise DatabaseError("recover() may only run once")
+            self._path.mkdir(parents=True, exist_ok=True)
+            snapshot_file = self._path / _SNAPSHOT_NAME
+            if snapshot_file.exists():
+                dump = canonical_loads(snapshot_file.read_bytes())
+                for table_name, rows in dump.items():
+                    table = self.table(table_name)
+                    for row in rows:
+                        table.insert(row)
+            replayed = 0
+            wal_file = self._path / _WAL_NAME
+            if wal_file.exists():
+                for line in wal_file.read_bytes().splitlines():
+                    if not line:
+                        continue
+                    try:
+                        entry = canonical_loads(line)
+                    except ValidationError:
+                        break  # torn tail from a crash mid-append
+                    self._apply_ops(entry["ops"])
+                    replayed += 1
+            self._wal_handle = open(wal_file, "ab")
+            self._recovered = True
+            return replayed
+
+    def _apply_ops(self, ops: list[dict]) -> None:
+        for op in ops:
+            table = self.table(op["table"])
+            if op["op"] == "insert":
+                table.insert(op["row"])
+            elif op["op"] == "update":
+                table.update(tuple(op["pk"]), op["changes"])
+            elif op["op"] == "delete":
+                table.delete(tuple(op["pk"]))
+            else:
+                raise DatabaseError(f"unknown journal op {op['op']!r}")
+
+    def _write_journal(self, redo_ops: list[dict]) -> None:
+        if not redo_ops or self._path is None:
+            return
+        if self._wal_handle is None:
+            if self._recovered:
+                raise DatabaseError("storage closed")
+            raise DatabaseError("call recover() before writing to a persistent database")
+        self._wal_handle.write(canonical_dumps({"ops": redo_ops}) + b"\n")
+        self._wal_handle.flush()
+
+    def checkpoint(self) -> None:
+        """Write a full snapshot and truncate the journal."""
+        if self._path is None:
+            raise DatabaseError("no storage path configured")
+        with self._lock:
+            if self._frames:
+                raise TransactionError("cannot checkpoint inside a transaction")
+            dump = {name: table.all_rows() for name, table in self._tables.items()}
+            snapshot_file = self._path / _SNAPSHOT_NAME
+            tmp = snapshot_file.with_suffix(".tmp")
+            tmp.write_bytes(canonical_dumps(dump))
+            tmp.replace(snapshot_file)
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+            self._wal_handle = open(self._path / _WAL_NAME, "wb")
+            self._wal_handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+                self._wal_handle = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,81 @@
+"""Query conditions — a tiny composable predicate algebra.
+
+Selections take a list of conditions ANDed together. Equality conditions on
+indexed columns are served from the index; everything else scans. This is
+deliberately the smallest query surface the bank needs (point lookups,
+range scans over timestamps for statements, filtered joins done in Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["Condition", "eq", "ne", "lt", "le", "gt", "ge", "between", "predicate"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A single-column (or row-level) predicate.
+
+    ``column`` is None for row-level predicates. ``op`` is informational;
+    ``test`` does the work. ``eq_value`` is set only for index-servable
+    equality conditions.
+    """
+
+    column: Optional[str]
+    op: str
+    test: Callable[[dict], bool]
+    eq_value: Any = None
+    is_equality: bool = False
+
+    def __call__(self, row: dict) -> bool:
+        return self.test(row)
+
+
+def eq(column: str, value: Any) -> Condition:
+    return Condition(
+        column=column,
+        op="=",
+        test=lambda row: row.get(column) == value,
+        eq_value=value,
+        is_equality=True,
+    )
+
+
+def ne(column: str, value: Any) -> Condition:
+    return Condition(column=column, op="!=", test=lambda row: row.get(column) != value)
+
+
+def _cmp(column: str, op: str, check: Callable[[Any], bool]) -> Condition:
+    def test(row: dict) -> bool:
+        value = row.get(column)
+        return value is not None and check(value)
+
+    return Condition(column=column, op=op, test=test)
+
+
+def lt(column: str, value: Any) -> Condition:
+    return _cmp(column, "<", lambda v: v < value)
+
+
+def le(column: str, value: Any) -> Condition:
+    return _cmp(column, "<=", lambda v: v <= value)
+
+
+def gt(column: str, value: Any) -> Condition:
+    return _cmp(column, ">", lambda v: v > value)
+
+
+def ge(column: str, value: Any) -> Condition:
+    return _cmp(column, ">=", lambda v: v >= value)
+
+
+def between(column: str, low: Any, high: Any) -> Condition:
+    """Inclusive range — statement queries use this over TIMESTAMP(14)."""
+    return _cmp(column, "BETWEEN", lambda v: low <= v <= high)
+
+
+def predicate(fn: Callable[[dict], bool], description: str = "") -> Condition:
+    """Arbitrary row-level predicate (not index-servable)."""
+    return Condition(column=None, op=description or "predicate", test=fn)

@@ -1,0 +1,217 @@
+"""Exception hierarchy for the GridBank (GASA) reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking programming errors. The hierarchy
+mirrors the paper's layering: security failures, protocol failures,
+account/funds failures, database failures, and grid/broker failures are
+distinct branches.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SecurityError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "CertificateError",
+    "SignatureError",
+    "ChannelError",
+    "DatabaseError",
+    "SchemaError",
+    "TransactionError",
+    "IntegrityError",
+    "NotFoundError",
+    "DuplicateError",
+    "BankError",
+    "AccountError",
+    "InsufficientFundsError",
+    "AccountClosedError",
+    "PaymentError",
+    "InstrumentError",
+    "DoubleSpendError",
+    "ConformanceError",
+    "ProtocolError",
+    "TransportError",
+    "RPCError",
+    "GridError",
+    "SchedulingError",
+    "MeteringError",
+    "NegotiationError",
+    "PoolExhaustedError",
+    "BrokerError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "SettlementError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A value failed structural or semantic validation."""
+
+
+# --------------------------------------------------------------------------
+# Security layer (crypto / pki / gsi)
+# --------------------------------------------------------------------------
+
+
+class SecurityError(ReproError):
+    """Base class for security-layer failures."""
+
+
+class AuthenticationError(SecurityError):
+    """Peer identity could not be established (GSS handshake failed)."""
+
+
+class AuthorizationError(SecurityError):
+    """Authenticated subject is not permitted to perform the operation."""
+
+
+class CertificateError(SecurityError):
+    """Certificate is malformed, expired, revoked, or chain-invalid."""
+
+
+class SignatureError(SecurityError):
+    """A digital signature failed verification."""
+
+
+class ChannelError(SecurityError):
+    """Secure channel framing, sequencing, or MAC verification failed."""
+
+
+# --------------------------------------------------------------------------
+# Database substrate
+# --------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine failures."""
+
+
+class SchemaError(DatabaseError):
+    """Table schema definition or row/schema mismatch."""
+
+
+class TransactionError(DatabaseError):
+    """Transaction lifecycle misuse (commit without begin, nested, ...)."""
+
+
+class IntegrityError(DatabaseError):
+    """Primary-key or uniqueness violation."""
+
+
+class NotFoundError(DatabaseError, KeyError):
+    """Row, table, or record does not exist."""
+
+
+class DuplicateError(IntegrityError):
+    """Attempt to create an entity that already exists."""
+
+
+# --------------------------------------------------------------------------
+# Bank (accounts / admin / server)
+# --------------------------------------------------------------------------
+
+
+class BankError(ReproError):
+    """Base class for GridBank server-side failures."""
+
+
+class AccountError(BankError):
+    """Account-level operation failure."""
+
+
+class InsufficientFundsError(AccountError):
+    """Available balance plus credit limit cannot cover the request."""
+
+
+class AccountClosedError(AccountError):
+    """Operation attempted on a closed account."""
+
+
+# --------------------------------------------------------------------------
+# Payments
+# --------------------------------------------------------------------------
+
+
+class PaymentError(ReproError):
+    """Base class for payment-protocol failures."""
+
+
+class InstrumentError(PaymentError):
+    """Payment instrument is malformed, expired, or not redeemable."""
+
+
+class DoubleSpendError(InstrumentError):
+    """Instrument (cheque / hash-chain segment) was already redeemed."""
+
+
+class ConformanceError(PaymentError):
+    """Service-rates record and RUR do not conform to each other (sec 2.1)."""
+
+
+# --------------------------------------------------------------------------
+# Network / RPC
+# --------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Malformed or out-of-order protocol message."""
+
+
+class TransportError(ReproError):
+    """Message could not be delivered (connection refused, dropped, ...)."""
+
+
+class RPCError(ReproError):
+    """Remote procedure call failed; carries the remote error message."""
+
+    def __init__(self, message: str, remote_type: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+# --------------------------------------------------------------------------
+# Grid / broker substrate
+# --------------------------------------------------------------------------
+
+
+class GridError(ReproError):
+    """Base class for grid-resource-side failures."""
+
+
+class SchedulingError(GridError):
+    """Local scheduler could not place or run a job."""
+
+
+class MeteringError(GridError):
+    """Grid Resource Meter failed to collect or convert usage."""
+
+
+class NegotiationError(GridError):
+    """Trade negotiation failed to reach agreement."""
+
+
+class PoolExhaustedError(GridError):
+    """No free template account available (sec 2.3)."""
+
+
+class BrokerError(ReproError):
+    """Base class for Grid Resource Broker failures."""
+
+
+class BudgetExceededError(BrokerError):
+    """Campaign cannot proceed without exceeding the user budget."""
+
+
+class DeadlineExceededError(BrokerError):
+    """Campaign cannot complete before the user deadline."""
+
+
+class SettlementError(BankError):
+    """Inter-branch / inter-bank settlement failure (sec 6)."""

@@ -1,0 +1,53 @@
+"""Grid Service Provider substrate.
+
+Everything on the resource-owner side of Figures 1-2 that the accounting
+architecture plugs into: machine/PE resource models, jobs, local cluster
+scheduling (space- and time-shared) in the discrete-event simulator, the
+Grid Resource Meter that turns finished jobs into RURs, the Grid Trade
+Server that negotiates service rates, the Grid Market Directory used for
+discovery, and the template-account pool + grid-mapfile machinery of the
+access-scalability scheme (sec 2.3).
+"""
+
+from repro.grid.resource import ProcessingElement, Machine, GridResource
+from repro.grid.job import Job, JobStatus
+from repro.grid.scheduler import ClusterScheduler, SchedulingPolicy
+from repro.grid.meter import GridResourceMeter
+from repro.grid.trade import GridTradeServer, PricingModel, NegotiationOutcome
+from repro.grid.market import GridMarketDirectory, ServiceListing
+from repro.grid.accounts_pool import TemplateAccountPool
+
+# GridServiceProvider embeds the GBCM from repro.core.charging, which in
+# turn uses the template pool above — import lazily to stay acyclic.
+_LAZY = {
+    "GridServiceProvider": ("repro.grid.gsp", "GridServiceProvider"),
+    "ServiceSession": ("repro.grid.gsp", "ServiceSession"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ProcessingElement",
+    "Machine",
+    "GridResource",
+    "Job",
+    "JobStatus",
+    "ClusterScheduler",
+    "SchedulingPolicy",
+    "GridResourceMeter",
+    "GridTradeServer",
+    "PricingModel",
+    "NegotiationOutcome",
+    "GridMarketDirectory",
+    "ServiceListing",
+    "TemplateAccountPool",
+    "GridServiceProvider",
+    "ServiceSession",
+]

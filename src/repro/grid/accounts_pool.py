@@ -1,0 +1,88 @@
+"""Template account pool — the access-scalability scheme of sec 2.3.
+
+"GSP maintains a pool of template accounts. These accounts are local
+system accounts that are not associated with any particular user. When a
+GSC contacts GSP to execute some application, provided GSC presents a
+well-formed payment instrument, GSP dynamically assigns one of the
+template accounts from the pool of free accounts. GSC's Certificate Name
+is temporarily mapped to the local account (in grid-mapfile)... GBCM then
+removes the association ... returning the local account to the pool of
+free accounts."
+
+Thousands of consumers thus share O(pool-size) local accounts instead of
+each needing one pre-created — the paper's answer to "the requirement to
+have a local account at each resource is simply not realistic".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import PoolExhaustedError, ValidationError
+from repro.pki.mapfile import GridMapfile
+
+__all__ = ["TemplateAccountPool"]
+
+
+class TemplateAccountPool:
+    def __init__(self, size: int, mapfile: Optional[GridMapfile] = None, prefix: str = "tmpl") -> None:
+        if size < 1:
+            raise ValidationError("pool needs at least one template account")
+        self.mapfile = mapfile if mapfile is not None else GridMapfile()
+        self._free: deque[str] = deque(f"{prefix}{i:04d}" for i in range(1, size + 1))
+        self._assigned: dict[str, str] = {}  # subject -> local account
+        self.size = size
+        # statistics for the POOL benchmark
+        self.total_assignments = 0
+        self.peak_in_use = 0
+        self.rejections = 0
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._assigned)
+
+    def account_for(self, subject: str) -> Optional[str]:
+        return self._assigned.get(subject)
+
+    def assign(self, subject: str) -> str:
+        """Map *subject* to a free template account (idempotent per subject)."""
+        if not subject:
+            raise ValidationError("subject must be non-empty")
+        existing = self._assigned.get(subject)
+        if existing is not None:
+            return existing
+        if not self._free:
+            self.rejections += 1
+            raise PoolExhaustedError(
+                f"no free template accounts ({self.size} total, all assigned)"
+            )
+        account = self._free.popleft()
+        self._assigned[subject] = account
+        self.mapfile.add(subject, account)
+        self.total_assignments += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        return account
+
+    def release(self, subject: str) -> str:
+        """Remove the grid-mapfile entry and return the account to the pool."""
+        account = self._assigned.pop(subject, None)
+        if account is None:
+            raise ValidationError(f"subject {subject!r} holds no template account")
+        self.mapfile.remove(subject)
+        self._free.append(account)
+        return account
+
+    def stats(self) -> dict:
+        return {
+            "size": self.size,
+            "in_use": self.in_use,
+            "free": self.free_count,
+            "total_assignments": self.total_assignments,
+            "peak_in_use": self.peak_in_use,
+            "rejections": self.rejections,
+        }

@@ -1,0 +1,136 @@
+"""Grid Service Provider assembly — everything inside the GSP box of
+Figures 1-2.
+
+One object owns the site's identity, its :class:`GridResource` and local
+scheduler, the Grid Resource Meter (wired to the scheduler's completion
+hook), the Grid Trade Server, the template-account pool and the GridBank
+Charging Module. :meth:`serve_job` is the paper's end-to-end provider-side
+flow: admit on payment instrument -> execute -> meter -> charge -> settle
+-> free the template account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.api import GridBankAPI
+from repro.core.charging import AdmissionTicket, ChargeCalculation, GridBankChargingModule
+from repro.core.rates import ServiceRatesRecord
+from repro.grid.accounts_pool import TemplateAccountPool
+from repro.grid.job import Job
+from repro.grid.market import GridMarketDirectory, ServiceListing
+from repro.grid.meter import GridResourceMeter
+from repro.grid.resource import GridResource
+from repro.grid.scheduler import ClusterScheduler, SchedulingPolicy
+from repro.grid.trade import GridTradeServer, NegotiationOutcome, PricingModel
+from repro.pki.ca import Identity
+from repro.sim.engine import Simulator
+
+__all__ = ["GridServiceProvider", "ServiceSession"]
+
+
+@dataclass
+class ServiceSession:
+    """Outcome of one served job."""
+
+    job: Job
+    rur: object
+    calculation: ChargeCalculation
+    settlement: dict
+
+
+class GridServiceProvider:
+    def __init__(
+        self,
+        sim: Simulator,
+        identity: Identity,
+        resource: GridResource,
+        bank_api: GridBankAPI,
+        gsp_account_id: str,
+        posted_rates: ServiceRatesRecord,
+        scheduling_policy: SchedulingPolicy = SchedulingPolicy.SPACE_SHARED,
+        pricing_model: PricingModel = PricingModel.POSTED_PRICE,
+        pool_size: int = 16,
+        failure_rate: float = 0.0,
+        rng=None,
+    ) -> None:
+        self.sim = sim
+        self.identity = identity
+        self.resource = resource
+        self.bank = bank_api
+        self.account_id = gsp_account_id
+        self.scheduler = ClusterScheduler(
+            sim, resource, policy=scheduling_policy, failure_rate=failure_rate, rng=rng
+        )
+        self.meter = GridResourceMeter(
+            resource_subject=identity.subject,
+            resource_host=resource.name,
+            host_type=resource.host_type,
+        )
+        self.scheduler.on_complete = self.meter.record
+        self.trade_server = GridTradeServer(identity, posted_rates, model=pricing_model)
+        self.pool = TemplateAccountPool(pool_size)
+        self.gbcm = GridBankChargingModule(identity, bank_api, self.pool, gsp_account_id)
+        self.sessions: list[ServiceSession] = []
+
+    @property
+    def subject(self) -> str:
+        return self.identity.subject
+
+    @property
+    def address(self) -> str:
+        return f"{self.resource.name}/gts"
+
+    # -- discovery -----------------------------------------------------------
+
+    def advertise(self, gmd: GridMarketDirectory) -> ServiceListing:
+        listing = ServiceListing(
+            provider_subject=self.subject,
+            resource_name=self.resource.name,
+            address=self.address,
+            description=self.resource.description(),
+            posted_rates=self.trade_server.current_rates(),
+        )
+        gmd.advertise(listing)
+        return listing
+
+    def refresh_advertisement(self, gmd: GridMarketDirectory) -> None:
+        gmd.update(
+            ServiceListing(
+                provider_subject=self.subject,
+                resource_name=self.resource.name,
+                address=self.address,
+                description=self.resource.description(),
+                posted_rates=self.trade_server.current_rates(),
+            )
+        )
+
+    # -- trade ------------------------------------------------------------------
+
+    def negotiate(self, bid_fraction: Optional[float] = None) -> NegotiationOutcome:
+        return self.trade_server.negotiate(bid_fraction=bid_fraction)
+
+    # -- admission + execution (sec 2.3 flow) --------------------------------------
+
+    def admit(self, subject: str, instrument=None, ref: str = "") -> AdmissionTicket:
+        return self.gbcm.admit(subject, instrument, ref=ref)
+
+    def serve_job(self, job: Job, rates: ServiceRatesRecord, user_host: str = "",
+                  ref: str = ""):
+        """Simulation process: execute, meter, charge, settle, release.
+
+        Spawn with ``sim.spawn(gsp.serve_job(...))``; the process result is
+        a :class:`ServiceSession`. The engagement (default: the consumer's
+        subject) must already be admitted.
+        """
+        ref = ref or job.user_subject
+        ticket = self.gbcm._ticket(ref)  # fails fast if not admitted
+        job.resource_name = self.resource.name
+        execution = self.scheduler.submit(job)
+        yield execution
+        rur = self.meter.collect(job.job_id, user_host=user_host)
+        calculation, settlement = self.gbcm.settle(ticket.ref, rur, rates)
+        session = ServiceSession(job=job, rur=rur, calculation=calculation, settlement=settlement)
+        self.sessions.append(session)
+        return session

@@ -1,0 +1,82 @@
+"""Jobs: the unit of work the broker submits and the meter accounts.
+
+Nimrod-G style: a job has a length in millions of instructions (MI), data
+volumes to stage in/out, and memory/storage footprints. Runtime on a PE is
+``length_mi / pe_mips`` seconds (space-shared), stretched under
+time-sharing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ValidationError
+
+__all__ = ["JobStatus", "Job"]
+
+
+class JobStatus(enum.Enum):
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    job_id: str
+    user_subject: str
+    application_name: str
+    length_mi: float
+    input_mb: float = 0.0
+    output_mb: float = 0.0
+    memory_mb: float = 64.0
+    storage_mb: float = 0.0
+    status: JobStatus = JobStatus.CREATED
+    # filled in during execution
+    resource_name: str = ""
+    local_job_id: str = ""
+    submitted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    # parameter-sweep provenance (Nimrod-G parameterized applications)
+    parameters: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.job_id or not self.user_subject:
+            raise ValidationError("job needs an id and a user subject")
+        if self.length_mi <= 0:
+            raise ValidationError("job length must be positive MI")
+        for quantity in (self.input_mb, self.output_mb, self.memory_mb, self.storage_mb):
+            if quantity < 0:
+                raise ValidationError("job data quantities must be >= 0")
+
+    def runtime_on(self, pe_mips: float) -> float:
+        """Dedicated-PE runtime in seconds."""
+        if pe_mips <= 0:
+            raise ValidationError("PE rating must be positive")
+        return self.length_mi / pe_mips
+
+    def transfer_time(self, bandwidth_mbps: float) -> float:
+        """Stage-in + stage-out time in seconds at *bandwidth_mbps*."""
+        if bandwidth_mbps <= 0:
+            raise ValidationError("bandwidth must be positive")
+        total_mb = self.input_mb + self.output_mb
+        return total_mb * 8.0 / bandwidth_mbps
+
+    @property
+    def total_io_mb(self) -> float:
+        return self.input_mb + self.output_mb
+
+    def mark(self, status: JobStatus, at: Optional[float] = None) -> None:
+        self.status = status
+        if status is JobStatus.QUEUED:
+            self.submitted_at = at
+        elif status is JobStatus.RUNNING:
+            self.started_at = at
+        elif status in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED):
+            self.finished_at = at

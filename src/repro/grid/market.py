@@ -1,0 +1,89 @@
+"""Grid Market Directory (GMD) — service discovery (Figure 1).
+
+"Resource providers advertise their services with the discovery service"
+(sec 1); "The GRB interacts with GSP's Grid Trading Service (GTS) or Grid
+Market Directory (GMD) to establish the cost of services" (sec 2). The
+GMD is a queryable registry of provider advertisements: who offers what
+hardware at which posted rates, reachable at which address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bank.pricing import ResourceDescription
+from repro.core.rates import ServiceRatesRecord
+from repro.errors import DuplicateError, NotFoundError, ValidationError
+from repro.util.money import Credits
+
+__all__ = ["ServiceListing", "GridMarketDirectory"]
+
+
+@dataclass(frozen=True)
+class ServiceListing:
+    provider_subject: str
+    resource_name: str
+    address: str  # where the provider's service endpoint listens
+    description: ResourceDescription
+    posted_rates: ServiceRatesRecord
+
+    @property
+    def cpu_rate(self) -> Credits:
+        from repro.util.money import ZERO
+
+        return self.posted_rates.rates.get("cpu_time_s", ZERO)
+
+
+class GridMarketDirectory:
+    def __init__(self) -> None:
+        self._listings: dict[str, ServiceListing] = {}
+        self.queries_served = 0
+
+    def advertise(self, listing: ServiceListing) -> None:
+        if not listing.resource_name:
+            raise ValidationError("listing needs a resource name")
+        if listing.resource_name in self._listings:
+            raise DuplicateError(f"resource {listing.resource_name!r} already advertised")
+        self._listings[listing.resource_name] = listing
+
+    def update(self, listing: ServiceListing) -> None:
+        """Refresh an advertisement (e.g. after a price change)."""
+        if listing.resource_name not in self._listings:
+            raise NotFoundError(f"resource {listing.resource_name!r} not advertised")
+        self._listings[listing.resource_name] = listing
+
+    def withdraw(self, resource_name: str) -> None:
+        if self._listings.pop(resource_name, None) is None:
+            raise NotFoundError(f"resource {resource_name!r} not advertised")
+
+    def lookup(self, resource_name: str) -> ServiceListing:
+        listing = self._listings.get(resource_name)
+        if listing is None:
+            raise NotFoundError(f"resource {resource_name!r} not advertised")
+        return listing
+
+    def query(
+        self,
+        min_mips: float = 0.0,
+        min_processors: int = 0,
+        max_cpu_rate: Optional[Credits] = None,
+        sort_by_price: bool = True,
+    ) -> list[ServiceListing]:
+        """Providers meeting the hardware floor and price ceiling."""
+        self.queries_served += 1
+        matches = [
+            listing
+            for listing in self._listings.values()
+            if listing.description.cpu_speed_mips >= min_mips
+            and listing.description.num_processors >= min_processors
+            and (max_cpu_rate is None or listing.cpu_rate <= max_cpu_rate)
+        ]
+        if sort_by_price:
+            matches.sort(key=lambda l: (l.cpu_rate.micro, l.resource_name))
+        else:
+            matches.sort(key=lambda l: (-l.description.cpu_speed_mips, l.resource_name))
+        return matches
+
+    def __len__(self) -> int:
+        return len(self._listings)

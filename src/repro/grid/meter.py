@@ -1,0 +1,86 @@
+"""Grid Resource Meter (GRM) — Figure 2's left column.
+
+"The Grid Resource Meter module will interface with local resource
+allocation system ... to extract resource usage information. Once GRM
+obtains the raw usage statistics, it filters relevant fields in the record
+and passes them to the conversion unit, which generates a standard
+OS-independent Resource Usage Record."
+
+Also implements the two accounting detail levels of sec 2.1: per-resource
+records for protocols that charge incrementally, or one aggregated RUR
+"to reflect the charge for the combined GSP's service".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MeteringError
+from repro.grid.job import Job
+from repro.rur.aggregate import aggregate_records
+from repro.rur.conversion import ConversionUnit, RawUsageRecord
+from repro.rur.record import ResourceUsageRecord
+
+__all__ = ["GridResourceMeter"]
+
+
+class GridResourceMeter:
+    def __init__(self, resource_subject: str, resource_host: str, host_type: str = "") -> None:
+        self.resource_subject = resource_subject
+        self.resource_host = resource_host
+        self.host_type = host_type
+        self._conversion = ConversionUnit()
+        # job_id -> list of (per-resource host, raw record, user host)
+        self._raw: dict[str, list[tuple[str, RawUsageRecord]]] = {}
+        self._jobs: dict[str, Job] = {}
+        self.records_collected = 0
+
+    def record(self, job: Job, raw: RawUsageRecord, from_host: Optional[str] = None) -> None:
+        """Individual resource presents its usage record to the GRM."""
+        host = from_host or raw.origin_host or self.resource_host
+        self._jobs[job.job_id] = job
+        self._raw.setdefault(job.job_id, []).append((host, raw))
+        self.records_collected += 1
+
+    def pending_jobs(self) -> list[str]:
+        return sorted(self._raw)
+
+    def per_resource_records(self, job_id: str, user_host: str = "") -> list[ResourceUsageRecord]:
+        """Detail level 1: one standard RUR per contributing resource."""
+        entries = self._raw.get(job_id)
+        if not entries:
+            raise MeteringError(f"no raw usage recorded for job {job_id!r}")
+        job = self._jobs[job_id]
+        return [
+            self._conversion.convert(
+                raw,
+                user_certificate_name=job.user_subject,
+                user_host=user_host,
+                job_id=job.job_id,
+                application_name=job.application_name,
+                resource_certificate_name=self.resource_subject,
+                resource_host=host,
+                host_type=self.host_type,
+            )
+            for host, raw in entries
+        ]
+
+    def collect(self, job_id: str, user_host: str = "", aggregate: bool = True) -> ResourceUsageRecord:
+        """Detail level 2 (default): the combined-service RUR.
+
+        Consumes the job's raw records; a second collect for the same job
+        raises (usage must be charged exactly once).
+        """
+        records = self.per_resource_records(job_id, user_host=user_host)
+        del self._raw[job_id]
+        del self._jobs[job_id]
+        if len(records) == 1 and not records[0].aggregated_from:
+            merged = records[0]
+        elif aggregate:
+            merged = aggregate_records(records, self.resource_subject, self.resource_host)
+        else:
+            raise MeteringError(
+                f"job {job_id!r} has {len(records)} per-resource records; "
+                "pass aggregate=True or use per_resource_records()"
+            )
+        return merged

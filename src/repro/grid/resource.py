@@ -1,0 +1,127 @@
+"""Grid resource models: processing elements, machines, provider sites.
+
+Follows the GridSim/Nimrod-G resource model the paper's group used: a
+resource is a set of machines, each with processing elements rated in
+MIPS; job runtimes derive from job length (MI) divided by the PE rating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bank.pricing import ResourceDescription
+from repro.errors import ValidationError
+from repro.rur.conversion import OSFlavor
+
+__all__ = ["ProcessingElement", "Machine", "GridResource"]
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    pe_id: int
+    mips: float
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ValidationError("PE rating must be positive MIPS")
+
+
+@dataclass(frozen=True)
+class Machine:
+    machine_id: int
+    pes: tuple[ProcessingElement, ...]
+    memory_mb: float
+    storage_gb: float
+    bandwidth_mbps: float
+    os_flavor: OSFlavor = OSFlavor.LINUX
+
+    def __post_init__(self) -> None:
+        if not self.pes:
+            raise ValidationError("machine needs at least one PE")
+        for quantity in (self.memory_mb, self.storage_gb, self.bandwidth_mbps):
+            if quantity <= 0:
+                raise ValidationError("machine capacities must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return len(self.pes)
+
+    @property
+    def total_mips(self) -> float:
+        return sum(pe.mips for pe in self.pes)
+
+    @classmethod
+    def uniform(
+        cls,
+        machine_id: int,
+        num_pes: int,
+        mips_per_pe: float,
+        memory_mb: float = 4096.0,
+        storage_gb: float = 500.0,
+        bandwidth_mbps: float = 100.0,
+        os_flavor: OSFlavor = OSFlavor.LINUX,
+    ) -> "Machine":
+        pes = tuple(ProcessingElement(pe_id=i, mips=mips_per_pe) for i in range(num_pes))
+        return cls(
+            machine_id=machine_id,
+            pes=pes,
+            memory_mb=memory_mb,
+            storage_gb=storage_gb,
+            bandwidth_mbps=bandwidth_mbps,
+            os_flavor=os_flavor,
+        )
+
+
+@dataclass(frozen=True)
+class GridResource:
+    """A provider site: a named collection of machines with an owner."""
+
+    name: str  # host name, e.g. "cluster.vo-b.example.org"
+    owner_subject: str  # GSP Certificate Name
+    machines: tuple[Machine, ...]
+    host_type: str = "Linux cluster"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.owner_subject:
+            raise ValidationError("resource needs a name and an owner subject")
+        if not self.machines:
+            raise ValidationError("resource needs at least one machine")
+
+    @property
+    def num_pes(self) -> int:
+        return sum(m.num_pes for m in self.machines)
+
+    @property
+    def total_mips(self) -> float:
+        return sum(m.total_mips for m in self.machines)
+
+    @property
+    def mips_per_pe(self) -> float:
+        return self.total_mips / self.num_pes
+
+    @property
+    def os_flavor(self) -> OSFlavor:
+        return self.machines[0].os_flavor
+
+    def description(self) -> ResourceDescription:
+        """Hardware parameters for price estimation (sec 4.2)."""
+        return ResourceDescription(
+            cpu_speed_mips=self.mips_per_pe,
+            num_processors=self.num_pes,
+            memory_mb=sum(m.memory_mb for m in self.machines),
+            storage_gb=sum(m.storage_gb for m in self.machines),
+            bandwidth_mbps=max(m.bandwidth_mbps for m in self.machines),
+        )
+
+    @classmethod
+    def cluster(
+        cls,
+        name: str,
+        owner_subject: str,
+        num_pes: int = 8,
+        mips_per_pe: float = 500.0,
+        os_flavor: OSFlavor = OSFlavor.LINUX,
+        **machine_kwargs,
+    ) -> "GridResource":
+        machine = Machine.uniform(0, num_pes, mips_per_pe, os_flavor=os_flavor, **machine_kwargs)
+        return cls(name=name, owner_subject=owner_subject, machines=(machine,))

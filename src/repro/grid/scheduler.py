@@ -1,0 +1,257 @@
+"""Local cluster scheduling inside the discrete-event simulator.
+
+The paper's GRM "will interface with local resource allocation system
+(e.g., cluster scheduler)" (sec 2.1) — this is that scheduler. Two classic
+policies:
+
+* **space-shared** (batch): each job occupies one PE exclusively; excess
+  jobs queue FIFO.
+* **time-shared**: processor sharing — every active job receives
+  ``min(pe_mips, total_mips / n_active)`` and wall-clock stretches with
+  load while consumed *CPU time* stays the job's intrinsic compute
+  content.
+
+On completion the scheduler emits a flavor-correct
+:class:`~repro.rur.conversion.RawUsageRecord` — the OS-specific raw
+statistics Figure 2's conversion unit normalizes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError, ValidationError
+from repro.grid.job import Job, JobStatus
+from repro.grid.resource import GridResource
+from repro.rur.conversion import OSFlavor, RawUsageRecord
+from repro.sim.engine import Process, Simulator
+from repro.util.ids import IdGenerator
+
+__all__ = ["SchedulingPolicy", "ClusterScheduler"]
+
+# Fixed fractions used when synthesizing raw OS statistics from a run.
+_SYSTEM_CPU_FRACTION = 0.03  # kernel/system time on top of user time
+
+
+class SchedulingPolicy(enum.Enum):
+    SPACE_SHARED = "space-shared"
+    TIME_SHARED = "time-shared"
+
+
+def _raw_fields(flavor: OSFlavor, cpu_s: float, sys_s: float, mem_mbh: float,
+                sto_mbh: float, net_mb: float) -> dict[str, float]:
+    """Render canonical quantities in the machine's native units/names —
+    the inverse of the Figure-2 conversion tables."""
+    if flavor is OSFlavor.LINUX:
+        return {
+            "utime_jiffies": cpu_s * 100.0,
+            "stime_jiffies": sys_s * 100.0,
+            "mem_kb_hours": mem_mbh * 1024.0,
+            "disk_kb_hours": sto_mbh * 1024.0,
+            "net_kb": net_mb * 1024.0,
+        }
+    if flavor is OSFlavor.SOLARIS:
+        return {
+            "pr_utime_us": cpu_s * 1_000_000.0,
+            "pr_stime_us": sys_s * 1_000_000.0,
+            "pr_mem_mb_hours": mem_mbh,
+            "pr_disk_mb_hours": sto_mbh,
+            "pr_net_mb": net_mb,
+        }
+    if flavor is OSFlavor.CRAY_UNICOS:
+        words_per_mb = 1024.0 * 1024.0 / 8.0
+        return {
+            "cpu_seconds": cpu_s,
+            "sys_seconds": sys_s,
+            "mem_word_hours": mem_mbh * words_per_mb,
+            "disk_word_hours": sto_mbh * words_per_mb,
+            "net_words": net_mb * words_per_mb,
+        }
+    raise SchedulingError(f"no raw-field table for {flavor!r}")
+
+
+class _TimeSharedCore:
+    """Processor-sharing completion bookkeeping."""
+
+    def __init__(self, sim: Simulator, total_mips: float, pe_mips: float) -> None:
+        self.sim = sim
+        self.total_mips = total_mips
+        self.pe_mips = pe_mips
+        self.active: dict[str, list] = {}  # job_id -> [remaining_mi, signal]
+        self.last_update = sim.now
+        self._pending = None
+
+    def rate(self) -> float:
+        if not self.active:
+            return 0.0
+        return min(self.pe_mips, self.total_mips / len(self.active))
+
+    def _advance(self) -> None:
+        elapsed = self.sim.now - self.last_update
+        if elapsed > 0 and self.active:
+            done = elapsed * self.rate()
+            for entry in self.active.values():
+                entry[0] = max(0.0, entry[0] - done)
+        self.last_update = self.sim.now
+
+    def _reschedule(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if not self.active:
+            return
+        rate = self.rate()
+        soonest = min(entry[0] for entry in self.active.values()) / rate
+        self._pending = self.sim.schedule(soonest, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._pending = None
+        self._advance()
+        finished = [job_id for job_id, entry in self.active.items() if entry[0] <= 1e-9]
+        for job_id in finished:
+            _remaining, signal = self.active.pop(job_id)
+            signal.fire(self.sim.now)
+        self._reschedule()
+
+    def add(self, job_id: str, length_mi: float):
+        self._advance()
+        signal = self.sim.signal(name=f"ts-{job_id}")
+        self.active[job_id] = [length_mi, signal]
+        self._reschedule()
+        return signal
+
+
+class ClusterScheduler:
+    """One provider site's local scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resource: GridResource,
+        policy: SchedulingPolicy = SchedulingPolicy.SPACE_SHARED,
+        failure_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValidationError("failure rate must be in [0, 1)")
+        self.sim = sim
+        self.resource = resource
+        self.policy = policy
+        self.failure_rate = failure_rate
+        self._rng = rng if rng is not None else random.Random()
+        # one PE pool per machine: placement is machine-aware, so a
+        # heterogeneous site (different speeds, memory, even OS flavors)
+        # produces per-machine raw records — Figure 1's R1..Rn
+        self._pools = [
+            (machine, sim.resource(capacity=machine.num_pes,
+                                   name=f"{resource.name}.m{machine.machine_id}"))
+            for machine in resource.machines
+        ]
+        self._local_ids = IdGenerator(prefix="lrm", width=6)
+        self._timeshared = _TimeSharedCore(sim, resource.total_mips, resource.mips_per_pe)
+        self.completed: list[tuple[Job, RawUsageRecord]] = []
+        self.on_complete: Optional[Callable[[Job, RawUsageRecord], None]] = None
+        self.jobs_run = 0
+
+    @property
+    def queued(self) -> int:
+        return sum(pool.queued for _m, pool in self._pools)
+
+    @property
+    def busy_pes(self) -> int:
+        return sum(pool.in_use for _m, pool in self._pools)
+
+    def _pick_machine(self, job: Job):
+        """Least-relative-backlog machine with enough memory."""
+        candidates = [
+            (machine, pool)
+            for machine, pool in self._pools
+            if job.memory_mb <= machine.memory_mb
+        ]
+        if not candidates:
+            raise SchedulingError(
+                f"job {job.job_id} needs {job.memory_mb} MB; no machine at "
+                f"{self.resource.name} has that much"
+            )
+        return min(
+            candidates,
+            key=lambda entry: (
+                (entry[1].in_use + entry[1].queued) / entry[0].num_pes,
+                entry[0].machine_id,
+            ),
+        )
+
+    def submit(self, job: Job) -> Process:
+        """Start *job*; the returned process's result is the RawUsageRecord."""
+        self._pick_machine(job)  # fail fast if the job fits nowhere
+        job.local_job_id = self._local_ids.next_str()
+        job.mark(JobStatus.QUEUED, at=self.sim.clock.now().epoch)
+        return self.sim.spawn(self._run(job), name=f"job-{job.job_id}")
+
+    def _run(self, job: Job):
+        bandwidth = max(m.bandwidth_mbps for m in self.resource.machines)
+        stage_time = job.transfer_time(bandwidth) if job.total_io_mb > 0 else 0.0
+
+        # Failure model: a failing job crashes partway through, having
+        # consumed a fraction of its compute (the meter still accounts it —
+        # resource consumption happened whether or not the job succeeded).
+        completed_fraction = 1.0
+        if self.failure_rate > 0 and self._rng.random() < self.failure_rate:
+            completed_fraction = self._rng.uniform(0.05, 0.95)
+        effective_mi = job.length_mi * completed_fraction
+
+        if self.policy is SchedulingPolicy.SPACE_SHARED:
+            machine, pool = self._pick_machine(job)
+            yield pool.acquire()
+            job.mark(JobStatus.RUNNING, at=self.sim.clock.now().epoch)
+            if stage_time > 0:
+                yield stage_time
+            try:
+                yield effective_mi / machine.pes[0].mips
+            finally:
+                pool.release()
+        else:
+            # time-sharing is modelled site-wide (processor sharing over
+            # the aggregate capacity); attribution goes to the first machine
+            machine = self.resource.machines[0]
+            job.mark(JobStatus.RUNNING, at=self.sim.clock.now().epoch)
+            if stage_time > 0:
+                yield stage_time
+            yield self._timeshared.add(job.job_id, effective_mi).wait()
+
+        final = JobStatus.DONE if completed_fraction >= 1.0 else JobStatus.FAILED
+        job.mark(final, at=self.sim.clock.now().epoch)
+        raw = self._make_raw(job, machine, completed_fraction)
+        self.completed.append((job, raw))
+        self.jobs_run += 1
+        if self.on_complete is not None:
+            self.on_complete(job, raw)
+        return raw
+
+    def _make_raw(self, job: Job, machine, completed_fraction: float = 1.0) -> RawUsageRecord:
+        assert job.started_at is not None and job.finished_at is not None
+        wall_s = job.finished_at - job.started_at
+        if self.policy is SchedulingPolicy.SPACE_SHARED:
+            pe_mips = machine.pes[0].mips
+        else:
+            pe_mips = self.resource.mips_per_pe
+        cpu_s = job.runtime_on(pe_mips) * completed_fraction
+        wall_hours = wall_s / 3600.0
+        fields = _raw_fields(
+            machine.os_flavor,
+            cpu_s=cpu_s,
+            sys_s=cpu_s * _SYSTEM_CPU_FRACTION,
+            mem_mbh=job.memory_mb * wall_hours,
+            sto_mbh=job.storage_mb * wall_hours,
+            net_mb=job.total_io_mb,
+        )
+        return RawUsageRecord(
+            flavor=machine.os_flavor,
+            local_job_id=job.local_job_id,
+            start_epoch=job.started_at,
+            end_epoch=job.finished_at,
+            fields=fields,
+            origin_host=f"{self.resource.name}/m{machine.machine_id}",
+        )

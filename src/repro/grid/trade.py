@@ -1,0 +1,123 @@
+"""Grid Trade Server (GTS) — service-rate negotiation (Figures 1-2).
+
+"Resource providers ... run Grid Trade Service used by Grid Resource
+Broker to negotiate service cost" (sec 1); "GBCM obtains service rates for
+the user from the Grid Trade Server" (sec 2.1). Negotiation protocols come
+from the GRACE framework the paper builds on; three are implemented:
+
+* **posted price** — take it or leave it;
+* **commodity market** — the posted price scaled by a demand factor the
+  provider adjusts with utilization (see :mod:`repro.core.economy`);
+* **bargaining** — alternating offers: the broker bids a fraction of the
+  posted rate, the GTS concedes toward its reserve price each round, and
+  the deal closes when bid >= ask.
+
+The agreed rates are returned GSP-signed so the later charge calculation
+is non-repudiable against what was negotiated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.rates import ServiceRatesRecord
+from repro.crypto.signature import Signed
+from repro.errors import NegotiationError, ValidationError
+from repro.pki.ca import Identity
+
+__all__ = ["PricingModel", "NegotiationOutcome", "GridTradeServer"]
+
+
+class PricingModel(enum.Enum):
+    POSTED_PRICE = "posted-price"
+    COMMODITY_MARKET = "commodity-market"
+    BARGAINING = "bargaining"
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """An agreed deal: GSP-signed rates plus how we got there."""
+
+    rates: ServiceRatesRecord
+    signed_rates: Signed
+    rounds: int
+    model: PricingModel
+
+    def verify(self, gsp_public_key) -> bool:
+        return self.signed_rates.check(gsp_public_key)
+
+
+class GridTradeServer:
+    def __init__(
+        self,
+        identity: Identity,
+        posted_rates: ServiceRatesRecord,
+        model: PricingModel = PricingModel.POSTED_PRICE,
+        reserve_fraction: float = 0.6,
+        concession_per_round: float = 0.1,
+        max_rounds: int = 10,
+    ) -> None:
+        if not 0.0 < reserve_fraction <= 1.0:
+            raise ValidationError("reserve fraction must be in (0, 1]")
+        if concession_per_round <= 0:
+            raise ValidationError("concession must be positive")
+        self.identity = identity
+        self.posted_rates = posted_rates
+        self.model = model
+        self.reserve_fraction = reserve_fraction
+        self.concession_per_round = concession_per_round
+        self.max_rounds = max_rounds
+        self.demand_factor = 1.0  # adjusted by the economy loop
+        self.negotiations = 0
+        self.failed_negotiations = 0
+
+    # -- provider-side price maintenance ---------------------------------------
+
+    def set_demand_factor(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValidationError("demand factor must be positive")
+        self.demand_factor = factor
+
+    def current_rates(self) -> ServiceRatesRecord:
+        if self.model is PricingModel.COMMODITY_MARKET:
+            return self.posted_rates.scaled(self.demand_factor)
+        return self.posted_rates
+
+    # -- negotiation ----------------------------------------------------------------
+
+    def negotiate(self, bid_fraction: Optional[float] = None) -> NegotiationOutcome:
+        """Negotiate rates; *bid_fraction* is the broker's opening bid as a
+        fraction of the posted rate (bargaining model only).
+
+        Raises :class:`NegotiationError` if no agreement is reached within
+        ``max_rounds``.
+        """
+        self.negotiations += 1
+        if self.model in (PricingModel.POSTED_PRICE, PricingModel.COMMODITY_MARKET):
+            rates = self.current_rates()
+            return self._close(rates, rounds=1)
+
+        # Bargaining: broker raises its bid 5%/round, GTS concedes toward
+        # its reserve price.
+        bid = bid_fraction if bid_fraction is not None else 0.5
+        if bid <= 0:
+            raise ValidationError("opening bid must be positive")
+        ask = 1.0
+        for round_number in range(1, self.max_rounds + 1):
+            if bid >= ask or abs(ask - bid) < 1e-9:
+                agreed = (ask + bid) / 2 if bid > ask else ask
+                return self._close(self.posted_rates.scaled(agreed), rounds=round_number)
+            ask = max(self.reserve_fraction, ask - self.concession_per_round)
+            bid = min(1.0, bid * 1.05)
+            if bid >= ask:
+                return self._close(self.posted_rates.scaled(ask), rounds=round_number)
+        self.failed_negotiations += 1
+        raise NegotiationError(
+            f"no agreement after {self.max_rounds} rounds (ask {ask:.2f}, bid {bid:.2f})"
+        )
+
+    def _close(self, rates: ServiceRatesRecord, rounds: int) -> NegotiationOutcome:
+        signed = Signed.make(self.identity.private_key, rates.to_dict(), signer=self.identity.subject)
+        return NegotiationOutcome(rates=rates, signed_rates=signed, rounds=rounds, model=self.model)

@@ -1,0 +1,26 @@
+"""GSI: GSS-style security contexts, secure channels, authorization.
+
+Reproduces what the paper takes from Globus's GSI/GSS (sec 3.1-3.2):
+mutual authentication of client and server via certificate chains, an
+encrypted+integrity-protected session for "sensitive financial
+information", and subject-name authorization gating connection
+establishment ("Only clients with existing account or administrator
+privilege are authorized and connected").
+"""
+
+from repro.gsi.context import SecurityContext, Role
+from repro.gsi.authorization import (
+    AuthorizationPolicy,
+    AllowAllPolicy,
+    SubjectListPolicy,
+    CallbackPolicy,
+)
+
+__all__ = [
+    "SecurityContext",
+    "Role",
+    "AuthorizationPolicy",
+    "AllowAllPolicy",
+    "SubjectListPolicy",
+    "CallbackPolicy",
+]

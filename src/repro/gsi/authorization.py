@@ -1,0 +1,68 @@
+"""Authorization policies over authenticated subject names.
+
+The paper's server authorizes at *connection* time: "If the subject name
+appears either in the accounts or in administrator tables, then the client
+is authorized to establish a connection. Otherwise connection is refused,
+and this provides a mechanism to limit denial-of-service attacks."
+(sec 3.2). Policies here are small strategy objects the server consults
+with the canonical subject produced by chain validation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import AuthorizationError
+
+__all__ = ["AuthorizationPolicy", "AllowAllPolicy", "SubjectListPolicy", "CallbackPolicy"]
+
+
+class AuthorizationPolicy:
+    """Interface: decide whether an authenticated subject may connect."""
+
+    def is_authorized(self, subject: str) -> bool:
+        raise NotImplementedError
+
+    def require(self, subject: str) -> str:
+        """Return *subject* if authorized, else raise AuthorizationError."""
+        if not self.is_authorized(subject):
+            raise AuthorizationError(f"subject not authorized: {subject!r}")
+        return subject
+
+
+class AllowAllPolicy(AuthorizationPolicy):
+    """Accept any authenticated subject (open services, e.g. GMD queries)."""
+
+    def is_authorized(self, subject: str) -> bool:
+        return True
+
+
+class SubjectListPolicy(AuthorizationPolicy):
+    """Accept subjects from an explicit, mutable allow-list."""
+
+    def __init__(self, subjects: Iterable[str] = ()) -> None:
+        self._subjects = set(subjects)
+
+    def add(self, subject: str) -> None:
+        self._subjects.add(subject)
+
+    def discard(self, subject: str) -> None:
+        self._subjects.discard(subject)
+
+    def is_authorized(self, subject: str) -> bool:
+        return subject in self._subjects
+
+    def __len__(self) -> int:
+        return len(self._subjects)
+
+
+class CallbackPolicy(AuthorizationPolicy):
+    """Delegate to a predicate — e.g. the bank's 'has an account or is an
+    administrator' check, evaluated live against the database."""
+
+    def __init__(self, predicate: Callable[[str], bool], description: str = "") -> None:
+        self._predicate = predicate
+        self.description = description
+
+    def is_authorized(self, subject: str) -> bool:
+        return bool(self._predicate(subject))

@@ -1,0 +1,39 @@
+"""Message transport and secure RPC.
+
+Stands in for the Globus I/O connections of the paper. A
+:class:`~repro.net.rpc.ServiceEndpoint` hosts named operations behind a GSI
+mutual-authentication handshake and connection-time authorization (paper
+sec 3.2); clients reach it through either
+
+* the deterministic in-process transport (:mod:`repro.net.transport`) used
+  by tests, simulations and benchmarks, with per-connection message/byte
+  counters and fault injection, or
+* real framed TCP over loopback (:mod:`repro.net.tcp`), proving the same
+  byte-level protocol works as an actual network service.
+"""
+
+from repro.net.message import (
+    frame,
+    unframe_stream,
+    make_request,
+    make_response,
+    make_error,
+    parse_payload,
+)
+from repro.net.transport import InProcessNetwork, TransportStats, FaultPlan
+from repro.net.rpc import ServiceEndpoint, RPCClient, ConnectionRefused
+
+__all__ = [
+    "frame",
+    "unframe_stream",
+    "make_request",
+    "make_response",
+    "make_error",
+    "parse_payload",
+    "InProcessNetwork",
+    "TransportStats",
+    "FaultPlan",
+    "ServiceEndpoint",
+    "RPCClient",
+    "ConnectionRefused",
+]

@@ -1,0 +1,100 @@
+"""Wire messages and framing.
+
+Every payload on the wire is a canonical-JSON dict. Over stream transports
+(TCP) payloads are framed with a 4-byte big-endian length prefix. RPC
+requests/responses are small tagged dicts; the GSI handshake tokens travel
+as payloads of kind ``gsi``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Optional
+
+from repro.errors import ProtocolError, RPCError, ValidationError
+from repro.util.serialize import canonical_dumps, canonical_loads
+
+__all__ = [
+    "MAX_FRAME",
+    "frame",
+    "unframe_stream",
+    "make_request",
+    "make_response",
+    "make_error",
+    "parse_payload",
+]
+
+MAX_FRAME = 16 * 1024 * 1024  # 16 MiB — RURs are small; this is generous
+_LEN = struct.Struct(">I")
+
+
+def frame(payload: bytes) -> bytes:
+    """Length-prefix *payload* for a stream transport."""
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    return _LEN.pack(len(payload)) + payload
+
+
+def unframe_stream(read) -> Iterator[bytes]:
+    """Yield payloads from a blocking ``read(n) -> bytes`` callable.
+
+    Stops cleanly on EOF at a frame boundary; raises ProtocolError on a
+    truncated frame or an oversized length.
+    """
+    while True:
+        header = _read_exact(read, _LEN.size, allow_eof=True)
+        if header is None:
+            return
+        (length,) = _LEN.unpack(header)
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {length} bytes")
+        payload = _read_exact(read, length, allow_eof=False)
+        assert payload is not None
+        yield payload
+
+
+def _read_exact(read, n: int, allow_eof: bool) -> Optional[bytes]:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = read(n - got)
+        if not chunk:
+            if allow_eof and got == 0:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+# -- RPC envelopes -----------------------------------------------------------
+
+
+def make_request(method: str, params: dict, request_id: int) -> bytes:
+    return canonical_dumps({"kind": "request", "id": request_id, "method": method, "params": params})
+
+
+def make_response(request_id: int, result: Any) -> bytes:
+    return canonical_dumps({"kind": "response", "id": request_id, "result": result})
+
+
+def make_error(request_id: int, error_type: str, message: str) -> bytes:
+    return canonical_dumps(
+        {"kind": "error", "id": request_id, "error_type": error_type, "message": message}
+    )
+
+
+def parse_payload(data: bytes) -> dict:
+    """Parse any wire payload; raises ProtocolError on malformed data."""
+    try:
+        payload = canonical_loads(data)
+    except ValidationError as exc:
+        raise ProtocolError(f"malformed wire payload: {exc}") from exc
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ProtocolError("wire payload must be a dict with a 'kind'")
+    return payload
+
+
+def raise_remote_error(payload: dict) -> None:
+    """Re-raise an error payload as a local :class:`RPCError`."""
+    raise RPCError(payload.get("message", "remote error"), remote_type=payload.get("error_type", ""))

@@ -1,0 +1,234 @@
+"""Secure RPC: GSI-authenticated request/response services.
+
+A :class:`ServiceEndpoint` owns a credential, a trust store, an
+authorization policy and a registry of named operations. Each client
+connection runs the three-token GSI handshake; after the final token the
+endpoint authorizes the authenticated subject and either confirms
+establishment or *refuses the connection* — the paper's DoS-limiting
+behaviour ("Clients simply cannot send any requests before a connection is
+established", sec 3.2). Established sessions carry encrypted, sequenced
+records only.
+
+Remote exceptions propagate by name: the server maps a raised library
+exception to its class name, and the client re-raises the matching class
+from :mod:`repro.errors` (falling back to :class:`RPCError`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+import repro.errors as _errors
+from repro.errors import (
+    ChannelError,
+    ProtocolError,
+    ReproError,
+    RPCError,
+    TransportError,
+)
+from repro.gsi.authorization import AuthorizationPolicy
+from repro.gsi.context import Role, SecurityContext
+from repro.net.message import make_error, make_request, make_response, parse_payload
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import Clock, SystemClock
+from repro.util.serialize import canonical_dumps
+
+__all__ = ["ServiceEndpoint", "RPCClient", "ConnectionRefused", "Operation"]
+
+Operation = Callable[[str, dict], Any]
+
+_ERROR_CLASSES = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+    if isinstance(getattr(_errors, name), type)
+}
+
+
+class ConnectionRefused(TransportError):
+    """The service refused the connection at authorization time."""
+
+
+class _ServerConnection:
+    """Per-connection state machine: handshake, then dispatch loop."""
+
+    def __init__(self, endpoint: "ServiceEndpoint") -> None:
+        self._endpoint = endpoint
+        self._context = SecurityContext(
+            Role.ACCEPT,
+            endpoint.credential,
+            endpoint.trust_store,
+            clock=endpoint.clock,
+            rng=random.Random(endpoint._rng.getrandbits(64)),
+        )
+        self._open = False
+        self._closed = False
+
+    def handle(self, payload: bytes) -> Optional[bytes]:
+        if self._closed:
+            return None
+        message = parse_payload(payload)
+        if not self._open:
+            return self._handle_handshake(message)
+        return self._handle_request(message)
+
+    def _handle_handshake(self, message: dict) -> Optional[bytes]:
+        if message.get("kind") != "gsi":
+            self._closed = True
+            return canonical_dumps({"kind": "refused", "reason": "handshake required"})
+        try:
+            reply = self._context.step(message["token"])
+        except ReproError as exc:
+            self._closed = True
+            return canonical_dumps({"kind": "refused", "reason": str(exc)})
+        if not self._context.established:
+            return canonical_dumps({"kind": "gsi", "token": reply})
+        subject = self._context.peer_subject
+        assert subject is not None
+        if not self._endpoint.policy.is_authorized(subject):
+            self._closed = True
+            self._endpoint.refused_connections += 1
+            return canonical_dumps({"kind": "refused", "reason": "subject not authorized"})
+        self._open = True
+        self._endpoint.accepted_connections += 1
+        return canonical_dumps({"kind": "established", "subject": subject})
+
+    def _handle_request(self, message: dict) -> Optional[bytes]:
+        if message.get("kind") != "sealed":
+            self._closed = True
+            return canonical_dumps({"kind": "refused", "reason": "expected sealed record"})
+        try:
+            request = parse_payload(self._context.unwrap(message["record"]))
+        except (ChannelError, ProtocolError) as exc:
+            self._closed = True
+            return canonical_dumps({"kind": "refused", "reason": str(exc)})
+        request_id = request.get("id", 0)
+        method = request.get("method", "")
+        subject = self._context.peer_subject
+        assert subject is not None
+        operation = self._endpoint.operations.get(method)
+        if operation is None:
+            response = make_error(request_id, "ProtocolError", f"no such operation: {method!r}")
+        else:
+            try:
+                result = operation(subject, request.get("params", {}))
+                response = make_response(request_id, result)
+            except ReproError as exc:
+                response = make_error(request_id, type(exc).__name__, str(exc))
+        return canonical_dumps({"kind": "sealed", "record": self._context.wrap(response)})
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class ServiceEndpoint:
+    """A named, GSI-protected RPC service."""
+
+    def __init__(
+        self,
+        credential,
+        trust_store: CertificateStore,
+        policy: AuthorizationPolicy,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.credential = credential
+        self.trust_store = trust_store
+        self.policy = policy
+        self.clock = clock if clock is not None else SystemClock()
+        self._rng = rng if rng is not None else random.Random()
+        self.operations: dict[str, Operation] = {}
+        self.accepted_connections = 0
+        self.refused_connections = 0
+
+    def register(self, method: str, operation: Operation) -> None:
+        """Expose ``operation(subject, params) -> result`` as *method*."""
+        if method in self.operations:
+            raise ProtocolError(f"operation already registered: {method!r}")
+        self.operations[method] = operation
+
+    def connection_handler(self) -> _ServerConnection:
+        """Factory for per-connection handlers (plug into a transport)."""
+        return _ServerConnection(self)
+
+
+class RPCClient:
+    """Client session: handshake on connect, then typed calls."""
+
+    def __init__(
+        self,
+        connection,
+        credential,
+        trust_store: CertificateStore,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._connection = connection
+        self._context = SecurityContext(
+            Role.INITIATE,
+            credential,
+            trust_store,
+            clock=clock if clock is not None else SystemClock(),
+            rng=rng if rng is not None else random.Random(),
+        )
+        self._next_id = 1
+        self.server_subject: Optional[str] = None
+        self.connected = False
+
+    def connect(self) -> str:
+        """Run the handshake; returns the server's authenticated subject.
+
+        Raises :class:`ConnectionRefused` if the server refuses (either a
+        failed handshake or connection-time authorization).
+        """
+        token = self._context.step()
+        while True:
+            reply = parse_payload(self._connection.request(canonical_dumps({"kind": "gsi", "token": token})))
+            if reply["kind"] == "refused":
+                raise ConnectionRefused(reply.get("reason", "connection refused"))
+            if reply["kind"] == "established":
+                if not self._context.established:
+                    raise ProtocolError("server declared establishment prematurely")
+                self.connected = True
+                self.server_subject = self._context.peer_subject
+                assert self.server_subject is not None
+                return self.server_subject
+            if reply["kind"] != "gsi":
+                raise ProtocolError(f"unexpected handshake reply kind {reply['kind']!r}")
+            token = self._context.step(reply["token"])
+            if token is None:
+                raise ProtocolError("handshake ended without establishment")
+
+    def call(self, method: str, **params: Any) -> Any:
+        """Invoke *method*; re-raises remote library errors by class."""
+        if not self.connected:
+            raise ProtocolError("call before connect()")
+        request_id = self._next_id
+        self._next_id += 1
+        sealed = self._context.wrap(make_request(method, params, request_id))
+        raw = self._connection.request(canonical_dumps({"kind": "sealed", "record": sealed}))
+        reply = parse_payload(raw)
+        if reply["kind"] == "refused":
+            self.connected = False
+            raise ConnectionRefused(reply.get("reason", "connection dropped"))
+        if reply["kind"] != "sealed":
+            raise ProtocolError(f"unexpected reply kind {reply['kind']!r}")
+        response = parse_payload(self._context.unwrap(reply["record"]))
+        if response["kind"] == "error":
+            error_class = _ERROR_CLASSES.get(response.get("error_type", ""))
+            if error_class is not None and issubclass(error_class, ReproError):
+                raise error_class(response.get("message", ""))
+            raise RPCError(response.get("message", ""), remote_type=response.get("error_type", ""))
+        if response["kind"] != "response" or response.get("id") != request_id:
+            raise ProtocolError("response/request id mismatch")
+        return response.get("result")
+
+    def close(self) -> None:
+        self.connected = False
+        self._connection.close()
+
+    def __enter__(self) -> "RPCClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,107 @@
+"""Real TCP transport over loopback.
+
+The same per-connection handlers that serve the in-process transport serve
+real sockets here: the server accepts connections, reads length-prefixed
+frames, feeds them to a fresh handler, and writes the response frames back.
+This demonstrates the GridBank server is an actual network service (the
+"easy web service" of the reproduction brief), not only a simulated one.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable
+
+from repro.errors import ProtocolError, TransportError
+from repro.net.message import frame, unframe_stream
+
+__all__ = ["TCPServer", "TCPClientConnection"]
+
+
+class TCPServer:
+    """Threaded TCP front-end for a handler factory.
+
+    ``with TCPServer(endpoint.connection_handler) as server: ...`` listens
+    on an ephemeral loopback port; :attr:`address` is ``(host, port)``.
+    """
+
+    def __init__(self, handler_factory: Callable[[], object], host: str = "127.0.0.1", port: int = 0) -> None:
+        self._factory = handler_factory
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(32)
+        self.address: tuple[str, int] = self._sock.getsockname()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # socket closed during shutdown
+            worker = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve(self, conn: socket.socket) -> None:
+        handler = self._factory()
+        try:
+            for payload in unframe_stream(conn.recv):
+                response = handler.handle(payload)
+                if response is None:
+                    break
+                conn.sendall(frame(response))
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            handler.close()
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5)
+        for worker in self._threads:
+            worker.join(timeout=5)
+
+    def __enter__(self) -> "TCPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TCPClientConnection:
+    """Client connection satisfying the same interface as the in-process one
+    (``request(bytes) -> bytes``), usable directly by :class:`RPCClient`."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection(address, timeout=timeout)
+
+    def request(self, payload: bytes) -> bytes:
+        try:
+            self._sock.sendall(frame(payload))
+            for response in unframe_stream(self._sock.recv):
+                return response
+        except OSError as exc:
+            raise TransportError(f"tcp request failed: {exc}") from exc
+        raise TransportError("service closed the connection")
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

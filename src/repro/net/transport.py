@@ -1,0 +1,140 @@
+"""In-process transport: deterministic message delivery with fault injection.
+
+Services register on an :class:`InProcessNetwork` under string addresses
+(e.g. ``"gridbank.vo-a.example.org"``). A client "connection" delivers each
+request payload synchronously to the service's per-connection handler and
+returns the response — no threads, no sockets, fully deterministic, which
+is what protocol tests and the discrete-event benchmarks need.
+
+Every delivery updates :class:`TransportStats` (message and byte counters —
+the unit several paper-shaped benchmarks report) and consults an optional
+:class:`FaultPlan` that can drop requests or responses to exercise failure
+handling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.errors import TransportError
+
+__all__ = ["TransportStats", "FaultPlan", "InProcessNetwork", "ClientConnection"]
+
+
+@dataclass
+class TransportStats:
+    """Counters accumulated across one network or one connection."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    drops: int = 0
+    connections: int = 0
+
+    def record_send(self, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+    def record_receive(self, nbytes: int) -> None:
+        self.messages_received += 1
+        self.bytes_received += nbytes
+
+    def snapshot(self) -> dict:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "drops": self.drops,
+            "connections": self.connections,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """Probabilistic fault injection for the in-process network."""
+
+    drop_request_probability: float = 0.0
+    drop_response_probability: float = 0.0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def drop_request(self) -> bool:
+        return self.drop_request_probability > 0 and self.rng.random() < self.drop_request_probability
+
+    def drop_response(self) -> bool:
+        return self.drop_response_probability > 0 and self.rng.random() < self.drop_response_probability
+
+
+class ConnectionHandler(Protocol):
+    """Server-side per-connection state machine (see repro.net.rpc)."""
+
+    def handle(self, payload: bytes) -> Optional[bytes]: ...
+
+    def close(self) -> None: ...
+
+
+class ClientConnection:
+    """Client end of a synchronous in-process connection."""
+
+    def __init__(self, handler: ConnectionHandler, network: "InProcessNetwork") -> None:
+        self._handler = handler
+        self._network = network
+        self._closed = False
+        self.stats = TransportStats()
+
+    def request(self, payload: bytes) -> bytes:
+        """Deliver *payload*, return the service's response payload."""
+        if self._closed:
+            raise TransportError("connection is closed")
+        stats = self._network.stats
+        faults = self._network.faults
+        stats.record_send(len(payload))
+        self.stats.record_send(len(payload))
+        if faults is not None and faults.drop_request():
+            stats.drops += 1
+            raise TransportError("request dropped by network")
+        response = self._handler.handle(payload)
+        if response is None:
+            raise TransportError("service closed the connection")
+        if faults is not None and faults.drop_response():
+            stats.drops += 1
+            raise TransportError("response dropped by network")
+        stats.record_receive(len(response))
+        self.stats.record_receive(len(response))
+        return response
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._handler.close()
+
+
+class InProcessNetwork:
+    """A registry of services plus shared stats and fault plan."""
+
+    def __init__(self, faults: Optional[FaultPlan] = None) -> None:
+        self._services: dict[str, Callable[[], ConnectionHandler]] = {}
+        self.stats = TransportStats()
+        self.faults = faults
+
+    def listen(self, address: str, handler_factory: Callable[[], ConnectionHandler]) -> None:
+        """Register a service; *handler_factory* makes one handler per connection."""
+        if address in self._services:
+            raise TransportError(f"address already in use: {address!r}")
+        self._services[address] = handler_factory
+
+    def unlisten(self, address: str) -> None:
+        self._services.pop(address, None)
+
+    def connect(self, address: str) -> ClientConnection:
+        factory = self._services.get(address)
+        if factory is None:
+            raise TransportError(f"connection refused: no service at {address!r}")
+        self.stats.connections += 1
+        return ClientConnection(factory(), self)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._services)

@@ -1,0 +1,106 @@
+"""Direct transfer — the pay-before-use protocol (sec 3.1).
+
+"The first policy is appropriate for services that have a fixed cost...
+A simple funds transfer protocol is designed to enable GSC to request
+funds transfer with the confirmation send to GSP. GSC establishes secure
+connection with GridBank to provide account details of GSC and GSP as
+well as amount and URL of GSP. GridBank performs the funds transfer and
+sends the confirmation to the specified URL of the GSP via another secure
+channel."
+
+No instrument is generated; the bank-signed :class:`TransferConfirmation`
+is what the GSP receives (delivery to the GSP's URL is performed by the
+caller — the GridBank server pushes it through the confirmation callback
+registered for that address, see :mod:`repro.bank.server`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bank.accounts import GBAccounts
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.crypto.signature import Signed
+from repro.errors import InstrumentError, SignatureError
+from repro.payments.instruments import require_amount
+from repro.util.gbtime import Clock
+from repro.util.money import Credits
+
+__all__ = ["TransferConfirmation", "DirectTransferProtocol"]
+
+
+@dataclass(frozen=True)
+class TransferConfirmation:
+    """Bank-signed proof that a pay-before-use transfer was committed."""
+
+    signed: Signed
+
+    @property
+    def payload(self) -> dict:
+        return self.signed.payload
+
+    @property
+    def transaction_id(self) -> int:
+        return self.payload["transaction_id"]
+
+    @property
+    def amount(self) -> Credits:
+        return self.payload["amount"]
+
+    @property
+    def recipient_address(self) -> str:
+        return self.payload["recipient_address"]
+
+    def verify(self, bank_key: RSAPublicKey) -> dict:
+        if not self.signed.check(bank_key):
+            raise SignatureError("transfer confirmation: bank signature invalid")
+        return self.payload
+
+    def to_dict(self) -> dict:
+        return self.signed.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransferConfirmation":
+        return cls(signed=Signed.from_dict(data))
+
+
+class DirectTransferProtocol:
+    """Server-side pay-before-use module."""
+
+    def __init__(
+        self,
+        accounts: GBAccounts,
+        bank_private_key: RSAPrivateKey,
+        bank_subject: str,
+        clock: Clock,
+    ) -> None:
+        self.accounts = accounts
+        self._key = bank_private_key
+        self._subject = bank_subject
+        self.clock = clock
+
+    def transfer(
+        self,
+        drawer_subject: str,
+        from_account: str,
+        to_account: str,
+        amount: Credits,
+        recipient_address: str,
+        rur_blob: bytes = b"",
+    ) -> TransferConfirmation:
+        """Request Direct Transfer (sec 5.2): move funds, sign confirmation."""
+        amount = require_amount(amount, "transfer amount")
+        drawer = self.accounts.require_open(from_account)
+        if drawer["CertificateName"] != drawer_subject:
+            raise InstrumentError("transfer drawer does not own the account")
+        txn_id = self.accounts.transfer(from_account, to_account, amount, rur_blob=rur_blob)
+        payload = {
+            "confirmation": "DirectTransfer",
+            "transaction_id": txn_id,
+            "drawer_account": from_account,
+            "recipient_account": to_account,
+            "amount": amount,
+            "recipient_address": recipient_address,
+            "committed_at": self.clock.now().epoch,
+        }
+        return TransferConfirmation(signed=Signed.make(self._key, payload, signer=self._subject))

@@ -1,0 +1,130 @@
+"""Payment instrument registry and verification.
+
+Every instrument the bank issues is a :class:`~repro.crypto.signature.Signed`
+envelope over a payload dict carrying at least ``instrument`` (type name),
+``id``, ``drawer_account``, ``payee_subject`` and ``amount_limit``. The
+registry rows in the ``instruments`` table track lifecycle (issued ->
+redeemed / cancelled) — the double-spend defence: a redeemed id can never
+redeem again, even across server restarts (the table is WAL-persisted with
+everything else).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bank.records import credits_to_db, db_to_credits
+from repro.crypto.rsa import RSAPublicKey
+from repro.crypto.signature import Signed
+from repro.db.database import Database
+from repro.errors import DoubleSpendError, InstrumentError
+from repro.util.gbtime import Clock
+from repro.util.ids import IdGenerator
+from repro.util.money import Credits
+
+__all__ = ["InstrumentRegistry", "verify_instrument"]
+
+STATE_ISSUED = "issued"
+STATE_REDEEMED = "redeemed"
+STATE_CANCELLED = "cancelled"
+
+
+def verify_instrument(signed: Signed, bank_key: RSAPublicKey, expected_type: str) -> dict:
+    """Verify the bank signature and basic shape; returns the payload."""
+    if not signed.check(bank_key):
+        raise InstrumentError(f"{expected_type}: bank signature invalid")
+    payload = signed.payload
+    if not isinstance(payload, dict) or payload.get("instrument") != expected_type:
+        raise InstrumentError(f"expected a {expected_type} instrument")
+    for field in ("id", "drawer_account", "payee_subject", "amount_limit"):
+        if field not in payload:
+            raise InstrumentError(f"{expected_type}: missing field {field!r}")
+    return payload
+
+
+class InstrumentRegistry:
+    """Lifecycle tracking for issued instruments (the ``instruments`` table)."""
+
+    def __init__(self, db: Database, clock: Clock) -> None:
+        self.db = db
+        self.clock = clock
+        self.rescan_ids()
+
+    def rescan_ids(self) -> None:
+        """Re-derive the id counter from persisted rows (post-recovery)."""
+        highest = 0
+        for row in self.db.table("instruments").all_rows():
+            suffix = row["InstrumentID"].rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+        self._ids = IdGenerator(prefix="ins", start=highest + 1, width=8)
+
+    def new_id(self, kind_prefix: str) -> str:
+        return f"{kind_prefix}-{self._ids.next_int():08d}"
+
+    def register(
+        self,
+        instrument_id: str,
+        kind: str,
+        drawer_account: str,
+        payee_subject: str,
+        amount_limit: Credits,
+    ) -> None:
+        self.db.insert(
+            "instruments",
+            {
+                "InstrumentID": instrument_id,
+                "Type": kind,
+                "DrawerAccountID": drawer_account,
+                "PayeeSubject": payee_subject,
+                "AmountLimit": credits_to_db(amount_limit),
+                "IssuedAt": self.clock.now(),
+                "State": STATE_ISSUED,
+            },
+        )
+
+    def lookup(self, instrument_id: str) -> Optional[dict]:
+        return self.db.find("instruments", (instrument_id,))
+
+    def require_issued(self, instrument_id: str) -> dict:
+        row = self.lookup(instrument_id)
+        if row is None:
+            raise InstrumentError(f"unknown instrument {instrument_id!r}")
+        if row["State"] == STATE_REDEEMED:
+            raise DoubleSpendError(f"instrument {instrument_id!r} already redeemed")
+        if row["State"] != STATE_ISSUED:
+            raise InstrumentError(f"instrument {instrument_id!r} is {row['State']}")
+        return row
+
+    def mark_redeemed(self, instrument_id: str, redeemed_units: int = 0) -> None:
+        self.db.update(
+            "instruments",
+            (instrument_id,),
+            {"State": STATE_REDEEMED, "RedeemedUnits": redeemed_units},
+        )
+
+    def mark_cancelled(self, instrument_id: str) -> None:
+        self.db.update("instruments", (instrument_id,), {"State": STATE_CANCELLED})
+
+    def amount_limit(self, row: dict) -> Credits:
+        return db_to_credits(row["AmountLimit"])
+
+    def outstanding_for(self, drawer_account: str) -> list[dict]:
+        from repro.db.query import eq
+
+        return [
+            row
+            for row in self.db.select("instruments", [eq("DrawerAccountID", drawer_account)])
+            if row["State"] == STATE_ISSUED
+        ]
+
+
+def require_not_expired(payload: dict, clock: Clock) -> None:
+    expires = payload.get("expires_at")
+    if expires is not None and clock.now().epoch > expires:
+        raise InstrumentError(f"instrument {payload.get('id')!r} expired")
+
+
+def require_amount(value, what: str) -> Credits:
+    amount = Credits(value) if not isinstance(value, Credits) else value
+    return amount.require_positive(what)

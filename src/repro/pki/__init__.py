@@ -1,0 +1,29 @@
+"""Public-key infrastructure: certificates, CA, proxies, grid-mapfile.
+
+Reproduces the identity substrate GridBank gets from the Globus Security
+Infrastructure (paper sec 3.1/3.2): X509v3-like certificates issued by a
+Certificate Authority, *user proxy certificates* for single sign-on
+("A user proxy is a certificate signed by the user, which is later used to
+repeatedly authenticate the user to resources"), revocation, chain
+validation, and the grid-mapfile that maps certificate subjects to local
+accounts (sec 2.3).
+"""
+
+from repro.pki.certificate import Certificate, CertificateBody, DistinguishedName
+from repro.pki.ca import CertificateAuthority, Identity
+from repro.pki.proxy import issue_proxy, ProxyCredential
+from repro.pki.validation import validate_chain, CertificateStore
+from repro.pki.mapfile import GridMapfile
+
+__all__ = [
+    "Certificate",
+    "CertificateBody",
+    "DistinguishedName",
+    "CertificateAuthority",
+    "Identity",
+    "issue_proxy",
+    "ProxyCredential",
+    "validate_chain",
+    "CertificateStore",
+    "GridMapfile",
+]

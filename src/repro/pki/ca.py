@@ -1,0 +1,126 @@
+"""Certificate Authority.
+
+"Certificates can be issued by the Globus Certificate Authority.
+Alternatively, GridBank can set up its own CA." (paper sec 3.2). This CA
+issues user/host certificates against its self-signed root, maintains a
+revocation list, and hands back :class:`Identity` bundles (certificate +
+private key) that the rest of the library uses as credentials.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, generate_keypair
+from repro.pki.certificate import Certificate, DistinguishedName, make_body
+from repro.errors import CertificateError
+from repro.util.gbtime import Clock, SystemClock
+
+__all__ = ["Identity", "CertificateAuthority", "DEFAULT_LIFETIME"]
+
+DEFAULT_LIFETIME = 365 * 24 * 3600.0  # one year
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A principal's credential: certificate plus matching private key."""
+
+    certificate: Certificate
+    private_key: RSAPrivateKey
+
+    @property
+    def subject(self) -> str:
+        return self.certificate.subject
+
+
+class CertificateAuthority:
+    """A self-signed root that issues and revokes certificates."""
+
+    def __init__(
+        self,
+        name: DistinguishedName,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+        key_bits: int = 1024,
+        keypair: Optional[RSAKeyPair] = None,
+    ) -> None:
+        self._clock = clock if clock is not None else SystemClock()
+        self._rng = rng if rng is not None else random.Random()
+        self._next_serial = 1
+        self._revoked: set[int] = set()
+        kp = keypair if keypair is not None else generate_keypair(bits=key_bits, rng=self._rng)
+        self._private = kp.private
+        body = make_body(
+            subject=str(name),
+            issuer=str(name),
+            serial=0,
+            public_key=kp.public,
+            not_before=self._clock.now(),
+            lifetime_seconds=10 * DEFAULT_LIFETIME,
+            is_ca=True,
+        )
+        self._root = Certificate.issue(body, self._private)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def root_certificate(self) -> Certificate:
+        return self._root
+
+    @property
+    def subject(self) -> str:
+        return self._root.subject
+
+    # -- issuance ----------------------------------------------------------
+
+    def issue_identity(
+        self,
+        name: DistinguishedName,
+        lifetime_seconds: float = DEFAULT_LIFETIME,
+        key_bits: int = 1024,
+        keypair: Optional[RSAKeyPair] = None,
+        extensions: Optional[dict] = None,
+    ) -> Identity:
+        """Generate a keypair (unless given) and issue a certificate for it."""
+        kp = keypair if keypair is not None else generate_keypair(bits=key_bits, rng=self._rng)
+        cert = self.issue_certificate(name, kp.public, lifetime_seconds, extensions)
+        return Identity(certificate=cert, private_key=kp.private)
+
+    def issue_certificate(
+        self,
+        name: DistinguishedName,
+        public_key,
+        lifetime_seconds: float = DEFAULT_LIFETIME,
+        extensions: Optional[dict] = None,
+    ) -> Certificate:
+        body = make_body(
+            subject=str(name),
+            issuer=self._root.subject,
+            serial=self._allocate_serial(),
+            public_key=public_key,
+            not_before=self._clock.now(),
+            lifetime_seconds=lifetime_seconds,
+            extensions=extensions,
+        )
+        return Certificate.issue(body, self._private)
+
+    def _allocate_serial(self) -> int:
+        serial = self._next_serial
+        self._next_serial += 1
+        return serial
+
+    # -- revocation --------------------------------------------------------
+
+    def revoke(self, certificate: Certificate) -> None:
+        if certificate.issuer != self._root.subject:
+            raise CertificateError("cannot revoke a certificate from another CA")
+        self._revoked.add(certificate.serial)
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return certificate.serial in self._revoked
+
+    def revocation_list(self) -> frozenset[int]:
+        """Snapshot of revoked serials (a CRL)."""
+        return frozenset(self._revoked)

@@ -1,0 +1,196 @@
+"""X509v3-like certificates.
+
+A certificate binds a distinguished name (the paper's "Certificate Name",
+the globally unique client identifier stored in ACCOUNT records) to an RSA
+public key, signed by an issuer. The ASN.1/DER wire format of real X.509 is
+replaced by canonical-JSON bodies — the structure (subject, issuer, serial,
+validity window, key, extensions, signature) and the validation semantics
+are what the architecture depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.keys import public_key_from_dict, public_key_to_dict
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.crypto.signature import sign, verify
+from repro.errors import CertificateError, ValidationError
+from repro.util.gbtime import Timestamp
+
+__all__ = ["DistinguishedName", "CertificateBody", "Certificate"]
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An X.500-style name, rendered like ``/O=GridBank/OU=VO-A/CN=alice``."""
+
+    organization: str
+    common_name: str
+    organizational_unit: str = ""
+
+    def __post_init__(self) -> None:
+        for label, value in (("O", self.organization), ("CN", self.common_name)):
+            if not value or "/" in value or "=" in value:
+                raise ValidationError(f"invalid DN component {label}={value!r}")
+        if self.organizational_unit and ("/" in self.organizational_unit or "=" in self.organizational_unit):
+            raise ValidationError("invalid DN component OU")
+
+    def __str__(self) -> str:
+        parts = [f"/O={self.organization}"]
+        if self.organizational_unit:
+            parts.append(f"/OU={self.organizational_unit}")
+        parts.append(f"/CN={self.common_name}")
+        return "".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "DistinguishedName":
+        """Parse ``/O=.../OU=.../CN=...`` (OU optional)."""
+        if not text.startswith("/"):
+            raise ValidationError(f"not a distinguished name: {text!r}")
+        fields = {}
+        for chunk in text.strip("/").split("/"):
+            if "=" not in chunk:
+                raise ValidationError(f"malformed DN component: {chunk!r}")
+            key, _, value = chunk.partition("=")
+            fields[key] = value
+        try:
+            return cls(
+                organization=fields["O"],
+                common_name=fields["CN"],
+                organizational_unit=fields.get("OU", ""),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"DN missing component {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CertificateBody:
+    """The to-be-signed portion of a certificate."""
+
+    subject: str
+    issuer: str
+    serial: int
+    public_key: dict
+    not_before: float
+    not_after: float
+    is_ca: bool = False
+    is_proxy: bool = False
+    extensions: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "serial": self.serial,
+            "public_key": self.public_key,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "is_ca": self.is_ca,
+            "is_proxy": self.is_proxy,
+            "extensions": self.extensions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CertificateBody":
+        try:
+            return cls(
+                subject=data["subject"],
+                issuer=data["issuer"],
+                serial=data["serial"],
+                public_key=data["public_key"],
+                not_before=data["not_before"],
+                not_after=data["not_after"],
+                is_ca=data.get("is_ca", False),
+                is_proxy=data.get("is_proxy", False),
+                extensions=data.get("extensions", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed certificate body: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed certificate body."""
+
+    body: CertificateBody
+    signature: bytes
+
+    @classmethod
+    def issue(
+        cls,
+        body: CertificateBody,
+        issuer_private: RSAPrivateKey,
+    ) -> "Certificate":
+        return cls(body=body, signature=sign(issuer_private, body.to_dict()))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def subject(self) -> str:
+        return self.body.subject
+
+    @property
+    def issuer(self) -> str:
+        return self.body.issuer
+
+    @property
+    def serial(self) -> int:
+        return self.body.serial
+
+    def public_key(self) -> RSAPublicKey:
+        return public_key_from_dict(self.body.public_key)
+
+    # -- checks ------------------------------------------------------------
+
+    def verify_signature(self, issuer_key: RSAPublicKey) -> bool:
+        return verify(issuer_key, self.body.to_dict(), self.signature)
+
+    def is_valid_at(self, when: Timestamp) -> bool:
+        return self.body.not_before <= when.epoch <= self.body.not_after
+
+    def require_valid_at(self, when: Timestamp) -> None:
+        if when.epoch < self.body.not_before:
+            raise CertificateError(f"certificate {self.subject!r} not yet valid")
+        if when.epoch > self.body.not_after:
+            raise CertificateError(f"certificate {self.subject!r} expired")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"body": self.body.to_dict(), "signature": self.signature}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certificate":
+        try:
+            return cls(body=CertificateBody.from_dict(data["body"]), signature=data["signature"])
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed certificate: {exc}") from exc
+
+
+def make_body(
+    subject: str,
+    issuer: str,
+    serial: int,
+    public_key: RSAPublicKey,
+    not_before: Timestamp,
+    lifetime_seconds: float,
+    is_ca: bool = False,
+    is_proxy: bool = False,
+    extensions: Optional[dict] = None,
+) -> CertificateBody:
+    """Convenience constructor used by the CA and proxy issuance."""
+    if lifetime_seconds <= 0:
+        raise ValidationError("certificate lifetime must be positive")
+    return CertificateBody(
+        subject=subject,
+        issuer=issuer,
+        serial=serial,
+        public_key=public_key_to_dict(public_key),
+        not_before=not_before.epoch,
+        not_after=not_before.epoch + lifetime_seconds,
+        is_ca=is_ca,
+        is_proxy=is_proxy,
+        extensions=extensions or {},
+    )

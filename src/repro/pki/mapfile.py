@@ -1,0 +1,85 @@
+"""The grid-mapfile: certificate subject -> local account mapping.
+
+Globus authorizes access by looking the authenticated subject up in a
+``grid-mapfile``. The paper's access-scalability scheme (sec 2.3) *mutates*
+this file dynamically: when a consumer presents a valid payment instrument,
+GBCM maps their Certificate Name to a free template account, and removes
+the entry after the job finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import DuplicateError, NotFoundError, ValidationError
+
+__all__ = ["GridMapfile"]
+
+
+class GridMapfile:
+    """An in-memory grid-mapfile with the classic one-line-per-entry format."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, str] = {}
+
+    def add(self, subject: str, local_account: str) -> None:
+        """Map *subject* to *local_account*; rejects duplicate subjects."""
+        if not subject or not local_account:
+            raise ValidationError("subject and local account must be non-empty")
+        if subject in self._entries:
+            raise DuplicateError(f"subject already mapped: {subject!r}")
+        self._entries[subject] = local_account
+
+    def remove(self, subject: str) -> str:
+        """Remove and return the mapping for *subject*."""
+        try:
+            return self._entries.pop(subject)
+        except KeyError:
+            raise NotFoundError(f"subject not mapped: {subject!r}") from None
+
+    def lookup(self, subject: str) -> str:
+        """Local account for *subject*; raises :class:`NotFoundError`."""
+        try:
+            return self._entries[subject]
+        except KeyError:
+            raise NotFoundError(f"subject not mapped: {subject!r}") from None
+
+    def get(self, subject: str) -> Optional[str]:
+        return self._entries.get(subject)
+
+    def __contains__(self, subject: str) -> bool:
+        return subject in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._entries.items())
+
+    def subjects_for_account(self, local_account: str) -> list[str]:
+        return [s for s, a in self._entries.items() if a == local_account]
+
+    # -- classic text format ------------------------------------------------
+
+    def dumps(self) -> str:
+        """Render in grid-mapfile syntax: ``"subject" account`` per line."""
+        return "".join(f'"{subject}" {account}\n' for subject, account in sorted(self._entries.items()))
+
+    @classmethod
+    def loads(cls, text: str) -> "GridMapfile":
+        mapfile = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not line.startswith('"'):
+                raise ValidationError(f"grid-mapfile line {lineno}: subject must be quoted")
+            closing = line.find('"', 1)
+            if closing < 0:
+                raise ValidationError(f"grid-mapfile line {lineno}: unterminated subject")
+            subject = line[1:closing]
+            account = line[closing + 1 :].strip()
+            if not account:
+                raise ValidationError(f"grid-mapfile line {lineno}: missing account")
+            mapfile.add(subject, account)
+        return mapfile

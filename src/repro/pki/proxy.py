@@ -1,0 +1,99 @@
+"""User proxy certificates (single sign-on).
+
+"A user proxy is a certificate signed by the user, which is later used to
+repeatedly authenticate the user to resources. This preserves Grid's single
+sign-in policy and avoids repeatedly entering user password." (paper sec 1.)
+
+A proxy is a short-lived certificate whose *issuer* is the user and whose
+subject is the user's subject with a ``/CN=proxy`` component appended, over
+a fresh keypair. Authenticating with a proxy presents the chain
+``[proxy, user-cert]``; validation in :mod:`repro.pki.validation` maps the
+proxy back to the user's canonical Certificate Name, which is what the bank
+records against accounts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, generate_keypair
+from repro.pki.ca import Identity
+from repro.pki.certificate import Certificate, CertificateBody, make_body
+from repro.errors import CertificateError
+from repro.util.gbtime import Clock, SystemClock
+
+__all__ = ["ProxyCredential", "issue_proxy", "DEFAULT_PROXY_LIFETIME", "proxy_base_subject"]
+
+DEFAULT_PROXY_LIFETIME = 12 * 3600.0  # half a day, like grid-proxy-init
+PROXY_CN_SUFFIX = "/CN=proxy"
+
+
+@dataclass(frozen=True)
+class ProxyCredential:
+    """A delegated credential: proxy cert + key, plus the signing user cert."""
+
+    proxy_certificate: Certificate
+    private_key: RSAPrivateKey
+    user_certificate: Certificate
+
+    @property
+    def subject(self) -> str:
+        """The proxy's own subject (user subject + /CN=proxy)."""
+        return self.proxy_certificate.subject
+
+    @property
+    def user_subject(self) -> str:
+        """The canonical Certificate Name the bank accounts against."""
+        return self.user_certificate.subject
+
+    def chain(self) -> list[Certificate]:
+        """Certificate chain to present during authentication."""
+        return [self.proxy_certificate, self.user_certificate]
+
+
+def proxy_base_subject(proxy_subject: str) -> str:
+    """Strip trailing ``/CN=proxy`` components back to the user subject."""
+    base = proxy_subject
+    while base.endswith(PROXY_CN_SUFFIX):
+        base = base[: -len(PROXY_CN_SUFFIX)]
+    return base
+
+
+def issue_proxy(
+    identity: Identity,
+    clock: Optional[Clock] = None,
+    lifetime_seconds: float = DEFAULT_PROXY_LIFETIME,
+    key_bits: int = 512,
+    rng: Optional[random.Random] = None,
+    keypair: Optional[RSAKeyPair] = None,
+) -> ProxyCredential:
+    """Create a proxy credential signed by *identity* (grid-proxy-init).
+
+    The proxy lifetime may not outlive the signing certificate.
+    """
+    now = (clock if clock is not None else SystemClock()).now()
+    identity.certificate.require_valid_at(now)
+    if identity.certificate.body.is_proxy:
+        raise CertificateError("proxies may not issue further proxies in this model")
+    if now.epoch + lifetime_seconds > identity.certificate.body.not_after:
+        lifetime_seconds = identity.certificate.body.not_after - now.epoch
+    kp = keypair if keypair is not None else generate_keypair(
+        bits=key_bits, rng=rng if rng is not None else random.Random()
+    )
+    body: CertificateBody = make_body(
+        subject=identity.subject + PROXY_CN_SUFFIX,
+        issuer=identity.subject,
+        serial=0,
+        public_key=kp.public,
+        not_before=now,
+        lifetime_seconds=lifetime_seconds,
+        is_proxy=True,
+    )
+    cert = Certificate.issue(body, identity.private_key)
+    return ProxyCredential(
+        proxy_certificate=cert,
+        private_key=kp.private,
+        user_certificate=identity.certificate,
+    )

@@ -1,0 +1,38 @@
+"""Resource Usage Records (RUR).
+
+The paper stores an opaque RUR BLOB in every TRANSFER record and notes the
+format "needs to be defined", listing the fields the GGF usage-record
+effort associated with it (sec 5.1). This package defines a concrete record
+with exactly those fields, the conversion unit that turns raw, OS-specific
+usage statistics into the standard OS-independent record (Figure 2), the
+aggregation step that combines per-resource records into one GSP-level
+record (sec 2.1), and JSON/XML encodings plus the binary BLOB form the
+bank stores.
+"""
+
+from repro.rur.record import ResourceUsageRecord, UsageVector
+from repro.rur.conversion import RawUsageRecord, ConversionUnit, OSFlavor
+from repro.rur.aggregate import aggregate_records
+from repro.rur.formats import (
+    encode_json,
+    decode_json,
+    encode_xml,
+    decode_xml,
+    to_blob,
+    from_blob,
+)
+
+__all__ = [
+    "ResourceUsageRecord",
+    "UsageVector",
+    "RawUsageRecord",
+    "ConversionUnit",
+    "OSFlavor",
+    "aggregate_records",
+    "encode_json",
+    "decode_json",
+    "encode_xml",
+    "decode_xml",
+    "to_blob",
+    "from_blob",
+]

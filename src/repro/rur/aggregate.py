@@ -1,0 +1,63 @@
+"""Aggregation of per-resource RURs into a combined GSP-level record.
+
+"each individual resource (R1-R4) used to provide computational service
+presents its usage record to Grid Resource Meter. GRM might choose to
+aggregate individual records into the standard RUR to reflect the charge
+for the combined GSP's service." (paper sec 2.1)
+
+Aggregation sums usage vectors, spans the earliest start to the latest
+end, and records provenance (the local job ids it merged) so disputes can
+be settled against the constituent records.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MeteringError
+from repro.rur.record import ResourceUsageRecord, UsageVector
+
+__all__ = ["aggregate_records"]
+
+
+def aggregate_records(
+    records: Sequence[ResourceUsageRecord],
+    resource_certificate_name: str,
+    resource_host: str,
+) -> ResourceUsageRecord:
+    """Merge per-resource *records* for one (user, job) into one RUR.
+
+    All records must belong to the same user and job; the merged record is
+    attributed to the GSP identity given by *resource_certificate_name*.
+    """
+    if not records:
+        raise MeteringError("nothing to aggregate")
+    first = records[0]
+    for record in records[1:]:
+        if record.user_certificate_name != first.user_certificate_name:
+            raise MeteringError("cannot aggregate records of different users")
+        if record.job_id != first.job_id:
+            raise MeteringError("cannot aggregate records of different jobs")
+    total = UsageVector()
+    for record in records:
+        total = total + record.usage
+    # Wall clock is the span of the combined service, not the sum of
+    # per-resource wall clocks (resources run concurrently).
+    start = min(r.job_start_epoch for r in records)
+    end = max(r.job_end_epoch for r in records)
+    merged = dict(total.as_dict())
+    merged["wall_clock_s"] = end - start
+    return ResourceUsageRecord(
+        user_certificate_name=first.user_certificate_name,
+        user_host=first.user_host,
+        job_id=first.job_id,
+        application_name=first.application_name,
+        job_start_epoch=start,
+        job_end_epoch=end,
+        resource_certificate_name=resource_certificate_name,
+        resource_host=resource_host,
+        host_type=first.host_type,
+        local_job_id="",
+        usage=UsageVector.from_dict(merged),
+        aggregated_from=tuple(r.local_job_id or r.resource_host for r in records),
+    )

@@ -1,0 +1,137 @@
+"""The conversion unit: raw OS usage -> standard RUR.
+
+"Once GRM obtains the raw usage statistics, it filters relevant fields in
+the record and passes them to the conversion unit, which generates a
+standard OS-independent Resource Usage Record" (paper sec 2.1, Figure 2).
+
+Raw records are deliberately OS-flavoured — different field names and
+units per flavor, the way ``getrusage``/accounting files differ across the
+2003-era platforms the paper mentions (Linux clusters, Crays). The
+conversion unit normalizes them all into one :class:`UsageVector`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import MeteringError
+from repro.rur.record import ResourceUsageRecord, UsageVector
+
+__all__ = ["OSFlavor", "RawUsageRecord", "ConversionUnit"]
+
+
+class OSFlavor(enum.Enum):
+    LINUX = "linux"
+    SOLARIS = "solaris"
+    CRAY_UNICOS = "cray-unicos"
+
+
+@dataclass(frozen=True)
+class RawUsageRecord:
+    """What the local OS / cluster scheduler reports after a job finishes.
+
+    ``fields`` uses flavor-specific names and units; see the per-flavor
+    extraction tables in :class:`ConversionUnit`. ``origin_host`` names
+    the individual machine that produced the record (the R1..R4 of
+    Figure 1) so the GRM can attribute per-resource records.
+    """
+
+    flavor: OSFlavor
+    local_job_id: str
+    start_epoch: float
+    end_epoch: float
+    fields: Mapping[str, float] = field(default_factory=dict)
+    origin_host: str = ""
+
+
+def _seconds_from_jiffies(value: float) -> float:
+    return value / 100.0  # classic 100 Hz kernel tick
+
+
+def _seconds_from_microseconds(value: float) -> float:
+    return value / 1_000_000.0
+
+
+def _mb_from_kb(value: float) -> float:
+    return value / 1024.0
+
+
+def _mb_from_words(value: float) -> float:
+    return value * 8.0 / (1024.0 * 1024.0)  # 64-bit words
+
+
+_IDENTITY = float
+
+# flavor -> canonical item -> (raw field name, unit conversion)
+_EXTRACTORS: dict[OSFlavor, dict[str, tuple[str, callable]]] = {
+    OSFlavor.LINUX: {
+        "cpu_time_s": ("utime_jiffies", _seconds_from_jiffies),
+        "software_time_s": ("stime_jiffies", _seconds_from_jiffies),
+        "memory_mb_h": ("mem_kb_hours", _mb_from_kb),
+        "storage_mb_h": ("disk_kb_hours", _mb_from_kb),
+        "network_mb": ("net_kb", _mb_from_kb),
+    },
+    OSFlavor.SOLARIS: {
+        "cpu_time_s": ("pr_utime_us", _seconds_from_microseconds),
+        "software_time_s": ("pr_stime_us", _seconds_from_microseconds),
+        "memory_mb_h": ("pr_mem_mb_hours", _IDENTITY),
+        "storage_mb_h": ("pr_disk_mb_hours", _IDENTITY),
+        "network_mb": ("pr_net_mb", _IDENTITY),
+    },
+    OSFlavor.CRAY_UNICOS: {
+        "cpu_time_s": ("cpu_seconds", _IDENTITY),
+        "software_time_s": ("sys_seconds", _IDENTITY),
+        "memory_mb_h": ("mem_word_hours", _mb_from_words),
+        "storage_mb_h": ("disk_word_hours", _mb_from_words),
+        "network_mb": ("net_words", _mb_from_words),
+    },
+}
+
+
+class ConversionUnit:
+    """Filters raw fields and produces the OS-independent usage vector."""
+
+    def convert_usage(self, raw: RawUsageRecord) -> UsageVector:
+        try:
+            table = _EXTRACTORS[raw.flavor]
+        except KeyError:
+            raise MeteringError(f"no conversion table for flavor {raw.flavor!r}") from None
+        values: dict[str, float] = {}
+        for item, (raw_name, convert) in table.items():
+            if raw_name in raw.fields:
+                value = raw.fields[raw_name]
+                if isinstance(value, bool) or not isinstance(value, (int, float)) or value < 0:
+                    raise MeteringError(f"raw field {raw_name!r} has invalid value {value!r}")
+                values[item] = convert(value)
+        values["wall_clock_s"] = raw.end_epoch - raw.start_epoch
+        if values["wall_clock_s"] < 0:
+            raise MeteringError("raw record ends before it starts")
+        return UsageVector(**values)
+
+    def convert(
+        self,
+        raw: RawUsageRecord,
+        user_certificate_name: str,
+        user_host: str,
+        job_id: str,
+        application_name: str,
+        resource_certificate_name: str,
+        resource_host: str,
+        host_type: str = "",
+    ) -> ResourceUsageRecord:
+        """Full Figure-2 step: raw stats + identities -> standard RUR."""
+        return ResourceUsageRecord(
+            user_certificate_name=user_certificate_name,
+            user_host=user_host,
+            job_id=job_id,
+            application_name=application_name,
+            job_start_epoch=raw.start_epoch,
+            job_end_epoch=raw.end_epoch,
+            resource_certificate_name=resource_certificate_name,
+            resource_host=resource_host,
+            host_type=host_type,
+            local_job_id=raw.local_job_id,
+            usage=self.convert_usage(raw),
+        )

@@ -1,0 +1,100 @@
+"""RUR encodings.
+
+The bank stores the RUR "in a binary format ... the RUR can be
+independently defined by the Grid sites" (paper sec 5.1 note). Two concrete
+encodings are provided — canonical JSON (the default blob format) and an
+XML rendering in the spirit of the GGF usage-record drafts — plus the
+blob helpers used by the TRANSFER record's BLOB column. The blob is
+self-describing via a one-byte format tag so sites using either encoding
+interoperate.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import ValidationError
+from repro.rur.record import ResourceUsageRecord
+from repro.util.serialize import canonical_dumps, canonical_loads
+
+__all__ = ["encode_json", "decode_json", "encode_xml", "decode_xml", "to_blob", "from_blob"]
+
+_TAG_JSON = b"\x01"
+_TAG_XML = b"\x02"
+
+_FLOAT_FIELDS = {"job_start_epoch", "job_end_epoch"}
+
+
+def encode_json(record: ResourceUsageRecord) -> bytes:
+    return canonical_dumps(record.to_dict())
+
+
+def decode_json(data: bytes) -> ResourceUsageRecord:
+    payload = canonical_loads(data)
+    if not isinstance(payload, dict):
+        raise ValidationError("RUR JSON payload must be an object")
+    return ResourceUsageRecord.from_dict(payload)
+
+
+def encode_xml(record: ResourceUsageRecord) -> str:
+    """GGF-usage-record-flavoured XML rendering."""
+    root = ET.Element("UsageRecord")
+    data = record.to_dict()
+    usage = data.pop("usage")
+    aggregated = data.pop("aggregated_from")
+    for key, value in data.items():
+        child = ET.SubElement(root, key)
+        child.text = repr(value) if isinstance(value, float) else str(value)
+    usage_el = ET.SubElement(root, "Usage")
+    for item, quantity in usage.items():
+        child = ET.SubElement(usage_el, item)
+        child.text = repr(quantity)
+    if aggregated:
+        agg_el = ET.SubElement(root, "AggregatedFrom")
+        for source in aggregated:
+            ET.SubElement(agg_el, "Source").text = source
+    return ET.tostring(root, encoding="unicode")
+
+
+def decode_xml(text: str) -> ResourceUsageRecord:
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ValidationError(f"malformed RUR XML: {exc}") from exc
+    if root.tag != "UsageRecord":
+        raise ValidationError(f"unexpected XML root {root.tag!r}")
+    data: dict = {}
+    for child in root:
+        if child.tag == "Usage":
+            data["usage"] = {item.tag: float(item.text or "0") for item in child}
+        elif child.tag == "AggregatedFrom":
+            data["aggregated_from"] = [source.text or "" for source in child]
+        else:
+            text_value = child.text or ""
+            data[child.tag] = float(text_value) if child.tag in _FLOAT_FIELDS else text_value
+    try:
+        return ResourceUsageRecord.from_dict(data)
+    except ValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed RUR XML content: {exc}") from exc
+
+
+def to_blob(record: ResourceUsageRecord, fmt: str = "json") -> bytes:
+    """Binary form stored in the TRANSFER record's BLOB column."""
+    if fmt == "json":
+        return _TAG_JSON + encode_json(record)
+    if fmt == "xml":
+        return _TAG_XML + encode_xml(record).encode("utf-8")
+    raise ValidationError(f"unknown RUR blob format {fmt!r}")
+
+
+def from_blob(blob: bytes) -> ResourceUsageRecord:
+    if not blob:
+        raise ValidationError("empty RUR blob")
+    tag, body = blob[:1], blob[1:]
+    if tag == _TAG_JSON:
+        return decode_json(body)
+    if tag == _TAG_XML:
+        return decode_xml(body.decode("utf-8"))
+    raise ValidationError(f"unknown RUR blob tag {tag!r}")

@@ -1,0 +1,128 @@
+"""The standard OS-independent Resource Usage Record.
+
+Fields follow the paper's sec 5.1 listing: user details (certificate name,
+host), job details (job id, application, start/end), resource details
+(host, certificate name, host type, local job id) and the usage quantities
+for each chargeable item class of sec 2.1:
+
+* ``cpu_time_s``       — user CPU seconds (Processors)
+* ``memory_mb_h``      — main memory MB*hours
+* ``storage_mb_h``     — secondary storage MB*hours
+* ``network_mb``       — I/O channel traffic in MB
+* ``software_time_s``  — system CPU seconds (Software Libraries)
+* ``wall_clock_s``     — wall clock seconds
+
+The usage quantities live in a :class:`UsageVector` so rates, charging and
+aggregation can treat them uniformly (item name -> quantity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+from repro.errors import ValidationError
+
+__all__ = ["UsageVector", "ResourceUsageRecord", "CHARGEABLE_ITEMS"]
+
+# Canonical chargeable item names, in the paper's sec 2.1 order.
+CHARGEABLE_ITEMS = (
+    "cpu_time_s",
+    "memory_mb_h",
+    "storage_mb_h",
+    "network_mb",
+    "software_time_s",
+    "wall_clock_s",
+)
+
+
+@dataclass(frozen=True)
+class UsageVector:
+    """Quantities consumed per chargeable item."""
+
+    cpu_time_s: float = 0.0
+    memory_mb_h: float = 0.0
+    storage_mb_h: float = 0.0
+    network_mb: float = 0.0
+    software_time_s: float = 0.0
+    wall_clock_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for item in CHARGEABLE_ITEMS:
+            value = getattr(self, item)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationError(f"usage item {item!r} must be a number")
+            if value != value or value < 0:
+                raise ValidationError(f"usage item {item!r} must be >= 0, got {value!r}")
+
+    def as_dict(self) -> dict[str, float]:
+        return {item: float(getattr(self, item)) for item in CHARGEABLE_ITEMS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UsageVector":
+        unknown = set(data) - set(CHARGEABLE_ITEMS)
+        if unknown:
+            raise ValidationError(f"unknown usage items: {sorted(unknown)}")
+        return cls(**{k: float(v) for k, v in data.items()})
+
+    def __add__(self, other: "UsageVector") -> "UsageVector":
+        return UsageVector(**{
+            item: getattr(self, item) + getattr(other, item) for item in CHARGEABLE_ITEMS
+        })
+
+    def nonzero_items(self) -> list[str]:
+        return [item for item in CHARGEABLE_ITEMS if getattr(self, item) > 0]
+
+
+@dataclass(frozen=True)
+class ResourceUsageRecord:
+    """One job's resource consumption on one provider."""
+
+    # user details
+    user_certificate_name: str
+    user_host: str
+    # job details
+    job_id: str
+    application_name: str
+    job_start_epoch: float
+    job_end_epoch: float
+    # resource details
+    resource_certificate_name: str
+    resource_host: str
+    usage: UsageVector
+    host_type: str = ""
+    local_job_id: str = ""
+    # provenance: ids of per-resource records merged into this one (sec 2.1)
+    aggregated_from: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("user_certificate_name", "job_id", "resource_certificate_name"):
+            if not getattr(self, name):
+                raise ValidationError(f"RUR field {name!r} must be non-empty")
+        if self.job_end_epoch < self.job_start_epoch:
+            raise ValidationError("RUR job_end before job_start")
+
+    @property
+    def duration_s(self) -> float:
+        return self.job_end_epoch - self.job_start_epoch
+
+    def to_dict(self) -> dict:
+        out = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            if f.name == "usage":
+                out[f.name] = value.as_dict()
+            elif f.name == "aggregated_from":
+                out[f.name] = list(value)
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceUsageRecord":
+        try:
+            kwargs = dict(data)
+            kwargs["usage"] = UsageVector.from_dict(kwargs["usage"])
+            kwargs["aggregated_from"] = tuple(kwargs.get("aggregated_from", ()))
+            return cls(**kwargs)
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed RUR: {exc}") from exc

@@ -1,0 +1,24 @@
+"""Discrete-event simulation core.
+
+The paper's evaluation environment is a computational Grid; the authors
+point to their "GridSim" toolkit for simulating one. This package is the
+reproduction's equivalent: a compact generator-based discrete-event engine
+(events, processes, signals, capacity-limited resources) driving the
+shared :class:`~repro.util.gbtime.VirtualClock`, so the bank, meters and
+brokers all see one consistent simulated time line.
+"""
+
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.engine import Simulator, Process, Signal, SimResource, Interrupt
+from repro.sim.distributions import Distributions
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Simulator",
+    "Process",
+    "Signal",
+    "SimResource",
+    "Interrupt",
+    "Distributions",
+]

@@ -1,0 +1,72 @@
+"""Seeded random distributions for workload generation.
+
+A thin façade over ``random.Random`` with the distributions the grid
+workload generators need, plus a few helpers (bounded draws, weighted
+choice). Keeping them on one object means a single seed reproduces an
+entire experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["Distributions"]
+
+T = TypeVar("T")
+
+
+class Distributions:
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def uniform(self, low: float, high: float) -> float:
+        if high < low:
+            raise ValidationError("uniform: high < low")
+        return self.rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        if high < low:
+            raise ValidationError("randint: high < low")
+        return self.rng.randint(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival times (Poisson arrivals)."""
+        if mean <= 0:
+            raise ValidationError("exponential mean must be positive")
+        return self.rng.expovariate(1.0 / mean)
+
+    def pareto(self, alpha: float, minimum: float = 1.0) -> float:
+        """Heavy-tailed job sizes (classic for compute workloads)."""
+        if alpha <= 0 or minimum <= 0:
+            raise ValidationError("pareto parameters must be positive")
+        return minimum * self.rng.paretovariate(alpha)
+
+    def normal_clamped(self, mean: float, stddev: float, minimum: float, maximum: float) -> float:
+        if maximum < minimum:
+            raise ValidationError("normal_clamped: max < min")
+        value = self.rng.normalvariate(mean, stddev)
+        return min(max(value, minimum), maximum)
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValidationError("choice from empty sequence")
+        return self.rng.choice(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        if len(items) != len(weights) or not items:
+            raise ValidationError("weighted_choice: mismatched or empty inputs")
+        return self.rng.choices(items, weights=weights, k=1)[0]
+
+    def bernoulli(self, probability: float) -> bool:
+        if not 0.0 <= probability <= 1.0:
+            raise ValidationError("probability must be in [0, 1]")
+        return self.rng.random() < probability
+
+    def shuffle(self, items: list) -> list:
+        """Shuffled copy."""
+        out = list(items)
+        self.rng.shuffle(out)
+        return out

@@ -1,0 +1,239 @@
+"""Generator-based discrete-event simulator.
+
+Processes are Python generators. A process may ``yield``:
+
+* a number — hold (advance simulated time) for that many seconds;
+* a :class:`Signal` — suspend until the signal fires; the fired value is
+  the result of the ``yield``;
+* another :class:`Process` — join it; the joined process's return value is
+  the result of the ``yield``;
+* an acquire request from :class:`SimResource` — suspend until capacity is
+  granted.
+
+The simulator drives the shared :class:`~repro.util.gbtime.VirtualClock`,
+so bank timestamps, certificate validity and metering windows all advance
+consistently with simulated activity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.errors import ValidationError
+from repro.sim.events import EventQueue
+from repro.util.gbtime import VirtualClock
+
+__all__ = ["Interrupt", "Signal", "Process", "SimResource", "Simulator"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, reason: Any = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Signal:
+    """A one-shot event processes can wait on; carries a value."""
+
+    def __init__(self, simulator: "Simulator", name: str = "") -> None:
+        self._sim = simulator
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def wait(self) -> "Signal":
+        """Yieldable handle (the signal itself)."""
+        return self
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise ValidationError(f"signal {self.name!r} already fired")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim._resume(process, value)
+
+    def _subscribe(self, process: "Process") -> None:
+        if self.fired:
+            self._sim._resume(process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class _Acquire:
+    """Pending capacity request on a SimResource."""
+
+    __slots__ = ("resource", "process", "granted")
+
+    def __init__(self, resource: "SimResource") -> None:
+        self.resource = resource
+        self.process: Optional[Process] = None
+        self.granted = False
+
+
+class SimResource:
+    """Capacity-limited resource with a FIFO wait queue (e.g. cluster PEs)."""
+
+    def __init__(self, simulator: "Simulator", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValidationError("resource capacity must be >= 1")
+        self._sim = simulator
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque[_Acquire] = deque()
+
+    def acquire(self) -> _Acquire:
+        """Yieldable request; resumes the process once capacity is granted."""
+        return _Acquire(self)
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise ValidationError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        self._grant_next()
+
+    def _submit(self, request: _Acquire, process: "Process") -> None:
+        request.process = process
+        self._queue.append(request)
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._queue and self.in_use < self.capacity:
+            request = self._queue.popleft()
+            request.granted = True
+            self.in_use += 1
+            assert request.process is not None
+            self._sim._resume(request.process, request)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    def __init__(self, simulator: "Simulator", generator: Generator, name: str = "") -> None:
+        self._sim = simulator
+        self._gen = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.failure: Optional[BaseException] = None
+        self._completion = Signal(simulator, name=f"{name}.done")
+        self._pending_throw: Optional[BaseException] = None
+
+    def interrupt(self, reason: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.finished:
+            return
+        self._pending_throw = Interrupt(reason)
+        self._sim._resume(self, None)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            if self._pending_throw is not None:
+                exc, self._pending_throw = self._pending_throw, None
+                yielded = self._gen.throw(exc)
+            else:
+                yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except Interrupt as exc:
+            self._finish(failure=exc)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
+            if yielded < 0:
+                self._finish(failure=ValidationError("negative hold time"))
+                return
+            self._sim.schedule(yielded, lambda: self._sim._resume(self, None))
+        elif isinstance(yielded, Signal):
+            yielded._subscribe(self)
+        elif isinstance(yielded, Process):
+            yielded._completion._subscribe(self)
+        elif isinstance(yielded, _Acquire):
+            yielded.resource._submit(yielded, self)
+        else:
+            self._finish(failure=ValidationError(f"process yielded unsupported {yielded!r}"))
+
+    def _finish(self, result: Any = None, failure: Optional[BaseException] = None) -> None:
+        self.finished = True
+        self.result = result
+        self.failure = failure
+        self._completion.fire(result)
+        if failure is not None and not isinstance(failure, Interrupt):
+            self._sim._failures.append((self, failure))
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._start_epoch = self.clock.now().epoch
+        self._queue = EventQueue()
+        self._failures: list[tuple[Process, BaseException]] = []
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds since simulation start."""
+        return self.clock.now().epoch - self._start_epoch
+
+    def schedule(self, delay: float, callback, priority: int = 0):
+        if delay < 0:
+            raise ValidationError("cannot schedule into the past")
+        return self._queue.push(self.now + delay, callback, priority)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a process; its first step runs at the current time."""
+        process = Process(self, generator, name=name)
+        self.schedule(0.0, lambda: process._step(None))
+        return process
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(self, name=name)
+
+    def resource(self, capacity: int, name: str = "") -> SimResource:
+        return SimResource(self, capacity, name=name)
+
+    def _resume(self, process: Process, value: Any) -> None:
+        if process.finished:
+            return
+        self.schedule(0.0, lambda: process._step(value))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or simulated *until* is reached.
+
+        Re-raises the first non-interrupt process failure. Returns the final
+        simulated time.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.set_epoch(self._start_epoch + until)
+                break
+            event = self._queue.pop()
+            assert event is not None
+            if event.time > self.now:
+                self.clock.set_epoch(self._start_epoch + event.time)
+            self.processed_events += 1
+            event.callback()
+            if self._failures:
+                _proc, failure = self._failures[0]
+                raise failure
+        if until is not None and self.now < until and self._queue.peek_time() is None:
+            self.clock.set_epoch(self._start_epoch + until)
+        return self.now

@@ -1,0 +1,20 @@
+"""Shared utilities: fixed-point money, grid time, ids, serialization."""
+
+from repro.util.money import Credits, ZERO
+from repro.util.gbtime import Clock, SystemClock, VirtualClock, Timestamp
+from repro.util.ids import IdGenerator, random_token
+from repro.util.serialize import canonical_dumps, canonical_loads, to_bytes
+
+__all__ = [
+    "Credits",
+    "ZERO",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "Timestamp",
+    "IdGenerator",
+    "random_token",
+    "canonical_dumps",
+    "canonical_loads",
+    "to_bytes",
+]

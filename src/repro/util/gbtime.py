@@ -1,0 +1,136 @@
+"""Grid time: TIMESTAMP(14) values and pluggable clocks.
+
+The paper's TRANSACTION and TRANSFER records carry MySQL ``TIMESTAMP(14)``
+columns — 14-digit ``YYYYMMDDHHMMSS`` stamps. :class:`Timestamp` wraps that
+representation while keeping an exact fractional-second epoch value so the
+discrete-event simulator can order events at sub-second resolution.
+
+Clocks are explicit objects (never ``time.time()`` calls inside the bank)
+so every component can run against either wall time (:class:`SystemClock`)
+or the simulation's :class:`VirtualClock`, making tests and benchmarks
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from datetime import datetime, timezone
+from typing import Union
+
+from repro.errors import ValidationError
+
+__all__ = ["Timestamp", "Clock", "SystemClock", "VirtualClock"]
+
+
+class Timestamp:
+    """A point in time, formatted as the paper's TIMESTAMP(14).
+
+    Internally an epoch-seconds float; :attr:`stamp14` renders the UTC
+    ``YYYYMMDDHHMMSS`` string used by the database records.
+    """
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self, epoch_seconds: Union[int, float]) -> None:
+        if not isinstance(epoch_seconds, (int, float)) or isinstance(epoch_seconds, bool):
+            raise ValidationError("epoch_seconds must be a number")
+        if epoch_seconds != epoch_seconds or epoch_seconds in (float("inf"), float("-inf")):
+            raise ValidationError("epoch_seconds must be finite")
+        object.__setattr__(self, "_epoch", float(epoch_seconds))
+
+    @classmethod
+    def from_stamp14(cls, stamp: str) -> "Timestamp":
+        """Parse a 14-digit ``YYYYMMDDHHMMSS`` UTC stamp."""
+        if not isinstance(stamp, str) or len(stamp) != 14 or not stamp.isdigit():
+            raise ValidationError(f"not a TIMESTAMP(14): {stamp!r}")
+        dt = datetime.strptime(stamp, "%Y%m%d%H%M%S").replace(tzinfo=timezone.utc)
+        return cls(dt.timestamp())
+
+    @property
+    def epoch(self) -> float:
+        return self._epoch
+
+    @property
+    def stamp14(self) -> str:
+        """UTC ``YYYYMMDDHHMMSS`` rendering (fractional seconds truncated)."""
+        dt = datetime.fromtimestamp(int(self._epoch), tz=timezone.utc)
+        return dt.strftime("%Y%m%d%H%M%S")
+
+    def iso(self) -> str:
+        return datetime.fromtimestamp(self._epoch, tz=timezone.utc).isoformat()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Timestamp):
+            return self._epoch == other._epoch
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Timestamp", self._epoch))
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        return self._epoch < other._epoch
+
+    def __le__(self, other: "Timestamp") -> bool:
+        return self._epoch <= other._epoch
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        return self._epoch > other._epoch
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        return self._epoch >= other._epoch
+
+    def __add__(self, seconds: Union[int, float]) -> "Timestamp":
+        return Timestamp(self._epoch + seconds)
+
+    def __sub__(self, other: Union["Timestamp", int, float]) -> Union[float, "Timestamp"]:
+        if isinstance(other, Timestamp):
+            return self._epoch - other._epoch
+        return Timestamp(self._epoch - other)
+
+    def __repr__(self) -> str:
+        return f"Timestamp({self.stamp14})"
+
+
+class Clock:
+    """Abstract clock interface."""
+
+    def now(self) -> Timestamp:
+        raise NotImplementedError
+
+    def epoch(self) -> float:
+        return self.now().epoch
+
+
+class SystemClock(Clock):
+    """Wall-clock time (UTC)."""
+
+    def now(self) -> Timestamp:
+        return Timestamp(_time.time())
+
+
+class VirtualClock(Clock):
+    """A manually- or simulator-advanced clock.
+
+    Starts at ``start`` (default: 2003-01-01T00:00:00Z, the paper's era) and
+    only moves when :meth:`advance` or :meth:`set_epoch` is called, so runs
+    are fully reproducible.
+    """
+
+    DEFAULT_START = 1041379200.0  # 2003-01-01T00:00:00Z
+
+    def __init__(self, start: float = DEFAULT_START) -> None:
+        self._epoch = float(start)
+
+    def now(self) -> Timestamp:
+        return Timestamp(self._epoch)
+
+    def advance(self, seconds: float) -> Timestamp:
+        if seconds < 0:
+            raise ValidationError("clock cannot run backwards")
+        self._epoch += seconds
+        return self.now()
+
+    def set_epoch(self, epoch_seconds: float) -> None:
+        if epoch_seconds < self._epoch:
+            raise ValidationError("clock cannot run backwards")
+        self._epoch = float(epoch_seconds)

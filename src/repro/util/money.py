@@ -1,0 +1,170 @@
+"""Fixed-point Grid currency (G$).
+
+The paper's ACCOUNT RECORD stores balances as MySQL ``FLOAT`` (sec 5.1).
+Doing *arithmetic* in binary floating point would make conservation-of-funds
+invariants (the core property of an accounting service) only approximately
+testable, so internally every amount is an integer number of micro-G$
+(1 G$ == 1_000_000 units). The database layer still stores the float value
+to honour the paper's schema; round-tripping is exact for any realistic
+balance (|amount| < 2**53 micro-units).
+
+:class:`Credits` is immutable, totally ordered, and supports the arithmetic
+an accounts module needs. Multiplication by a scalar (rate x usage) rounds
+half-up to the nearest micro-G$, which is the banker-visible quantum.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ValidationError
+
+__all__ = ["Credits", "ZERO", "MICRO_PER_CREDIT"]
+
+MICRO_PER_CREDIT = 1_000_000
+
+_Number = Union[int, float, "Credits"]
+
+
+class Credits:
+    """An immutable fixed-point amount of Grid currency.
+
+    Construct from G$ units (``Credits(2.5)``) or from raw micro-units via
+    :meth:`from_micro`. All arithmetic stays in integer micro-units.
+    """
+
+    __slots__ = ("_micro",)
+
+    def __init__(self, amount: _Number = 0) -> None:
+        if isinstance(amount, Credits):
+            micro = amount._micro
+        elif isinstance(amount, bool):
+            raise ValidationError("bool is not a money amount")
+        elif isinstance(amount, int):
+            micro = amount * MICRO_PER_CREDIT
+        elif isinstance(amount, float):
+            if amount != amount or amount in (float("inf"), float("-inf")):
+                raise ValidationError(f"non-finite money amount: {amount!r}")
+            micro = round(amount * MICRO_PER_CREDIT)
+        else:
+            raise ValidationError(f"cannot make Credits from {type(amount).__name__}")
+        object.__setattr__(self, "_micro", micro)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_micro(cls, micro: int) -> "Credits":
+        """Build from raw integer micro-G$ (exact)."""
+        if not isinstance(micro, int) or isinstance(micro, bool):
+            raise ValidationError("micro amount must be int")
+        obj = cls.__new__(cls)
+        object.__setattr__(obj, "_micro", micro)
+        return obj
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def micro(self) -> int:
+        """Raw integer micro-G$ value."""
+        return self._micro
+
+    def to_float(self) -> float:
+        """Float G$ value, as stored in the paper's FLOAT column."""
+        return self._micro / MICRO_PER_CREDIT
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Credits") -> "Credits":
+        return Credits.from_micro(self._micro + _coerce(other)._micro)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Credits") -> "Credits":
+        return Credits.from_micro(self._micro - _coerce(other)._micro)
+
+    def __rsub__(self, other: "Credits") -> "Credits":
+        return Credits.from_micro(_coerce(other)._micro - self._micro)
+
+    def __mul__(self, scalar: Union[int, float]) -> "Credits":
+        if isinstance(scalar, bool) or not isinstance(scalar, (int, float)):
+            raise ValidationError("Credits can only be scaled by a number")
+        if isinstance(scalar, int):
+            return Credits.from_micro(self._micro * scalar)
+        return Credits.from_micro(round(self._micro * scalar))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Union[int, float]) -> "Credits":
+        if isinstance(scalar, bool) or not isinstance(scalar, (int, float)):
+            raise ValidationError("Credits can only be divided by a number")
+        return Credits.from_micro(round(self._micro / scalar))
+
+    def __neg__(self) -> "Credits":
+        return Credits.from_micro(-self._micro)
+
+    def __abs__(self) -> "Credits":
+        return Credits.from_micro(abs(self._micro))
+
+    # -- ordering ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Credits):
+            return self._micro == other._micro
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return self._micro == Credits(other)._micro
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Credits", self._micro))
+
+    def __lt__(self, other: _Number) -> bool:
+        return self._micro < _coerce(other)._micro
+
+    def __le__(self, other: _Number) -> bool:
+        return self._micro <= _coerce(other)._micro
+
+    def __gt__(self, other: _Number) -> bool:
+        return self._micro > _coerce(other)._micro
+
+    def __ge__(self, other: _Number) -> bool:
+        return self._micro >= _coerce(other)._micro
+
+    def __bool__(self) -> bool:
+        return self._micro != 0
+
+    # -- presentation ------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Credits({self.to_float():.6f})"
+
+    def __str__(self) -> str:
+        whole, frac = divmod(abs(self._micro), MICRO_PER_CREDIT)
+        sign = "-" if self._micro < 0 else ""
+        if frac:
+            return f"{sign}G${whole}.{frac:06d}".rstrip("0")
+        return f"{sign}G${whole}"
+
+    # -- predicates --------------------------------------------------------
+
+    def is_negative(self) -> bool:
+        return self._micro < 0
+
+    def is_positive(self) -> bool:
+        return self._micro > 0
+
+    def require_positive(self, what: str = "amount") -> "Credits":
+        """Raise :class:`ValidationError` unless strictly positive."""
+        if self._micro <= 0:
+            raise ValidationError(f"{what} must be positive, got {self}")
+        return self
+
+
+ZERO = Credits.from_micro(0)
+
+
+def _coerce(value: _Number) -> Credits:
+    if isinstance(value, Credits):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Credits(value)
+    raise ValidationError(f"expected money amount, got {type(value).__name__}")

@@ -1,0 +1,84 @@
+"""Canonical serialization.
+
+Signatures and MACs must be computed over a *canonical* byte encoding: the
+same logical message must always serialize to the same bytes regardless of
+dict insertion order. We use JSON with sorted keys, no whitespace, and a
+small set of type extensions (bytes as hex, Credits as micro-int,
+Timestamp as epoch float) encoded as tagged two-element lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.util.gbtime import Timestamp
+from repro.util.money import Credits
+
+__all__ = ["canonical_dumps", "canonical_loads", "to_bytes"]
+
+_TAG_BYTES = "!b"
+_TAG_CREDITS = "!c"
+_TAG_TIMESTAMP = "!t"
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return [_TAG_BYTES, value.hex()]
+    if isinstance(value, Credits):
+        return [_TAG_CREDITS, value.micro]
+    if isinstance(value, Timestamp):
+        return [_TAG_TIMESTAMP, value.epoch]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValidationError("canonical dict keys must be strings")
+            out[key] = _encode(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+            raise ValidationError("non-finite float is not canonically serializable")
+        return value
+    raise ValidationError(f"type {type(value).__name__} is not canonically serializable")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        if len(value) == 2 and value[0] == _TAG_BYTES and isinstance(value[1], str):
+            return bytes.fromhex(value[1])
+        if len(value) == 2 and value[0] == _TAG_CREDITS and isinstance(value[1], int):
+            return Credits.from_micro(value[1])
+        if len(value) == 2 and value[0] == _TAG_TIMESTAMP and isinstance(value[1], (int, float)):
+            return Timestamp(value[1])
+        return [_decode(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _decode(item) for key, item in value.items()}
+    return value
+
+
+def canonical_dumps(value: Any) -> bytes:
+    """Serialize to canonical bytes (stable across runs and platforms)."""
+    return json.dumps(
+        _encode(value), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def canonical_loads(data: bytes) -> Any:
+    """Inverse of :func:`canonical_dumps`."""
+    try:
+        return _decode(json.loads(data.decode("ascii")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"malformed canonical payload: {exc}") from exc
+
+
+def to_bytes(value: Any) -> bytes:
+    """Bytes view of a value for hashing: passthrough for bytes/str."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return canonical_dumps(value)

@@ -1,0 +1,18 @@
+"""Synthetic workload generators and scenario runners for the benches."""
+
+from repro.workloads.synthetic import (
+    job_stream,
+    sweep_application,
+    provider_specs,
+    community_specs,
+)
+from repro.workloads.openqueue import OpenQueueResult, run_open_queue
+
+__all__ = [
+    "job_stream",
+    "sweep_application",
+    "provider_specs",
+    "community_specs",
+    "OpenQueueResult",
+    "run_open_queue",
+]

@@ -1,0 +1,103 @@
+"""Synthetic workloads.
+
+The paper evaluates nothing quantitatively, so the benchmark harness needs
+representative inputs: Poisson job arrivals with heavy-tailed (Pareto)
+lengths — the standard compute-workload shape — plus heterogeneous
+provider fleets for market and community scenarios. Everything is seeded.
+"""
+
+from __future__ import annotations
+
+
+from repro.broker.application import Parameter, ParameterizedApplication
+from repro.errors import ValidationError
+from repro.grid.job import Job
+from repro.sim.distributions import Distributions
+
+__all__ = ["job_stream", "sweep_application", "provider_specs", "community_specs"]
+
+
+def job_stream(
+    user_subject: str,
+    count: int,
+    seed: int = 0,
+    mean_length_mi: float = 300_000.0,
+    pareto_alpha: float = 1.8,
+    io_mb_range: tuple[float, float] = (0.0, 50.0),
+    id_prefix: str = "wl",
+) -> list[Job]:
+    """Heavy-tailed independent jobs for one user."""
+    if count < 1:
+        raise ValidationError("need at least one job")
+    dist = Distributions(seed)
+    minimum = mean_length_mi * (pareto_alpha - 1.0) / pareto_alpha
+    jobs = []
+    for i in range(1, count + 1):
+        length = min(dist.pareto(pareto_alpha, minimum=minimum), mean_length_mi * 20)
+        io = dist.uniform(*io_mb_range)
+        jobs.append(
+            Job(
+                job_id=f"{id_prefix}-{i:05d}",
+                user_subject=user_subject,
+                application_name="synthetic",
+                length_mi=length,
+                input_mb=io * 0.7,
+                output_mb=io * 0.3,
+                memory_mb=dist.uniform(16.0, 256.0),
+            )
+        )
+    return jobs
+
+
+def sweep_application(
+    points: int,
+    base_length_mi: float = 240_000.0,
+    jitter: float = 0.2,
+    io_mb: float = 5.0,
+) -> ParameterizedApplication:
+    """A 1-D parameter sweep with *points* tasks (Nimrod-G style)."""
+    if points < 1:
+        raise ValidationError("sweep needs at least one point")
+    return ParameterizedApplication(
+        name="param-sweep",
+        base_length_mi=base_length_mi,
+        parameters=(Parameter("theta", tuple(range(points))),),
+        input_mb=io_mb * 0.7,
+        output_mb=io_mb * 0.3,
+        length_jitter=jitter,
+    )
+
+
+def provider_specs(count: int, seed: int = 0) -> list[dict]:
+    """Heterogeneous provider fleet: speeds and prices spread widely."""
+    if count < 1:
+        raise ValidationError("need at least one provider")
+    dist = Distributions(seed)
+    specs = []
+    for i in range(count):
+        mips = dist.choice([200.0, 400.0, 600.0, 1000.0, 1600.0])
+        specs.append(
+            {
+                "name": f"gsp{i:02d}",
+                "num_pes": dist.randint(2, 16),
+                "mips_per_pe": mips,
+                # price loosely tracks speed with noise (an open market)
+                "cpu_rate": round(mips / 150.0 * dist.uniform(0.6, 1.4), 2),
+            }
+        )
+    return specs
+
+
+def community_specs(count: int, seed: int = 0) -> list[dict]:
+    """Co-op members with heterogeneous hardware (Figure 4's setup)."""
+    if count < 2:
+        raise ValidationError("a community needs at least two members")
+    dist = Distributions(seed)
+    return [
+        {
+            "name": f"member{i}",
+            "num_pes": dist.randint(2, 8),
+            "mips_per_pe": dist.choice([250.0, 500.0, 750.0, 1000.0]),
+        }
+        for i in range(count)
+    ]

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+RSA key generation is the only genuinely slow primitive, so a handful of
+keypairs are generated once per session from fixed seeds and shared by all
+tests that just need *a* key (tests exercising keygen itself make their own).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RSAKeyPair, generate_keypair
+
+
+@pytest.fixture(scope="session")
+def keypair_a() -> RSAKeyPair:
+    return generate_keypair(bits=512, rng=random.Random(1001))
+
+
+@pytest.fixture(scope="session")
+def keypair_b() -> RSAKeyPair:
+    return generate_keypair(bits=512, rng=random.Random(1002))
+
+
+@pytest.fixture(scope="session")
+def keypair_c() -> RSAKeyPair:
+    return generate_keypair(bits=512, rng=random.Random(1003))
+
+
+@pytest.fixture(scope="session")
+def ca_keypair() -> RSAKeyPair:
+    return generate_keypair(bits=512, rng=random.Random(2001))

@@ -1,0 +1,144 @@
+"""Crash/recovery integration: the bank's books survive a restart.
+
+The paper's bank is the system of record for funds and instruments; the
+WAL-backed database must bring back balances, locked funds, transaction
+history AND the double-spend registry after a crash, so a cheque issued
+before the crash redeems exactly once after it.
+"""
+
+import random
+
+import pytest
+
+from repro.bank.server import GridBankServer
+from repro.db.database import Database
+from repro.errors import AccountError, DoubleSpendError
+from repro.payments.cheque import GridCheque
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits, ZERO
+
+GSC = "/O=VO-A/CN=alice"
+GSP = "/O=VO-B/CN=gsp"
+
+
+@pytest.fixture()
+def pki(ca_keypair, keypair_a):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+    )
+    return {
+        "clock": clock,
+        "store": CertificateStore([ca.root_certificate]),
+        "bank_ident": ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_a),
+    }
+
+
+def boot_bank(pki, path) -> GridBankServer:
+    db = Database(path=path)
+    server = GridBankServer(
+        pki["bank_ident"], pki["store"], db=db, clock=pki["clock"], rng=random.Random(1)
+    )
+    server.recover()
+    return server
+
+
+class TestBankRecovery:
+    def test_balances_and_history_survive_restart(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        gsc = bank.accounts.create_account(GSC)
+        gsp = bank.accounts.create_account(GSP)
+        bank.admin.deposit(gsc, Credits(500))
+        bank.accounts.transfer(gsc, gsp, Credits(120), rur_blob=b"\x01evidence")
+        bank.db.close()
+
+        revived = boot_bank(pki, tmp_path)
+        assert revived.accounts.available_balance(gsc) == Credits(380)
+        assert revived.accounts.available_balance(gsp) == Credits(120)
+        assert revived.accounts.total_bank_funds() == Credits(500)
+        transfer = revived.accounts.transfer_record(2)
+        assert transfer["ResourceUsageRecord"] == b"\x01evidence"
+
+    def test_locked_funds_survive_restart(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        gsc = bank.accounts.create_account(GSC)
+        bank.admin.deposit(gsc, Credits(100))
+        bank.accounts.lock_funds(gsc, Credits(60))
+        bank.db.close()
+
+        revived = boot_bank(pki, tmp_path)
+        assert revived.accounts.available_balance(gsc) == Credits(40)
+        assert revived.accounts.locked_balance(gsc) == Credits(60)
+
+    def test_cheque_issued_before_crash_redeems_once_after(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        gsc = bank.accounts.create_account(GSC)
+        gsp = bank.accounts.create_account(GSP)
+        bank.admin.deposit(gsc, Credits(100))
+        cheque = bank.cheques.issue(GSC, gsc, GSP, Credits(50))
+        bank.db.close()
+
+        revived = boot_bank(pki, tmp_path)
+        # the cheque (a client-held instrument) still verifies and redeems
+        result = revived.cheques.redeem(GSP, cheque, gsp, Credits(35))
+        assert result.paid == Credits(35)
+        assert revived.accounts.available_balance(gsc) == Credits(65)
+        # ... but only once, even across a SECOND restart
+        revived.db.close()
+        revived2 = boot_bank(pki, tmp_path)
+        with pytest.raises(DoubleSpendError):
+            revived2.cheques.redeem(GSP, cheque, gsp, Credits(35))
+
+    def test_instrument_ids_do_not_collide_after_restart(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        gsc = bank.accounts.create_account(GSC)
+        bank.admin.deposit(gsc, Credits(100))
+        first = bank.cheques.issue(GSC, gsc, GSP, Credits(10))
+        bank.db.close()
+
+        revived = boot_bank(pki, tmp_path)
+        second = revived.cheques.issue(GSC, gsc, GSP, Credits(10))
+        assert second.cheque_id != first.cheque_id
+
+    def test_account_ids_do_not_collide_after_restart(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        a1 = bank.accounts.create_account(GSC)
+        bank.db.close()
+        revived = boot_bank(pki, tmp_path)
+        a2 = revived.accounts.create_account(GSP)
+        assert a2 != a1
+
+    def test_checkpoint_compacts_and_preserves_state(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        gsc = bank.accounts.create_account(GSC)
+        gsp = bank.accounts.create_account(GSP)
+        bank.admin.deposit(gsc, Credits(1000))
+        for _ in range(50):
+            bank.accounts.transfer(gsc, gsp, Credits(1))
+        bank.db.checkpoint()
+        bank.accounts.transfer(gsc, gsp, Credits(1))  # post-checkpoint tail
+        bank.db.close()
+
+        revived = boot_bank(pki, tmp_path)
+        assert revived.accounts.available_balance(gsp) == Credits(51)
+
+    def test_admin_table_survives(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        bank.admin.add_administrator("/O=GridBank/CN=root")
+        bank.db.close()
+        revived = boot_bank(pki, tmp_path)
+        assert revived.admin.is_administrator("/O=GridBank/CN=root")
+
+    def test_closed_account_stays_closed(self, pki, tmp_path):
+        bank = boot_bank(pki, tmp_path)
+        account = bank.accounts.create_account(GSC)
+        bank.admin.close_account(account)
+        bank.db.close()
+        revived = boot_bank(pki, tmp_path)
+        from repro.errors import AccountClosedError
+
+        with pytest.raises(AccountClosedError):
+            revived.admin.deposit(account, Credits(1))

@@ -1,0 +1,380 @@
+"""Integration tests: the GridBank server driven over secure RPC."""
+
+import random
+
+import pytest
+
+from repro.bank.server import GridBankServer
+from repro.crypto.hashes import HashChain
+from repro.errors import (
+    AuthorizationError,
+    DoubleSpendError,
+    InsufficientFundsError,
+    NotFoundError,
+)
+from repro.net.rpc import ConnectionRefused, RPCClient
+from repro.net.tcp import TCPClientConnection, TCPServer
+from repro.net.transport import InProcessNetwork
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.proxy import issue_proxy
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+
+@pytest.fixture(scope="module")
+def grid(ca_keypair, keypair_a, keypair_b, keypair_c):
+    clock = VirtualClock()
+    ca = CertificateAuthority(DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair)
+    store = CertificateStore([ca.root_certificate])
+    return {
+        "clock": clock,
+        "ca": ca,
+        "store": store,
+        "bank_ident": ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_a),
+        "alice": ca.issue_identity(DistinguishedName("VO-A", "alice"), keypair=keypair_b),
+        "gsp": ca.issue_identity(DistinguishedName("VO-B", "gsp"), keypair=keypair_c),
+        "admin_ident": ca.issue_identity(
+            DistinguishedName("GridBank", "admin"),
+            keypair=keypair_a,  # key reuse is fine for tests; subject differs
+        ),
+    }
+
+
+@pytest.fixture()
+def bank(grid):
+    server = GridBankServer(
+        grid["bank_ident"],
+        grid["store"],
+        clock=grid["clock"],
+        rng=random.Random(11),
+    )
+    server.admin.add_administrator(grid["admin_ident"].subject)
+    return server
+
+
+@pytest.fixture()
+def network(bank):
+    net = InProcessNetwork()
+    net.listen("gridbank", bank.connection_handler)
+    return net
+
+
+def client_for(grid, network, identity, seed=0) -> RPCClient:
+    client = RPCClient(
+        network.connect("gridbank"),
+        identity,
+        grid["store"],
+        clock=grid["clock"],
+        rng=random.Random(1000 + seed),
+    )
+    client.connect()
+    return client
+
+
+@pytest.fixture()
+def alice_client(grid, network):
+    return client_for(grid, network, grid["alice"], seed=1)
+
+
+@pytest.fixture()
+def gsp_client(grid, network):
+    return client_for(grid, network, grid["gsp"], seed=2)
+
+
+@pytest.fixture()
+def admin_client(grid, network):
+    return client_for(grid, network, grid["admin_ident"], seed=3)
+
+
+def open_funded_account(client, admin_client, amount=1000) -> str:
+    account = client.call("CreateAccount", organization_name="VO")["account_id"]
+    admin_client.call("Admin.Deposit", account_id=account, amount=Credits(amount))
+    return account
+
+
+class TestAccountOperations:
+    def test_create_and_query(self, alice_client, grid):
+        account = alice_client.call("CreateAccount", organization_name="VO-A")["account_id"]
+        details = alice_client.call("RequestAccountDetails", account_id=account)
+        assert details["CertificateName"] == grid["alice"].subject
+        assert details["OrganizationName"] == "VO-A"
+        assert details["AvailableBalance"] == 0.0
+
+    def test_update_account(self, alice_client):
+        account = alice_client.call("CreateAccount")["account_id"]
+        updated = alice_client.call(
+            "UpdateAccountDetails", account_id=account, organization_name="NewOrg"
+        )
+        assert updated["OrganizationName"] == "NewOrg"
+
+    def test_cannot_read_foreign_account(self, alice_client, gsp_client):
+        account = alice_client.call("CreateAccount")["account_id"]
+        gsp_client.call("CreateAccount")
+        with pytest.raises(AuthorizationError):
+            gsp_client.call("RequestAccountDetails", account_id=account)
+
+    def test_admin_can_read_any_account(self, alice_client, admin_client):
+        account = alice_client.call("CreateAccount")["account_id"]
+        assert admin_client.call("RequestAccountDetails", account_id=account)["AccountID"] == account
+
+    def test_statement_over_rpc(self, grid, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client)
+        dst = gsp_client.call("CreateAccount")["account_id"]
+        start = grid["clock"].now().stamp14
+        alice_client.call(
+            "RequestDirectTransfer", from_account=src, to_account=dst, amount=Credits(10)
+        )
+        grid["clock"].advance(60)
+        statement = alice_client.call(
+            "RequestAccountStatement", account_id=src, start=start, end=grid["clock"].now().stamp14
+        )
+        types = [t["Type"] for t in statement["transactions"]]
+        assert "Deposit" in types and "Transfer" in types
+        assert len(statement["transfers"]) == 1
+
+    def test_funds_availability_check_locks(self, alice_client, admin_client):
+        account = open_funded_account(alice_client, admin_client, 100)
+        result = alice_client.call("FundsAvailabilityCheck", account_id=account, amount=Credits(40))
+        assert result["confirmed"] is True
+        details = alice_client.call("RequestAccountDetails", account_id=account)
+        assert details["AvailableBalance"] == 60.0
+        assert details["LockedBalance"] == 40.0
+        alice_client.call("ReleaseFunds", account_id=account, amount=Credits(40))
+        assert alice_client.call("RequestAccountDetails", account_id=account)["LockedBalance"] == 0.0
+
+    def test_release_cannot_invade_instrument_guarantee(self, grid, alice_client, admin_client):
+        """Regression for a bug hypothesis found: ReleaseFunds must not
+        free the locked funds backing an outstanding cheque (sec 3.4)."""
+        from repro.errors import AccountError
+
+        account = open_funded_account(alice_client, admin_client, 100)
+        alice_client.call(
+            "RequestGridCheque", account_id=account,
+            payee_subject=grid["gsp"].subject, amount=Credits(60),
+        )
+        alice_client.call("FundsAvailabilityCheck", account_id=account, amount=Credits(10))
+        # 70 locked total: 60 reserved by the cheque, 10 plain
+        with pytest.raises(AccountError, match="releasable"):
+            alice_client.call("ReleaseFunds", account_id=account, amount=Credits(20))
+        alice_client.call("ReleaseFunds", account_id=account, amount=Credits(10))
+        details = alice_client.call("RequestAccountDetails", account_id=account)
+        assert details["LockedBalance"] == 60.0
+
+    def test_insufficient_funds_propagates(self, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client, 10)
+        dst = gsp_client.call("CreateAccount")["account_id"]
+        with pytest.raises(InsufficientFundsError):
+            alice_client.call(
+                "RequestDirectTransfer", from_account=src, to_account=dst, amount=Credits(100)
+            )
+
+
+class TestAuthorizationGates:
+    def test_unknown_subject_cannot_use_non_enrollment_ops(self, grid, network, alice_client):
+        # alice connected but has no account yet
+        with pytest.raises(AuthorizationError, match="no account"):
+            alice_client.call("RequestAccountDetails", account_id="01-0001-00000001")
+
+    def test_strict_policy_refuses_unknown_subjects(self, grid):
+        strict = GridBankServer(
+            grid["bank_ident"],
+            grid["store"],
+            clock=grid["clock"],
+            rng=random.Random(12),
+            open_enrollment=False,
+        )
+        net = InProcessNetwork()
+        net.listen("strictbank", strict.connection_handler)
+        client = RPCClient(
+            net.connect("strictbank"), grid["alice"], grid["store"],
+            clock=grid["clock"], rng=random.Random(5),
+        )
+        with pytest.raises(ConnectionRefused):
+            client.connect()
+        assert strict.endpoint.refused_connections == 1
+
+    def test_admin_ops_require_admin(self, alice_client):
+        account = alice_client.call("CreateAccount")["account_id"]
+        with pytest.raises(AuthorizationError):
+            alice_client.call("Admin.Deposit", account_id=account, amount=Credits(5))
+
+    def test_proxy_credential_operates_user_account(self, grid, network, bank, keypair_b):
+        proxy = issue_proxy(grid["alice"], clock=grid["clock"], keypair=keypair_b)
+        client = RPCClient(
+            network.connect("gridbank"), proxy, grid["store"],
+            clock=grid["clock"], rng=random.Random(9),
+        )
+        client.connect()
+        account = client.call("CreateAccount")["account_id"]
+        # account is recorded against the *user* subject, not the proxy
+        assert bank.accounts.owner_of(account) == grid["alice"].subject
+
+
+class TestPaymentsOverRPC:
+    def test_cheque_lifecycle(self, grid, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client)
+        gsp_account = gsp_client.call("CreateAccount")["account_id"]
+        cheque = alice_client.call(
+            "RequestGridCheque",
+            account_id=src,
+            payee_subject=grid["gsp"].subject,
+            amount=Credits(100),
+        )["cheque"]
+        result = gsp_client.call(
+            "RedeemGridCheque",
+            cheque=cheque,
+            payee_account=gsp_account,
+            charge=Credits(75),
+            rur_blob=b"\x01rur",
+        )
+        assert result["paid"] == Credits(75)
+        assert result["released"] == Credits(25)
+        with pytest.raises(DoubleSpendError):
+            gsp_client.call(
+                "RedeemGridCheque", cheque=cheque, payee_account=gsp_account, charge=Credits(1)
+            )
+
+    def test_cheque_batch_over_rpc(self, grid, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client)
+        gsp_account = gsp_client.call("CreateAccount")["account_id"]
+        cheques = [
+            alice_client.call(
+                "RequestGridCheque", account_id=src,
+                payee_subject=grid["gsp"].subject, amount=Credits(10),
+            )["cheque"]
+            for _ in range(4)
+        ]
+        results = gsp_client.call(
+            "RedeemGridChequeBatch",
+            items=[
+                {"cheque": c, "payee_account": gsp_account, "charge": Credits(8)} for c in cheques
+            ],
+        )
+        assert len(results) == 4
+        details = gsp_client.call("RequestAccountDetails", account_id=gsp_account)
+        assert details["AvailableBalance"] == 32.0
+
+    def test_hashchain_lifecycle(self, grid, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client)
+        gsp_account = gsp_client.call("CreateAccount")["account_id"]
+        chain = HashChain(20, rng=random.Random(4))
+        commitment = alice_client.call(
+            "RequestGridHash",
+            account_id=src,
+            payee_subject=grid["gsp"].subject,
+            root=chain.root,
+            length=20,
+            link_value=Credits(0.5),
+        )["commitment"]
+        result = gsp_client.call(
+            "RedeemGridHash",
+            commitment=commitment,
+            payee_account=gsp_account,
+            index=12,
+            link=chain.link(12),
+        )
+        assert result["paid"] == Credits(6)
+        assert result["links_redeemed"] == 12
+        assert result["released"] == Credits(4)
+
+    def test_direct_transfer_confirmation_pickup(self, grid, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client)
+        gsp_account = gsp_client.call("CreateAccount")["account_id"]
+        alice_client.call(
+            "RequestDirectTransfer",
+            from_account=src,
+            to_account=gsp_account,
+            amount=Credits(30),
+            recipient_address="gsp.vo-b.org/pay",
+        )
+        inbox = gsp_client.call("FetchConfirmations", address="gsp.vo-b.org/pay")
+        assert len(inbox) == 1
+        from repro.payments.direct import TransferConfirmation
+
+        confirmation = TransferConfirmation.from_dict(inbox[0])
+        bank_info = gsp_client.call("BankInfo")
+        from repro.crypto.keys import public_key_from_dict
+
+        confirmation.verify(public_key_from_dict(bank_info["public_key"]))
+        assert confirmation.amount == Credits(30)
+        # inbox is drained after pickup
+        assert gsp_client.call("FetchConfirmations", address="gsp.vo-b.org/pay") == []
+
+    def test_confirmations_only_fetchable_by_payee(
+        self, grid, alice_client, gsp_client, admin_client
+    ):
+        src = open_funded_account(alice_client, admin_client)
+        gsp_account = gsp_client.call("CreateAccount")["account_id"]
+        alice_client.call(
+            "RequestDirectTransfer",
+            from_account=src,
+            to_account=gsp_account,
+            amount=Credits(5),
+            recipient_address="gsp.vo-b.org/private",
+        )
+        # the drawer (or anyone else) gets nothing from the GSP's inbox...
+        assert alice_client.call("FetchConfirmations", address="gsp.vo-b.org/private") == []
+        # ...and the rightful payee still finds the confirmation queued
+        inbox = gsp_client.call("FetchConfirmations", address="gsp.vo-b.org/private")
+        assert len(inbox) == 1
+
+
+class TestAdminOverRPC:
+    def test_deposit_withdraw_credit_limit(self, alice_client, admin_client):
+        account = alice_client.call("CreateAccount")["account_id"]
+        admin_client.call("Admin.Deposit", account_id=account, amount=Credits(100))
+        admin_client.call("Admin.Withdraw", account_id=account, amount=Credits(40))
+        admin_client.call("Admin.ChangeCreditLimit", account_id=account, credit_limit=Credits(50))
+        details = alice_client.call("RequestAccountDetails", account_id=account)
+        assert details["AvailableBalance"] == 60.0
+        assert details["CreditLimit"] == 50.0
+
+    def test_cancel_transfer_and_close(self, grid, alice_client, gsp_client, admin_client):
+        src = open_funded_account(alice_client, admin_client, 100)
+        dst = gsp_client.call("CreateAccount")["account_id"]
+        confirmation = alice_client.call(
+            "RequestDirectTransfer", from_account=src, to_account=dst, amount=Credits(30)
+        )["confirmation"]
+        txn_id = confirmation["payload"]["transaction_id"]
+        admin_client.call("Admin.CancelTransfer", transaction_id=txn_id)
+        assert alice_client.call("RequestAccountDetails", account_id=src)["AvailableBalance"] == 100.0
+        result = admin_client.call("Admin.CloseAccount", account_id=src)
+        assert result["outstanding_balance"] == Credits(100)
+
+    def test_add_administrator_over_rpc(self, grid, admin_client, alice_client, bank):
+        admin_client.call("Admin.AddAdministrator", certificate_name=grid["alice"].subject)
+        assert bank.admin.is_administrator(grid["alice"].subject)
+
+    def test_cancel_missing_transfer(self, admin_client):
+        with pytest.raises(NotFoundError):
+            admin_client.call("Admin.CancelTransfer", transaction_id=424242)
+
+
+class TestOverTCP:
+    def test_full_cheque_flow_over_sockets(self, grid, bank):
+        with TCPServer(bank.connection_handler) as server:
+            def connect(identity, seed):
+                client = RPCClient(
+                    TCPClientConnection(server.address), identity, grid["store"],
+                    clock=grid["clock"], rng=random.Random(seed),
+                )
+                client.connect()
+                return client
+
+            alice = connect(grid["alice"], 21)
+            admin = connect(grid["admin_ident"], 22)
+            gsp = connect(grid["gsp"], 23)
+            src = open_funded_account(alice, admin, 500)
+            gsp_account = gsp.call("CreateAccount")["account_id"]
+            cheque = alice.call(
+                "RequestGridCheque", account_id=src,
+                payee_subject=grid["gsp"].subject, amount=Credits(50),
+            )["cheque"]
+            result = gsp.call(
+                "RedeemGridCheque", cheque=cheque, payee_account=gsp_account, charge=Credits(50)
+            )
+            assert result["paid"] == Credits(50)
+            for client in (alice, admin, gsp):
+                client.close()

@@ -1,0 +1,178 @@
+"""Unit tests for multi-branch settlement (paper sec 6)."""
+
+import random
+
+import pytest
+
+from repro.bank.branch import BranchNetwork
+from repro.bank.server import GridBankServer
+from repro.errors import SettlementError, ValidationError
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits, ZERO
+
+
+@pytest.fixture()
+def world(ca_keypair, keypair_a):
+    clock = VirtualClock()
+    ca = CertificateAuthority(DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair)
+    store = CertificateStore([ca.root_certificate])
+
+    def make_branch(branch_number):
+        ident = ca.issue_identity(
+            DistinguishedName("GridBank", f"branch-{branch_number}"), keypair=keypair_a
+        )
+        return GridBankServer(
+            ident, store, clock=clock, rng=random.Random(branch_number),
+            bank_number=1, branch_number=branch_number,
+        )
+
+    network = BranchNetwork()
+    branches = {n: make_branch(n) for n in (1, 2, 3)}
+    for server in branches.values():
+        network.add_branch(server)
+    return {"clock": clock, "network": network, "branches": branches}
+
+
+def funded_account(server, subject, amount):
+    account = server.accounts.create_account(subject)
+    server.admin.deposit(account, Credits(amount))
+    return account
+
+
+class TestRouting:
+    def test_routes_by_branch_number(self, world):
+        account = funded_account(world["branches"][2], "/O=VO-2/CN=u", 10)
+        assert world["network"].branch_for(account) is world["branches"][2]
+
+    def test_unknown_branch_rejected(self, world):
+        with pytest.raises(SettlementError):
+            world["network"].branch_for("01-0099-00000001")
+
+    def test_duplicate_branch_rejected(self, world):
+        with pytest.raises(ValidationError):
+            world["network"].add_branch(world["branches"][1])
+
+
+class TestCrossBranchTransfer:
+    def test_local_transfer_stays_local(self, world):
+        b1 = world["branches"][1]
+        a = funded_account(b1, "/O=VO-1/CN=a", 100)
+        b = b1.accounts.create_account("/O=VO-1/CN=b")
+        result = world["network"].transfer(a, b, Credits(10))
+        assert result["local"] is True
+        assert world["network"].cross_transfers == 0
+
+    def test_cross_branch_moves_funds(self, world):
+        src = funded_account(world["branches"][1], "/O=VO-1/CN=gsc", 100)
+        dst = world["branches"][2].accounts.create_account("/O=VO-2/CN=gsp")
+        result = world["network"].transfer(src, dst, Credits(40), rur_blob=b"\x01r")
+        assert result["local"] is False
+        assert len(result["transactions"]) == 2
+        assert world["branches"][1].accounts.available_balance(src) == Credits(60)
+        assert world["branches"][2].accounts.available_balance(dst) == Credits(40)
+        assert world["network"].net_position((1, 1), (1, 2)) == Credits(40)
+
+    def test_settlement_nets_bilateral_flows(self, world):
+        net = world["network"]
+        a1 = funded_account(world["branches"][1], "/O=VO-1/CN=a", 100)
+        a2 = funded_account(world["branches"][2], "/O=VO-2/CN=b", 100)
+        net.transfer(a1, a2, Credits(30))
+        net.transfer(a2, a1, Credits(10))
+        assert net.net_position((1, 1), (1, 2)) == Credits(20)
+        batches = net.settle()
+        assert len(batches) == 1
+        batch = batches[0]
+        assert batch.debtor == (1, 1)
+        assert batch.creditor == (1, 2)
+        assert batch.amount == Credits(20)
+        assert batch.transfers_netted == 2
+        # settlement accounts return to zero
+        assert net.settlement_account_balance((1, 1), (1, 2)) == ZERO
+        assert net.settlement_account_balance((1, 2), (1, 1)) == ZERO
+        # positions cleared
+        assert net.net_position((1, 1), (1, 2)) == ZERO
+
+    def test_balanced_flows_settle_without_movement(self, world):
+        net = world["network"]
+        a1 = funded_account(world["branches"][1], "/O=VO-1/CN=a", 100)
+        a2 = funded_account(world["branches"][2], "/O=VO-2/CN=b", 100)
+        net.transfer(a1, a2, Credits(25))
+        net.transfer(a2, a1, Credits(25))
+        batches = net.settle()
+        assert batches == []  # perfectly netted: no clearing movement needed
+        assert net.settlement_account_balance((1, 1), (1, 2)) == ZERO
+
+    def test_three_branch_traffic(self, world):
+        net = world["network"]
+        accounts = {
+            n: funded_account(world["branches"][n], f"/O=VO-{n}/CN=user", 300) for n in (1, 2, 3)
+        }
+        net.transfer(accounts[1], accounts[2], Credits(50))
+        net.transfer(accounts[2], accounts[3], Credits(20))
+        net.transfer(accounts[3], accounts[1], Credits(10))
+        batches = net.settle()
+        assert len(batches) == 3
+        total_user_funds = sum(
+            (world["branches"][n].accounts.available_balance(accounts[n]) for n in (1, 2, 3)),
+            ZERO,
+        )
+        assert total_user_funds == Credits(900)  # users' funds conserved globally
+        for key_a in ((1, 1), (1, 2), (1, 3)):
+            for key_b in ((1, 1), (1, 2), (1, 3)):
+                if key_a != key_b:
+                    assert net.settlement_account_balance(key_a, key_b) == ZERO
+
+    def test_settlement_message_count(self, world):
+        net = world["network"]
+        a1 = funded_account(world["branches"][1], "/O=VO-1/CN=a", 100)
+        a2 = funded_account(world["branches"][2], "/O=VO-2/CN=b", 100)
+        for _ in range(5):
+            net.transfer(a1, a2, Credits(1))
+        net.settle()
+        assert net.cross_transfers == 5
+        assert net.settlement_messages == 1  # 5 transfers cleared by one message
+
+    def test_multi_bank_settlement(self, ca_keypair, keypair_a):
+        """Sec 6: 'if another payment system is introduced to the Grid,
+        then that system can use different bank number and additional
+        protocols can be defined to settle accounts between multiple
+        banks' — routing and netting work across bank numbers too."""
+        clock = VirtualClock()
+        ca = CertificateAuthority(
+            DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+        )
+        store = CertificateStore([ca.root_certificate])
+        network = BranchNetwork()
+        banks = {}
+        for bank_number in (1, 2):
+            ident = ca.issue_identity(
+                DistinguishedName("GridBank", f"bank-{bank_number}"), keypair=keypair_a
+            )
+            server = GridBankServer(
+                ident, store, clock=clock, rng=random.Random(bank_number),
+                bank_number=bank_number, branch_number=1,
+            )
+            network.add_branch(server)
+            banks[bank_number] = server
+        a = funded_account(banks[1], "/O=SysA/CN=user", 100)
+        b = banks[2].accounts.create_account("/O=SysB/CN=gsp")
+        assert a.startswith("01-") and b.startswith("02-")
+        result = network.transfer(a, b, Credits(40))
+        assert result["local"] is False
+        assert banks[2].accounts.available_balance(b) == Credits(40)
+        batches = network.settle()
+        assert len(batches) == 1
+        assert batches[0].debtor == (1, 1)
+        assert batches[0].creditor == (2, 1)
+        assert network.settlement_account_balance((1, 1), (2, 1)) == ZERO
+
+    def test_cross_transfer_requires_funds(self, world):
+        src = funded_account(world["branches"][1], "/O=VO-1/CN=poor", 5)
+        dst = world["branches"][2].accounts.create_account("/O=VO-2/CN=gsp")
+        from repro.errors import InsufficientFundsError
+
+        with pytest.raises(InsufficientFundsError):
+            world["network"].transfer(src, dst, Credits(10))

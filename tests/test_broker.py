@@ -1,0 +1,273 @@
+"""Unit + integration tests for the Grid Resource Broker side."""
+
+import pytest
+
+from repro.broker.application import Parameter, ParameterizedApplication
+from repro.broker.gbpm import GridBankPaymentModule
+from repro.broker.grb import GridResourceBroker
+from repro.broker.scheduling import Algorithm, ResourceOffer, plan_allocation
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession
+from repro.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    ValidationError,
+)
+from repro.grid.job import Job
+from repro.util.money import Credits, ZERO
+
+
+def make_jobs(n, length_mi=360_000.0, subject="/O=A/CN=u"):
+    return [
+        Job(job_id=f"j{i}", user_subject=subject, application_name="app", length_mi=length_mi)
+        for i in range(n)
+    ]
+
+
+def offer(name, mips, pes, cpu_rate):
+    return ResourceOffer(
+        resource_name=name,
+        mips_per_pe=mips,
+        num_pes=pes,
+        rates=ServiceRatesRecord.flat(cpu_per_hour=cpu_rate),
+    )
+
+
+class TestParameterizedApplication:
+    def test_cartesian_product(self):
+        app = ParameterizedApplication(
+            "a", 1000.0,
+            parameters=(Parameter("x", (1, 2, 3)), Parameter("y", ("a", "b"))),
+        )
+        assert app.job_count == 6
+        jobs = app.jobs("/O=A/CN=u")
+        assert len(jobs) == 6
+        assert {tuple(sorted(j.parameters.items())) for j in jobs} == {
+            (("x", x), ("y", y)) for x in (1, 2, 3) for y in ("a", "b")
+        }
+
+    def test_no_parameters_single_job(self):
+        app = ParameterizedApplication("a", 1000.0)
+        assert len(app.jobs("/O=A/CN=u")) == 1
+
+    def test_jitter_varies_lengths(self):
+        from repro.sim.distributions import Distributions
+
+        app = ParameterizedApplication(
+            "a", 1000.0, parameters=(Parameter("x", tuple(range(10))),), length_jitter=0.3
+        )
+        jobs = app.jobs("/O=A/CN=u", dist=Distributions(5))
+        lengths = {j.length_mi for j in jobs}
+        assert len(lengths) > 1
+        assert all(700.0 <= l <= 1300.0 for l in lengths)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ParameterizedApplication("a", 0.0)
+        with pytest.raises(ValidationError):
+            ParameterizedApplication("a", 1.0, length_jitter=1.0)
+        with pytest.raises(ValidationError):
+            Parameter("", (1,))
+        with pytest.raises(ValidationError):
+            Parameter("x", ())
+        with pytest.raises(ValidationError):
+            ParameterizedApplication(
+                "a", 1.0, parameters=(Parameter("x", (1,)), Parameter("x", (2,)))
+            )
+
+
+class TestPlanAllocation:
+    # cheap: 1200 s/job at 2 G$/h -> 0.667/job; fast: 300 s/job at 16 G$/h -> 1.333/job
+    CHEAP = offer("cheap", 300.0, 4, 2.0)
+    FAST = offer("fast", 1200.0, 8, 16.0)
+
+    def test_cost_optimization_prefers_cheap(self):
+        plan = plan_allocation(
+            make_jobs(8), [self.CHEAP, self.FAST], deadline_s=4000.0, budget=Credits(100),
+            algorithm=Algorithm.COST_OPTIMIZATION,
+        )
+        assert len(plan.assignments["cheap"]) == 8
+        assert len(plan.assignments["fast"]) == 0
+
+    def test_cost_optimization_overflows_when_deadline_tight(self):
+        plan = plan_allocation(
+            make_jobs(16), [self.CHEAP, self.FAST], deadline_s=2400.0, budget=Credits(100),
+            algorithm=Algorithm.COST_OPTIMIZATION,
+        )
+        # cheap fits 2 rounds x 4 PEs = 8 jobs; the rest must go fast
+        assert len(plan.assignments["cheap"]) == 8
+        assert len(plan.assignments["fast"]) == 8
+
+    def test_time_optimization_minimizes_makespan(self):
+        cost_plan = plan_allocation(
+            make_jobs(16), [self.CHEAP, self.FAST], deadline_s=8000.0, budget=Credits(100),
+            algorithm=Algorithm.COST_OPTIMIZATION,
+        )
+        time_plan = plan_allocation(
+            make_jobs(16), [self.CHEAP, self.FAST], deadline_s=8000.0, budget=Credits(100),
+            algorithm=Algorithm.TIME_OPTIMIZATION,
+        )
+        assert time_plan.estimated_makespan_s < cost_plan.estimated_makespan_s
+        assert time_plan.estimated_cost > cost_plan.estimated_cost
+
+    def test_cost_time_spreads_within_equal_cost(self):
+        # two providers with identical per-job cost, different speeds
+        a = offer("slowcheap", 300.0, 2, 2.0)
+        b = offer("fastcheap", 600.0, 2, 4.0)  # same G$/MI
+        plan = plan_allocation(
+            make_jobs(6), [a, b], deadline_s=10_000.0, budget=Credits(100),
+            algorithm=Algorithm.COST_TIME_OPTIMIZATION,
+        )
+        assert plan.assignments["slowcheap"] and plan.assignments["fastcheap"]
+        cost_plan = plan_allocation(
+            make_jobs(6), [a, b], deadline_s=10_000.0, budget=Credits(100),
+            algorithm=Algorithm.COST_OPTIMIZATION,
+        )
+        assert plan.estimated_makespan_s <= cost_plan.estimated_makespan_s
+        assert plan.estimated_cost == cost_plan.estimated_cost
+
+    def test_round_robin_ignores_price(self):
+        plan = plan_allocation(
+            make_jobs(8), [self.CHEAP, self.FAST], deadline_s=8000.0, budget=Credits(100),
+            algorithm=Algorithm.ROUND_ROBIN,
+        )
+        assert len(plan.assignments["cheap"]) == 4
+        assert len(plan.assignments["fast"]) == 4
+
+    def test_infeasible_deadline(self):
+        with pytest.raises(DeadlineExceededError):
+            plan_allocation(
+                make_jobs(100), [self.CHEAP], deadline_s=1300.0, budget=Credits(1000)
+            )
+
+    def test_infeasible_budget(self):
+        with pytest.raises(BudgetExceededError):
+            plan_allocation(
+                make_jobs(8), [self.FAST], deadline_s=4000.0, budget=Credits(1)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            plan_allocation([], [self.CHEAP], 100.0, Credits(1))
+        with pytest.raises(ValidationError):
+            plan_allocation(make_jobs(1), [], 100.0, Credits(1))
+        with pytest.raises(ValidationError):
+            plan_allocation(make_jobs(1), [self.CHEAP], 0.0, Credits(1))
+
+
+@pytest.fixture()
+def campaign_world():
+    session = GridSession(seed=41)
+    consumer = session.add_consumer("researcher", funds=1000)
+    session.add_provider(
+        "cheap", ServiceRatesRecord.flat(cpu_per_hour=2.0), num_pes=4, mips_per_pe=300
+    )
+    session.add_provider(
+        "fast", ServiceRatesRecord.flat(cpu_per_hour=16.0), num_pes=8, mips_per_pe=1200
+    )
+    return session, consumer
+
+
+class TestGBPM:
+    def test_budget_enforced_on_cheques(self, campaign_world):
+        session, consumer = campaign_world
+        gbpm = GridBankPaymentModule(consumer.api, consumer.account_id, budget=Credits(10))
+        provider = next(p for p in session.participants.values() if p.provider)
+        gbpm.obtain_cheque(provider.subject, Credits(6))
+        assert gbpm.remaining_budget() == Credits(4)
+        with pytest.raises(BudgetExceededError):
+            gbpm.obtain_cheque(provider.subject, Credits(5))
+        gbpm.record_refund(Credits(3))
+        gbpm.obtain_cheque(provider.subject, Credits(5))  # now affordable
+
+    def test_no_budget_means_unlimited(self, campaign_world):
+        session, consumer = campaign_world
+        gbpm = GridBankPaymentModule(consumer.api, consumer.account_id)
+        assert gbpm.remaining_budget() is None
+        provider = next(p for p in session.participants.values() if p.provider)
+        gbpm.obtain_cheque(provider.subject, Credits(500))
+
+    def test_balance_and_details_mirrors(self, campaign_world):
+        _session, consumer = campaign_world
+        gbpm = GridBankPaymentModule(consumer.api, consumer.account_id)
+        assert gbpm.check_balance() == Credits(1000)
+        assert gbpm.request_account_details()["AccountID"] == consumer.account_id
+
+    def test_set_budget_validation(self, campaign_world):
+        _session, consumer = campaign_world
+        gbpm = GridBankPaymentModule(consumer.api, consumer.account_id)
+        with pytest.raises(ValidationError):
+            gbpm.set_budget(Credits(-1))
+
+
+class TestCampaigns:
+    def test_cost_optimized_campaign(self, campaign_world):
+        session, consumer = campaign_world
+        broker = GridResourceBroker(session, consumer)
+        jobs = make_jobs(8, subject=consumer.subject)
+        result = broker.run_campaign(
+            jobs, deadline_s=6000.0, budget=Credits(100), algorithm=Algorithm.COST_OPTIMIZATION
+        )
+        assert result.jobs_done == 8
+        assert result.within_deadline and result.within_budget
+        assert result.total_paid > ZERO
+        # conservation: consumer + providers hold the initial 1000
+        total = consumer.balance()
+        for p in session.participants.values():
+            if p.provider is not None:
+                total = total + p.balance()
+        assert total == Credits(1000)
+
+    def test_time_beats_cost_on_makespan(self, campaign_world):
+        session, consumer = campaign_world
+        broker = GridResourceBroker(session, consumer)
+        cost_result = broker.run_campaign(
+            make_jobs(8, subject=consumer.subject), deadline_s=8000.0, budget=Credits(200),
+            algorithm=Algorithm.COST_OPTIMIZATION,
+        )
+        time_result = broker.run_campaign(
+            [Job(job_id=f"t{i}", user_subject=consumer.subject, application_name="app",
+                 length_mi=360_000.0) for i in range(8)],
+            deadline_s=8000.0, budget=Credits(200), algorithm=Algorithm.TIME_OPTIMIZATION,
+        )
+        assert time_result.makespan_s < cost_result.makespan_s
+        assert time_result.total_paid > cost_result.total_paid
+
+    def test_budget_infeasible_campaign_moves_no_money(self, campaign_world):
+        session, consumer = campaign_world
+        broker = GridResourceBroker(session, consumer)
+        before = consumer.balance()
+        with pytest.raises(BudgetExceededError):
+            broker.run_campaign(
+                make_jobs(8, subject=consumer.subject),
+                deadline_s=6000.0,
+                budget=Credits(0.01),
+            )
+        assert consumer.balance() == before
+
+    def test_discovery_filters(self, campaign_world):
+        session, consumer = campaign_world
+        broker = GridResourceBroker(session, consumer)
+        fast_only = broker.discover(min_mips=1000.0)
+        assert [p.name for p in fast_only] == ["fast"]
+        cheap_only = broker.discover(max_cpu_rate=Credits(5))
+        assert [p.name for p in cheap_only] == ["cheap"]
+
+    def test_no_providers(self):
+        session = GridSession(seed=42)
+        consumer = session.add_consumer("lonely", funds=10)
+        broker = GridResourceBroker(session, consumer)
+        with pytest.raises(ValidationError):
+            broker.run_campaign(make_jobs(1, subject=consumer.subject), 100.0, Credits(1))
+
+    def test_parallel_jobs_share_one_template_account(self, campaign_world):
+        session, consumer = campaign_world
+        broker = GridResourceBroker(session, consumer)
+        broker.run_campaign(
+            make_jobs(8, subject=consumer.subject), deadline_s=6000.0, budget=Credits(100),
+            algorithm=Algorithm.COST_OPTIMIZATION,
+        )
+        cheap = session.participants["cheap"].provider
+        # 8 concurrent engagements, 1 consumer -> peak 1 template account
+        assert cheap.pool.stats()["peak_in_use"] == 1
+        assert cheap.pool.in_use == 0

@@ -1,0 +1,95 @@
+"""End-to-end CLI: enroll a user, serve the bank on TCP, operate remotely."""
+
+import threading
+
+import pytest
+
+from repro.cli import main, _load_bank
+from repro.net.tcp import TCPServer
+
+
+@pytest.fixture()
+def home(tmp_path):
+    path = str(tmp_path / "bankhome")
+    assert main(["init", "--home", path, "--key-bits", "512", "--seed", "11"]) == 0
+    return path
+
+
+def run(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestEnrollment:
+    def test_issue_identity_writes_credential(self, home, tmp_path, capsys):
+        cred = str(tmp_path / "alice.gbk")
+        code, out, _ = run(
+            ["issue-identity", "--home", home, "--organization", "VO-A",
+             "--name", "alice", "--out", cred, "--key-bits", "512"],
+            capsys,
+        )
+        assert code == 0
+        assert "subject: /O=VO-A/CN=alice" in out
+        assert (tmp_path / "alice.gbk").exists()
+
+
+class TestRemoteOperations:
+    def test_full_remote_flow(self, home, tmp_path, capsys):
+        alice_cred = str(tmp_path / "alice.gbk")
+        bob_cred = str(tmp_path / "bob.gbk")
+        for name, cred in (("alice", alice_cred), ("bob", bob_cred)):
+            assert main(
+                ["issue-identity", "--home", home, "--organization", "VO",
+                 "--name", name, "--out", cred, "--key-bits", "512"]
+            ) == 0
+        capsys.readouterr()
+
+        # serve the bank in-process on an ephemeral port
+        bank = _load_bank(__import__("pathlib").Path(home))
+        with TCPServer(bank.connection_handler) as server:
+            address = f"{server.address[0]}:{server.address[1]}"
+
+            code, out, _ = run(
+                ["remote-create-account", "--credential", alice_cred,
+                 "--address", address, "--organization", "VO"],
+                capsys,
+            )
+            assert code == 0
+            alice_account = out.strip()
+
+            code, out, _ = run(
+                ["remote-create-account", "--credential", bob_cred, "--address", address],
+                capsys,
+            )
+            bob_account = out.strip()
+
+            # fund alice through the local admin path
+            bank.admin.deposit(alice_account, __import__("repro.util.money", fromlist=["Credits"]).Credits(50))
+
+            code, out, _ = run(
+                ["remote-transfer", "--credential", alice_cred, "--address", address,
+                 "--from-account", alice_account, "--to-account", bob_account,
+                 "--amount", "20"],
+                capsys,
+            )
+            assert code == 0
+            assert "transferred G$20" in out
+
+            code, out, _ = run(
+                ["remote-balance", "--credential", bob_cred, "--address", address,
+                 "--account", bob_account],
+                capsys,
+            )
+            assert code == 0
+            assert "available: G$20" in out
+
+            # ownership still enforced over the remote path
+            code, _out, err = run(
+                ["remote-balance", "--credential", bob_cred, "--address", address,
+                 "--account", alice_account],
+                capsys,
+            )
+            assert code == 1
+            assert "error" in err
+        bank.db.close()

@@ -1,0 +1,170 @@
+"""Unit tests for service rates, conformance, and the charge calculation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rates import BILLING_UNITS, ServiceRatesRecord
+from repro.errors import ConformanceError, ValidationError
+from repro.rur.record import UsageVector
+from repro.util.money import Credits, ZERO
+
+
+def usage(cpu_s=3600.0, mem=0.0, sto=0.0, net=0.0, soft=0.0, wall=3600.0) -> UsageVector:
+    return UsageVector(
+        cpu_time_s=cpu_s,
+        memory_mb_h=mem,
+        storage_mb_h=sto,
+        network_mb=net,
+        software_time_s=soft,
+        wall_clock_s=wall,
+    )
+
+
+class TestServiceRates:
+    def test_flat_builder_drops_zero_items(self):
+        rates = ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1)
+        assert set(rates.rates) == {"cpu_time_s", "network_mb"}
+
+    def test_cpu_hour_unit(self):
+        # "The rate for CPU time is G$ per CPU hour and the usage is time."
+        rates = ServiceRatesRecord.flat(cpu_per_hour=6.0)
+        assert rates.total_charge(usage(cpu_s=1800.0)) == Credits(3)
+
+    def test_memory_and_storage_mb_hour_unit(self):
+        rates = ServiceRatesRecord.flat(memory_per_mb_hour=0.01, storage_per_mb_hour=0.002)
+        charge = rates.total_charge(usage(cpu_s=0.0, mem=100.0, sto=50.0, wall=0.0))
+        assert charge == Credits(1.1)
+
+    def test_io_per_mb_unit(self):
+        rates = ServiceRatesRecord.flat(network_per_mb=0.1)
+        assert rates.total_charge(usage(cpu_s=0.0, net=25.0, wall=0.0)) == Credits(2.5)
+
+    def test_all_five_chargeable_items_plus_wall(self):
+        # The sec 2.1 list: processors, memory, storage, I/O, software.
+        rates = ServiceRatesRecord.flat(
+            cpu_per_hour=6.0,
+            memory_per_mb_hour=0.01,
+            storage_per_mb_hour=0.001,
+            network_per_mb=0.1,
+            software_per_hour=1.0,
+            wall_per_hour=0.5,
+        )
+        vec = usage(cpu_s=3600.0, mem=100.0, sto=200.0, net=10.0, soft=360.0, wall=7200.0)
+        items = rates.item_charges(vec)
+        assert items["cpu_time_s"] == Credits(6)
+        assert items["memory_mb_h"] == Credits(1)
+        assert items["storage_mb_h"] == Credits(0.2)
+        assert items["network_mb"] == Credits(1)
+        assert items["software_time_s"] == Credits(0.1)
+        assert items["wall_clock_s"] == Credits(1)
+        assert rates.total_charge(vec) == Credits(9.3)
+
+    def test_scaled(self):
+        rates = ServiceRatesRecord.flat(cpu_per_hour=10.0).scaled(0.5)
+        assert rates.rates["cpu_time_s"] == Credits(5)
+        with pytest.raises(ValidationError):
+            rates.scaled(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ServiceRatesRecord(rates={"gpu_time_s": Credits(1)})
+        with pytest.raises(ValidationError):
+            ServiceRatesRecord(rates={"cpu_time_s": Credits(-1)})
+        with pytest.raises(ValidationError):
+            ServiceRatesRecord(rates={"cpu_time_s": 1.0})  # type: ignore[dict-item]
+
+    def test_conformance_check(self):
+        rates = ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1)
+        rates.check_conformance({"cpu_time_s": 1.0, "network_mb": 2.0})
+        with pytest.raises(ConformanceError):
+            rates.check_conformance({"cpu_time_s": 1.0})  # network item missing
+
+    def test_dict_roundtrip(self):
+        rates = ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1)
+        again = ServiceRatesRecord.from_dict(rates.to_dict())
+        assert again.rates == rates.rates
+
+    def test_estimate_job_cost(self):
+        rates = ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1)
+        estimate = rates.estimate_job_cost(cpu_hours=0.5, io_mb=15.0)
+        assert estimate == Credits(4.5)
+
+    @given(
+        st.floats(min_value=0, max_value=1e5),
+        st.floats(min_value=0, max_value=1e4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_charge_monotone_in_usage(self, cpu_s, rate):
+        rates = ServiceRatesRecord.flat(cpu_per_hour=rate)
+        low = rates.total_charge(usage(cpu_s=cpu_s, wall=0.0))
+        high = rates.total_charge(usage(cpu_s=cpu_s * 2, wall=0.0))
+        assert high >= low
+
+    def test_billing_units_cover_all_items(self):
+        from repro.rur.record import CHARGEABLE_ITEMS
+
+        assert set(BILLING_UNITS) == set(CHARGEABLE_ITEMS)
+
+
+class TestChargeCalculationSigning:
+    """GBCM's signed (calculation + rates + RUR) bundle."""
+
+    @pytest.fixture()
+    def world(self):
+        from repro.core.session import GridSession
+        from repro.grid.job import Job
+
+        session = GridSession(seed=7)
+        alice = session.add_consumer("alice", funds=1000)
+        provider = session.add_provider(
+            "gsp1", ServiceRatesRecord.flat(cpu_per_hour=6.0), num_pes=2, mips_per_pe=500
+        )
+        return session, alice, provider
+
+    def _run(self, world):
+        from repro.core.session import PaymentStrategy
+        from repro.grid.job import Job
+
+        session, alice, provider = world
+        job = Job(
+            job_id="chg-1", user_subject=alice.subject,
+            application_name="render", length_mi=450_000,
+        )
+        return session.run_job(alice, provider, job, PaymentStrategy.PAY_AFTER_USE), provider
+
+    def test_signed_by_gsp_and_recomputable(self, world):
+        outcome, provider = self._run(world)
+        calculation = outcome.calculation
+        payload = calculation.verify(provider.identity.private_key.public_key())
+        assert payload["gsp_subject"] == provider.subject
+        calculation.recompute_check()  # total == rates x usage exactly
+
+    def test_tampered_total_detected(self, world):
+        from repro.core.charging import ChargeCalculation
+        from repro.crypto.signature import Signed
+        from repro.errors import SignatureError
+
+        outcome, provider = self._run(world)
+        original = outcome.calculation
+        inflated = dict(original.payload)
+        inflated["total"] = Credits(99999)
+        forged = ChargeCalculation(
+            signed=Signed(payload=inflated, signature=original.signed.signature,
+                          signer=original.signed.signer)
+        )
+        with pytest.raises(SignatureError):
+            forged.verify(provider.identity.private_key.public_key())
+        with pytest.raises(ValidationError):
+            forged.recompute_check()
+
+    def test_rur_travels_in_transfer_record(self, world):
+        from repro.rur.formats import from_blob
+
+        outcome, provider = self._run(world)
+        session = world[0]
+        # the settlement transfer stored the RUR blob as evidence
+        txn_id = outcome.service.settlement["transaction_id"]
+        record = session.bank.accounts.transfer_record(txn_id)
+        stored = from_blob(record["ResourceUsageRecord"])
+        assert stored == outcome.service.rur
+        assert stored.user_certificate_name == world[1].subject

@@ -1,0 +1,157 @@
+"""Integration tests: the Figure-1 use case under all payment strategies."""
+
+import pytest
+
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession, PaymentStrategy
+from repro.errors import InsufficientFundsError, PoolExhaustedError, ValidationError
+from repro.grid.job import Job, JobStatus
+from repro.util.money import Credits, ZERO
+
+
+@pytest.fixture()
+def session():
+    return GridSession(seed=11)
+
+
+@pytest.fixture()
+def world(session):
+    alice = session.add_consumer("alice", funds=1000)
+    provider = session.add_provider(
+        "gsp1",
+        ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1),
+        num_pes=4,
+        mips_per_pe=500,
+    )
+    return session, alice, provider
+
+
+def make_job(subject, job_id="j1", length_mi=900_000.0, **kw):
+    defaults = dict(application_name="render", input_mb=10.0, output_mb=5.0)
+    defaults.update(kw)
+    return Job(job_id=job_id, user_subject=subject, length_mi=length_mi, **defaults)
+
+
+class TestUseCaseFigure1:
+    def test_pay_after_use_full_flow(self, world):
+        session, alice, provider = world
+        job = make_job(alice.subject)
+        outcome = session.run_job(alice, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        # 900k MI at 500 MIPS = 0.5 CPU-h x 6 + 15 MB x 0.1 = G$4.5
+        assert outcome.charge == Credits(4.5)
+        assert outcome.paid == Credits(4.5)
+        assert job.status is JobStatus.DONE
+        assert alice.balance() == Credits(1000) - Credits(4.5)
+        assert provider.balance() == Credits(4.5)
+        # the unused reservation came back
+        assert outcome.refunded > ZERO
+        details = alice.api.account_details(alice.account_id)
+        assert details["LockedBalance"] == 0.0
+
+    def test_pay_before_use(self, world):
+        session, alice, provider = world
+        job = make_job(alice.subject, job_id="j-before")
+        outcome = session.run_job(alice, provider, job, PaymentStrategy.PAY_BEFORE_USE)
+        assert outcome.paid == outcome.charge  # fixed price == estimate here
+        assert provider.balance() == outcome.paid
+
+    def test_pay_as_you_go(self, world):
+        session, alice, provider = world
+        job = make_job(alice.subject, job_id="j-payg")
+        outcome = session.run_job(
+            alice, provider, job, PaymentStrategy.PAY_AS_YOU_GO, payg_tick_seconds=60.0
+        )
+        assert outcome.paid > ZERO
+        # micropayments approximate the metered CPU charge within one tick
+        cpu_only = ServiceRatesRecord.flat(cpu_per_hour=6.0).total_charge(
+            outcome.service.rur.usage
+        )
+        assert abs(outcome.paid.to_float() - cpu_only.to_float()) < 0.25
+        # everything not paid was released back
+        assert alice.balance() + provider.balance() == Credits(1000)
+
+    def test_conservation_across_strategies(self, world):
+        session, alice, provider = world
+        for i, strategy in enumerate(PaymentStrategy):
+            job = make_job(alice.subject, job_id=f"c{i}")
+            session.run_job(alice, provider, job, strategy)
+        assert alice.balance() + provider.balance() == Credits(1000)
+        assert session.bank.accounts.total_bank_funds() == Credits(1000)
+
+    def test_insufficient_funds_blocks_job(self, session):
+        poor = session.add_consumer("poor", funds=0.5)
+        provider = session.add_provider(
+            "gsp2", ServiceRatesRecord.flat(cpu_per_hour=100.0), num_pes=1, mips_per_pe=500
+        )
+        job = make_job(poor.subject, job_id="too-expensive")
+        with pytest.raises(InsufficientFundsError):
+            session.run_job(poor, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        # nothing executed, nothing moved
+        assert provider.balance() == ZERO
+        assert job.status is JobStatus.CREATED
+
+    def test_template_account_lifecycle(self, world):
+        session, alice, provider = world
+        pool = provider.provider.pool
+        assert pool.in_use == 0
+        job = make_job(alice.subject, job_id="tmpl")
+        session.run_job(alice, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        # admitted during the run, released after settlement
+        assert pool.in_use == 0
+        assert pool.total_assignments == 1
+        assert len(pool.mapfile) == 0
+
+    def test_many_consumers_share_small_pool(self, session):
+        provider = session.add_provider(
+            "gsp3", ServiceRatesRecord.flat(cpu_per_hour=1.0), num_pes=2,
+            mips_per_pe=1000, pool_size=2,
+        )
+        for i in range(6):
+            consumer = session.add_consumer(f"user{i}", funds=100)
+            job = make_job(consumer.subject, job_id=f"u{i}", length_mi=60_000.0)
+            session.run_job(consumer, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        stats = provider.provider.pool.stats()
+        assert stats["total_assignments"] == 6
+        assert stats["peak_in_use"] <= 2
+        assert stats["rejections"] == 0
+
+    def test_run_job_requires_provider(self, world):
+        session, alice, _provider = world
+        bob = session.add_consumer("bob", funds=10)
+        with pytest.raises(ValidationError):
+            session.run_job(alice, bob, make_job(alice.subject))
+
+    def test_bargaining_lowers_charge(self, session):
+        alice = session.add_consumer("alice", funds=1000)
+        from repro.grid.trade import PricingModel
+
+        provider = session.add_provider(
+            "haggler",
+            ServiceRatesRecord.flat(cpu_per_hour=10.0),
+            num_pes=2,
+            mips_per_pe=500,
+            pricing_model=PricingModel.BARGAINING,
+        )
+        job = make_job(alice.subject, job_id="bargain", input_mb=0.0, output_mb=0.0)
+        outcome = session.run_job(
+            alice, provider, job, PaymentStrategy.PAY_AFTER_USE, bid_fraction=0.5
+        )
+        posted_cost = Credits(10) * (job.runtime_on(500) / 3600.0)
+        assert outcome.charge < posted_cost
+        assert outcome.negotiation_rounds > 1
+
+    def test_duplicate_participant_rejected(self, world):
+        session, _alice, _provider = world
+        with pytest.raises(ValidationError):
+            session.add_consumer("alice")
+
+    def test_statement_reflects_job_payments(self, world):
+        session, alice, provider = world
+        start = session.clock.now()
+        job = make_job(alice.subject, job_id="stmt")
+        session.run_job(alice, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        session.clock.advance(60)
+        statement = alice.api.account_statement(alice.account_id, start, session.clock.now())
+        transfer_rows = [t for t in statement["transactions"] if t["Type"] == "Transfer"]
+        assert len(transfer_rows) == 1
+        assert transfer_rows[0]["Amount"] == -4.5

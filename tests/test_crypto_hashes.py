@@ -1,0 +1,79 @@
+"""Unit + property tests for hash helpers and PayWord hash chains."""
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashes import HashChain, sha256, sha256_hex, verify_link
+from repro.errors import ValidationError
+
+
+def test_sha256_matches_hashlib_for_bytes():
+    assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+    assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+def test_sha256_canonicalizes_structures():
+    assert sha256({"a": 1, "b": 2}) == sha256({"b": 2, "a": 1})
+    assert sha256({"a": 1}) != sha256({"a": 2})
+
+
+class TestHashChain:
+    def test_links_chain_back_to_root(self):
+        chain = HashChain(10, rng=random.Random(3))
+        for i in range(1, 11):
+            assert hashlib.sha256(chain.link(i)).digest() == chain.link(i - 1)
+        assert chain.link(0) == chain.root
+
+    def test_verify_link_adjacent(self):
+        chain = HashChain(5, rng=random.Random(3))
+        assert verify_link(chain.link(1), chain.root)
+        assert verify_link(chain.link(5), chain.link(4))
+
+    def test_verify_link_with_distance(self):
+        chain = HashChain(8, rng=random.Random(3))
+        assert verify_link(chain.link(7), chain.link(2), distance=5)
+        assert not verify_link(chain.link(7), chain.link(2), distance=4)
+
+    def test_wrong_preimage_rejected(self):
+        chain = HashChain(4, rng=random.Random(3))
+        assert not verify_link(b"\x00" * 32, chain.root)
+
+    def test_deterministic_from_seed_bytes(self):
+        chain1 = HashChain(6, seed=b"s" * 32)
+        chain2 = HashChain(6, seed=b"s" * 32)
+        assert chain1.root == chain2.root
+        assert chain1.link(6) == chain2.link(6)
+
+    def test_len_and_bounds(self):
+        chain = HashChain(3, rng=random.Random(1))
+        assert len(chain) == 3
+        with pytest.raises(ValidationError):
+            chain.link(4)
+        with pytest.raises(ValidationError):
+            chain.link(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            HashChain(0)
+        with pytest.raises(ValidationError):
+            HashChain(3, seed=b"short")
+        with pytest.raises(ValidationError):
+            verify_link(b"x" * 32, b"y" * 32, distance=0)
+
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_any_link_verifies_against_any_earlier(self, length, data):
+        chain = HashChain(length, rng=random.Random(7))
+        j = data.draw(st.integers(min_value=1, max_value=length))
+        i = data.draw(st.integers(min_value=0, max_value=j - 1))
+        assert verify_link(chain.link(j), chain.link(i), distance=j - i)
+
+    @given(st.integers(min_value=2, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_seeds_distinct_roots(self, length):
+        c1 = HashChain(length, rng=random.Random(1))
+        c2 = HashChain(length, rng=random.Random(2))
+        assert c1.root != c2.root

@@ -1,0 +1,75 @@
+"""Unit tests for Miller-Rabin primality and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import SMALL_PRIMES, generate_prime, is_probable_prime
+from repro.errors import ValidationError
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 41041, 825265, 2047 * 3]
+CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes_accepted(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_rejected(n):
+    assert not is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", CARMICHAELS)
+def test_carmichael_numbers_rejected(n):
+    # Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+    assert not is_probable_prime(n)
+
+
+def test_negative_and_small_values():
+    assert not is_probable_prime(-7)
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(1)
+
+
+def test_non_int_rejected():
+    with pytest.raises(ValidationError):
+        is_probable_prime(7.0)  # type: ignore[arg-type]
+    with pytest.raises(ValidationError):
+        is_probable_prime(True)  # type: ignore[arg-type]
+
+
+def test_small_primes_table_is_prime_sorted():
+    assert SMALL_PRIMES[0] == 2
+    assert SMALL_PRIMES == sorted(set(SMALL_PRIMES))
+    for p in SMALL_PRIMES[:50]:
+        assert is_probable_prime(p)
+
+
+@given(st.integers(min_value=2, max_value=20000))
+@settings(max_examples=200)
+def test_agrees_with_trial_division(n):
+    by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+    assert is_probable_prime(n) == by_trial
+
+
+def test_generate_prime_bit_length_and_primality():
+    rng = random.Random(42)
+    for bits in (64, 128, 256):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert p % 2 == 1
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_deterministic_under_seed():
+    assert generate_prime(128, random.Random(7)) == generate_prime(128, random.Random(7))
+
+
+def test_generate_prime_rejects_tiny_sizes():
+    with pytest.raises(ValidationError):
+        generate_prime(4, random.Random(0))

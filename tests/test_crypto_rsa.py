@@ -1,0 +1,92 @@
+"""Unit tests for RSA key generation and raw operations."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.keys import (
+    private_key_from_dict,
+    private_key_to_dict,
+    public_key_from_dict,
+    public_key_to_dict,
+)
+from repro.errors import ValidationError
+
+
+def test_keypair_roundtrip_encrypt_decrypt(keypair_a):
+    m = 123456789
+    c = keypair_a.public.encrypt_int(m)
+    assert c != m
+    assert keypair_a.private.decrypt_int(c) == m
+
+
+def test_sign_then_verify_raw(keypair_a):
+    m = 987654321
+    s = keypair_a.private.decrypt_int(m)
+    assert keypair_a.public.encrypt_int(s) == m
+
+
+def test_modulus_has_requested_bits():
+    kp = generate_keypair(bits=512, rng=random.Random(5))
+    assert kp.public.n.bit_length() == 512
+    assert kp.public.byte_length == 64
+
+
+def test_keygen_deterministic_under_seed():
+    kp1 = generate_keypair(bits=512, rng=random.Random(99))
+    kp2 = generate_keypair(bits=512, rng=random.Random(99))
+    assert kp1.public == kp2.public
+    assert kp1.private == kp2.private
+
+
+def test_distinct_seeds_give_distinct_keys():
+    kp1 = generate_keypair(bits=512, rng=random.Random(1))
+    kp2 = generate_keypair(bits=512, rng=random.Random(2))
+    assert kp1.public.n != kp2.public.n
+
+
+def test_keygen_rejects_bad_sizes():
+    with pytest.raises(ValidationError):
+        generate_keypair(bits=128)
+    with pytest.raises(ValidationError):
+        generate_keypair(bits=513)
+
+
+def test_encrypt_rejects_out_of_range(keypair_a):
+    with pytest.raises(ValidationError):
+        keypair_a.public.encrypt_int(keypair_a.public.n)
+    with pytest.raises(ValidationError):
+        keypair_a.public.encrypt_int(-1)
+
+
+def test_private_key_consistency(keypair_a):
+    priv = keypair_a.private
+    assert priv.p * priv.q == priv.n
+    phi = (priv.p - 1) * (priv.q - 1)
+    assert (priv.e * priv.d) % phi == 1
+
+
+def test_fingerprint_stable_and_distinct(keypair_a, keypair_b):
+    assert keypair_a.public.fingerprint() == keypair_a.public.fingerprint()
+    assert keypair_a.public.fingerprint() != keypair_b.public.fingerprint()
+    assert len(keypair_a.public.fingerprint()) == 16
+
+
+def test_public_key_dict_roundtrip(keypair_a):
+    data = public_key_to_dict(keypair_a.public)
+    assert public_key_from_dict(data) == keypair_a.public
+
+
+def test_private_key_dict_roundtrip(keypair_a):
+    data = private_key_to_dict(keypair_a.private)
+    assert private_key_from_dict(data) == keypair_a.private
+
+
+def test_malformed_key_dicts_rejected():
+    with pytest.raises(ValidationError):
+        public_key_from_dict({"kty": "EC", "n": "1", "e": "1"})
+    with pytest.raises(ValidationError):
+        public_key_from_dict({"n": "1"})
+    with pytest.raises(ValidationError):
+        private_key_from_dict({"kty": "RSA", "n": "zz"})

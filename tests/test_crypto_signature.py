@@ -1,0 +1,89 @@
+"""Unit + property tests for RSA/SHA-256 signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.signature import Signed, require_valid, sign, verify
+from repro.errors import SignatureError, ValidationError
+
+
+def test_sign_verify_bytes(keypair_a):
+    sig = sign(keypair_a.private, b"hello grid")
+    assert verify(keypair_a.public, b"hello grid", sig)
+
+
+def test_sign_verify_structured_payload(keypair_a):
+    payload = {"account": "01-0001-00000001", "amount": 25, "items": [1, 2, 3]}
+    sig = sign(keypair_a.private, payload)
+    assert verify(keypair_a.public, payload, sig)
+    # Same logical dict in different insertion order verifies too (canonical).
+    reordered = {"items": [1, 2, 3], "amount": 25, "account": "01-0001-00000001"}
+    assert verify(keypair_a.public, reordered, sig)
+
+
+def test_tampered_message_rejected(keypair_a):
+    sig = sign(keypair_a.private, {"amount": 25})
+    assert not verify(keypair_a.public, {"amount": 26}, sig)
+
+
+def test_wrong_key_rejected(keypair_a, keypair_b):
+    sig = sign(keypair_a.private, b"msg")
+    assert not verify(keypair_b.public, b"msg", sig)
+
+
+def test_malformed_signature_rejected(keypair_a):
+    assert not verify(keypair_a.public, b"msg", b"short")
+    assert not verify(keypair_a.public, b"msg", b"\xff" * keypair_a.public.byte_length)
+    assert not verify(keypair_a.public, b"msg", "nothex")  # type: ignore[arg-type]
+
+
+def test_require_valid_raises(keypair_a):
+    sig = sign(keypair_a.private, b"msg")
+    require_valid(keypair_a.public, b"msg", sig)
+    with pytest.raises(SignatureError):
+        require_valid(keypair_a.public, b"other", sig, what="cheque signature")
+
+
+def test_signature_deterministic(keypair_a):
+    assert sign(keypair_a.private, b"x") == sign(keypair_a.private, b"x")
+
+
+@given(st.binary(min_size=0, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_arbitrary_messages(keypair_for_props, message):
+    sig = sign(keypair_for_props.private, message)
+    assert verify(keypair_for_props.public, message, sig)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=63))
+@settings(max_examples=25, deadline=None)
+def test_bitflip_in_signature_rejected(keypair_for_props, message, flip_byte):
+    sig = bytearray(sign(keypair_for_props.private, message))
+    sig[flip_byte % len(sig)] ^= 0x01
+    assert not verify(keypair_for_props.public, message, bytes(sig))
+
+
+@pytest.fixture(scope="module")
+def keypair_for_props(keypair_a):
+    return keypair_a
+
+
+class TestSignedEnvelope:
+    def test_make_and_check(self, keypair_a):
+        env = Signed.make(keypair_a.private, {"op": "transfer"}, signer="/O=Grid/CN=alice")
+        assert env.signer == "/O=Grid/CN=alice"
+        assert env.check(keypair_a.public)
+
+    def test_check_fails_with_other_key(self, keypair_a, keypair_b):
+        env = Signed.make(keypair_a.private, {"op": "transfer"}, signer="alice")
+        assert not env.check(keypair_b.public)
+
+    def test_dict_roundtrip(self, keypair_a):
+        env = Signed.make(keypair_a.private, [1, "two", 3.0], signer="alice")
+        again = Signed.from_dict(env.to_dict())
+        assert again == env
+        assert again.check(keypair_a.public)
+
+    def test_malformed_dict(self):
+        with pytest.raises(ValidationError):
+            Signed.from_dict({"payload": 1})

@@ -1,0 +1,42 @@
+"""Every example script must run clean — they are living documentation."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "cooperative_community.py",
+    "competitive_market.py",
+    "parameter_sweep_campaign.py",
+    "multibranch_settlement.py",
+    "bank_over_tcp.py",
+    "ecommerce_data_service.py",
+    "grid_economy_simulation.py",
+]
+
+
+def load_module(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_are_listed():
+    on_disk = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert on_disk == sorted(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    module = load_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+    assert "Traceback" not in out

@@ -1,0 +1,137 @@
+"""Job failures and broker retries.
+
+Failed jobs consumed real resources, so the GSP charges for the fraction
+completed — and the broker, within deadline and budget, resubmits and
+pays again. The tests pin the accounting consequences: partial charges,
+retry counts, and conservation throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.broker import Algorithm, GridResourceBroker
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession, PaymentStrategy
+from repro.errors import ValidationError
+from repro.grid.job import Job, JobStatus
+from repro.grid.resource import GridResource
+from repro.grid.scheduler import ClusterScheduler
+from repro.sim.engine import Simulator
+from repro.util.money import Credits, ZERO
+
+
+def make_jobs(subject, n, length_mi=180_000.0, prefix="f"):
+    return [
+        Job(job_id=f"{prefix}{i}", user_subject=subject, application_name="app",
+            length_mi=length_mi)
+        for i in range(n)
+    ]
+
+
+class TestSchedulerFailures:
+    def _run_batch(self, failure_rate, seed=5, n=40):
+        sim = Simulator()
+        resource = GridResource.cluster("c.org", "/O=B/CN=g", num_pes=8, mips_per_pe=500)
+        sched = ClusterScheduler(
+            sim, resource, failure_rate=failure_rate, rng=random.Random(seed)
+        )
+        jobs = make_jobs("/O=A/CN=u", n)
+        procs = [sched.submit(job) for job in jobs]
+        sim.run()
+        return jobs, procs
+
+    def test_zero_failure_rate_never_fails(self):
+        jobs, _ = self._run_batch(0.0)
+        assert all(j.status is JobStatus.DONE for j in jobs)
+
+    def test_failure_rate_produces_failures(self):
+        jobs, _ = self._run_batch(0.5)
+        failed = [j for j in jobs if j.status is JobStatus.FAILED]
+        done = [j for j in jobs if j.status is JobStatus.DONE]
+        assert failed and done  # both outcomes occur
+
+    def test_failed_jobs_consume_partial_cpu(self):
+        jobs, procs = self._run_batch(0.5)
+        full_cpu = 180_000.0 / 500.0  # 360 s
+        for job, proc in zip(jobs, procs):
+            raw = proc.result
+            cpu_jiffies = raw.fields["utime_jiffies"]
+            if job.status is JobStatus.FAILED:
+                assert 0 < cpu_jiffies < full_cpu * 100.0
+            else:
+                assert cpu_jiffies == pytest.approx(full_cpu * 100.0)
+
+    def test_failure_rate_validation(self):
+        sim = Simulator()
+        resource = GridResource.cluster("c.org", "/O=B/CN=g")
+        with pytest.raises(ValidationError):
+            ClusterScheduler(sim, resource, failure_rate=1.0)
+        with pytest.raises(ValidationError):
+            ClusterScheduler(sim, resource, failure_rate=-0.1)
+
+
+class TestSessionWithFailures:
+    def test_failed_job_charged_for_consumed_fraction(self):
+        session = GridSession(seed=89)
+        alice = session.add_consumer("alice", funds=100)
+        provider = session.add_provider(
+            "certain-failure", ServiceRatesRecord.flat(cpu_per_hour=6.0),
+            num_pes=1, mips_per_pe=500, failure_rate=0.999999,
+        )
+        job = make_jobs(alice.subject, 1, prefix="doomed")[0]
+        outcome = session.run_job(alice, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        assert job.status is JobStatus.FAILED
+        # the GSP charged for what the job consumed, which is less than a
+        # full run would have cost
+        full_cost = Credits(6) * (job.runtime_on(500) / 3600.0)
+        assert ZERO < outcome.paid < full_cost
+        assert alice.balance() + provider.balance() == Credits(100)
+
+
+class TestBrokerRetries:
+    def _world(self, failure_rate, seed=88):
+        session = GridSession(seed=seed)
+        alice = session.add_consumer("alice", funds=5000)
+        session.add_provider(
+            "flaky", ServiceRatesRecord.flat(cpu_per_hour=4.0),
+            num_pes=4, mips_per_pe=500, failure_rate=failure_rate,
+        )
+        return session, alice, GridResourceBroker(session, alice)
+
+    def test_retries_complete_all_jobs(self):
+        session, alice, broker = self._world(failure_rate=0.3)
+        result = broker.run_campaign(
+            make_jobs(alice.subject, 12), deadline_s=20_000.0, budget=Credits(100),
+            algorithm=Algorithm.COST_OPTIMIZATION, max_retries=8,
+        )
+        assert result.jobs_done == 12
+        assert result.retries > 0
+        flaky = session.participants["flaky"]
+        assert alice.balance() + flaky.balance() == Credits(5000)
+
+    def test_failed_attempts_cost_money(self):
+        _s1, a1, broker_reliable = self._world(failure_rate=0.0, seed=90)
+        reliable = broker_reliable.run_campaign(
+            make_jobs(a1.subject, 12), deadline_s=20_000.0, budget=Credits(100),
+            max_retries=8,
+        )
+        _s2, a2, broker_flaky = self._world(failure_rate=0.4, seed=90)
+        flaky = broker_flaky.run_campaign(
+            make_jobs(a2.subject, 12), deadline_s=20_000.0, budget=Credits(100),
+            max_retries=8,
+        )
+        assert flaky.jobs_done == reliable.jobs_done == 12
+        assert reliable.retries == 0
+        assert flaky.retries > 0
+        # paying for the wasted partial runs makes the flaky campaign dearer
+        assert flaky.total_paid > reliable.total_paid
+
+    def test_no_retries_leaves_failures(self):
+        _session, alice, broker = self._world(failure_rate=0.5, seed=91)
+        result = broker.run_campaign(
+            make_jobs(alice.subject, 12), deadline_s=20_000.0, budget=Credits(100),
+            max_retries=0,
+        )
+        assert result.jobs_done < 12
+        assert result.retries == 0

@@ -1,0 +1,145 @@
+"""Failure injection: dropped messages, retries, and idempotency.
+
+A dropped *request* must leave the bank untouched; a dropped *response*
+means the bank acted but the client errored — the dangerous case. The
+instrument registry's double-spend defence is what makes client retries
+safe: a retried redemption fails loudly instead of paying twice.
+"""
+
+import random
+
+import pytest
+
+from repro.bank.server import GridBankServer
+from repro.core.api import GridBankAPI
+from repro.errors import DoubleSpendError, TransportError
+from repro.net.rpc import RPCClient
+from repro.net.transport import FaultPlan, InProcessNetwork
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+
+@pytest.fixture()
+def world(ca_keypair, keypair_a, keypair_b, keypair_c):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+    )
+    store = CertificateStore([ca.root_certificate])
+    bank = GridBankServer(
+        ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_a),
+        store,
+        clock=clock,
+        rng=random.Random(2),
+    )
+    faults = FaultPlan(rng=random.Random(0))
+    network = InProcessNetwork(faults=faults)
+    network.listen("gridbank", bank.connection_handler)
+
+    def api_for(identity, seed):
+        client = RPCClient(
+            network.connect("gridbank"), identity, store, clock=clock, rng=random.Random(seed)
+        )
+        client.connect()
+        return GridBankAPI(client, rng=random.Random(seed + 50))
+
+    alice_ident = ca.issue_identity(DistinguishedName("VO-A", "alice"), keypair=keypair_b)
+    gsp_ident = ca.issue_identity(DistinguishedName("VO-B", "gsp"), keypair=keypair_c)
+    alice = api_for(alice_ident, 1)
+    gsp = api_for(gsp_ident, 2)
+    admin_ident = ca.issue_identity(DistinguishedName("GridBank", "admin"), keypair=keypair_b)
+    bank.admin.add_administrator(admin_ident.subject)
+    admin = api_for(admin_ident, 3)
+    alice_account = alice.create_account()
+    gsp_account = gsp.create_account()
+    admin.admin_deposit(alice_account, Credits(1000))
+    return {
+        "bank": bank,
+        "network": network,
+        "faults": faults,
+        "alice": alice,
+        "gsp": gsp,
+        "gsp_subject": gsp_ident.subject,
+        "alice_account": alice_account,
+        "gsp_account": gsp_account,
+    }
+
+
+class TestDroppedRequests:
+    def test_dropped_request_changes_nothing(self, world):
+        world["faults"].drop_request_probability = 1.0
+        before = world["bank"].accounts.total_bank_funds()
+        with pytest.raises(TransportError):
+            world["alice"].request_direct_transfer(
+                world["alice_account"], world["gsp_account"], Credits(10)
+            )
+        world["faults"].drop_request_probability = 0.0
+        assert world["bank"].accounts.total_bank_funds() == before
+        assert world["bank"].accounts.available_balance(world["alice_account"]) == Credits(1000)
+
+    def test_client_recovers_after_transient_drops(self, world):
+        world["faults"].drop_request_probability = 0.5
+        successes = 0
+        attempts = 0
+        while successes < 5 and attempts < 100:
+            attempts += 1
+            try:
+                world["alice"].check_balance(world["alice_account"])
+                successes += 1
+            except TransportError:
+                continue
+        assert successes == 5
+        world["faults"].drop_request_probability = 0.0
+
+
+class TestDroppedResponses:
+    def test_dropped_response_transfer_already_committed(self, world):
+        """The server acted; the client must not blindly re-send."""
+        world["faults"].drop_response_probability = 1.0
+        with pytest.raises(TransportError):
+            world["alice"].request_direct_transfer(
+                world["alice_account"], world["gsp_account"], Credits(10)
+            )
+        world["faults"].drop_response_probability = 0.0
+        # the transfer DID happen server-side
+        assert world["bank"].accounts.available_balance(world["gsp_account"]) == Credits(10)
+
+    def test_retried_redemption_cannot_double_pay(self, world):
+        cheque = world["alice"].request_cheque(
+            world["alice_account"], world["gsp_subject"], Credits(50)
+        )
+        world["faults"].drop_response_probability = 1.0
+        with pytest.raises(TransportError):
+            world["gsp"].redeem_cheque(cheque, world["gsp_account"], Credits(50))
+        world["faults"].drop_response_probability = 0.0
+        # the settlement committed exactly once; a retry is rejected loudly
+        assert world["bank"].accounts.available_balance(world["gsp_account"]) == Credits(50)
+        with pytest.raises(DoubleSpendError):
+            world["gsp"].redeem_cheque(cheque, world["gsp_account"], Credits(50))
+        # and the money moved exactly once
+        assert world["bank"].accounts.available_balance(world["gsp_account"]) == Credits(50)
+        assert world["bank"].accounts.total_bank_funds() == Credits(1000)
+
+    def test_funds_conserved_under_random_faults(self, world):
+        """Whatever the fault pattern, money is never created or lost."""
+        world["faults"].drop_request_probability = 0.2
+        world["faults"].drop_response_probability = 0.2
+        moved = 0
+        for _ in range(60):
+            try:
+                world["alice"].request_direct_transfer(
+                    world["alice_account"], world["gsp_account"], Credits(1)
+                )
+                moved += 1
+            except TransportError:
+                pass
+        world["faults"].drop_request_probability = 0.0
+        world["faults"].drop_response_probability = 0.0
+        assert world["bank"].accounts.total_bank_funds() == Credits(1000)
+        gsp_balance = world["bank"].accounts.available_balance(world["gsp_account"])
+        # at least every acknowledged transfer arrived (response drops mean
+        # the gsp may hold MORE than the client observed, never less)
+        assert gsp_balance >= Credits(moved)

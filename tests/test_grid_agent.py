@@ -1,0 +1,123 @@
+"""Tests for the Grid Agent (environment setup + artifact caching)."""
+
+import pytest
+
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession
+from repro.errors import ValidationError
+from repro.grid.agent import Artifact, GridAgent
+from repro.grid.job import Job
+from repro.util.money import Credits
+
+
+@pytest.fixture()
+def world():
+    session = GridSession(seed=61)
+    consumer = session.add_consumer("alice", funds=1000)
+    provider = session.add_provider(
+        "gsp1",
+        ServiceRatesRecord.flat(cpu_per_hour=6.0, network_per_mb=0.1),
+        num_pes=2,
+        mips_per_pe=500.0,
+    )
+    agent = GridAgent(session.sim, provider.provider, wan_bandwidth_mbps=10.0, setup_seconds=5.0)
+    return session, consumer, provider, agent
+
+
+def make_job(subject, job_id):
+    return Job(
+        job_id=job_id, user_subject=subject, application_name="app", length_mi=90_000.0
+    )
+
+
+APP = Artifact("app-v1.bin", size_mb=25.0)
+DATA = Artifact("dataset-7", size_mb=100.0)
+
+
+class TestArtifact:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Artifact("", 1.0)
+        with pytest.raises(ValidationError):
+            Artifact("x", -1.0)
+        with pytest.raises(ValidationError):
+            GridAgent(None, None, wan_bandwidth_mbps=0)
+        with pytest.raises(ValidationError):
+            GridAgent(None, None, setup_seconds=-1)
+
+
+class TestPrepare:
+    def test_first_deployment_pays_transfer_time(self, world):
+        session, _c, _p, agent = world
+        process = session.sim.spawn(agent.prepare((APP, DATA)))
+        session.sim.run()
+        # 5 s setup + (25 + 100) MB * 8 / 10 Mbps = 100 s transfer
+        assert session.sim.now == pytest.approx(105.0)
+        assert process.result == pytest.approx(125.0)
+        assert agent.downloads == 2
+
+    def test_cached_artifacts_skip_transfer(self, world):
+        session, _c, _p, agent = world
+        session.sim.spawn(agent.prepare((APP, DATA)))
+        session.sim.run()
+        t0 = session.sim.now
+        process = session.sim.spawn(agent.prepare((APP, DATA)))
+        session.sim.run()
+        # only the setup delay remains
+        assert session.sim.now - t0 == pytest.approx(5.0)
+        assert process.result == 0.0
+        assert agent.cache_hits == 2
+        assert agent.is_cached(APP)
+
+    def test_zero_size_artifact(self, world):
+        session, _c, _p, agent = world
+        session.sim.spawn(agent.prepare((Artifact("tiny", 0.0),)))
+        session.sim.run()
+        assert session.sim.now == pytest.approx(5.0)
+        assert agent.downloaded_mb == 0.0
+
+
+class TestRunJob:
+    def test_agent_traffic_is_charged_as_io(self, world):
+        session, consumer, provider, agent = world
+        gsp = provider.provider
+        rates = gsp.trade_server.current_rates()
+        cheque = consumer.api.request_cheque(
+            consumer.account_id, gsp.subject, Credits(50)
+        )
+        job = make_job(consumer.subject, "agent-1")
+        gsp.admit(consumer.subject, cheque, ref=job.job_id)
+        process = session.sim.spawn(
+            agent.run_job(job, rates, artifacts=(APP,), ref=job.job_id)
+        )
+        session.sim.run()
+        service = process.result
+        # the 25 MB the agent fetched appears in the metered network usage
+        assert service.rur.usage.network_mb == pytest.approx(25.0)
+        io_charge = service.calculation.item_charges["network_mb"]
+        assert io_charge == Credits(2.5)
+
+    def test_second_job_on_same_provider_starts_faster(self, world):
+        session, consumer, provider, agent = world
+        gsp = provider.provider
+        rates = gsp.trade_server.current_rates()
+
+        def run_one(tag):
+            cheque = consumer.api.request_cheque(
+                consumer.account_id, gsp.subject, Credits(50)
+            )
+            job = make_job(consumer.subject, tag)
+            gsp.admit(consumer.subject, cheque, ref=job.job_id)
+            start = session.sim.now
+            process = session.sim.spawn(
+                agent.run_job(job, rates, artifacts=(APP, DATA), ref=job.job_id)
+            )
+            session.sim.run()
+            return session.sim.now - start, process.result
+
+        first_duration, _ = run_one("campaign-1")
+        second_duration, _ = run_one("campaign-2")
+        assert second_duration < first_duration
+        # 100 s of WAN download plus the 10 s local stage-in of the 125 MB
+        # the agent added to the first job's input volume
+        assert first_duration - second_duration == pytest.approx(110.0)

@@ -1,0 +1,183 @@
+"""Unit tests for the GSI security context and authorization policies."""
+
+import random
+
+import pytest
+
+from repro.errors import AuthenticationError, AuthorizationError, ChannelError, ProtocolError
+from repro.gsi.authorization import AllowAllPolicy, CallbackPolicy, SubjectListPolicy
+from repro.gsi.context import Role, SecurityContext
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.proxy import issue_proxy
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+
+
+@pytest.fixture(scope="module")
+def world(ca_keypair, keypair_a, keypair_b, keypair_c):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+    )
+    alice = ca.issue_identity(DistinguishedName("VO-A", "alice"), keypair=keypair_a)
+    bank = ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_b)
+    store = CertificateStore([ca.root_certificate])
+    return {
+        "clock": clock,
+        "ca": ca,
+        "alice": alice,
+        "bank": bank,
+        "store": store,
+        "spare_keypair": keypair_c,
+    }
+
+
+def run_handshake(initiator: SecurityContext, acceptor: SecurityContext) -> None:
+    hello = initiator.step()
+    challenge = acceptor.step(hello)
+    exchange = initiator.step(challenge)
+    final = acceptor.step(exchange)
+    assert final is None
+
+
+def make_pair(world, init_cred=None, accept_cred=None, seed=0):
+    init = SecurityContext(
+        Role.INITIATE,
+        init_cred or world["alice"],
+        world["store"],
+        clock=world["clock"],
+        rng=random.Random(100 + seed),
+    )
+    accept = SecurityContext(
+        Role.ACCEPT,
+        accept_cred or world["bank"],
+        world["store"],
+        clock=world["clock"],
+        rng=random.Random(200 + seed),
+    )
+    return init, accept
+
+
+class TestHandshake:
+    def test_mutual_authentication(self, world):
+        init, accept = make_pair(world)
+        run_handshake(init, accept)
+        assert init.established and accept.established
+        assert init.peer_subject == world["bank"].subject
+        assert accept.peer_subject == world["alice"].subject
+
+    def test_proxy_credential_resolves_to_user(self, world):
+        proxy = issue_proxy(
+            world["alice"], clock=world["clock"], keypair=world["spare_keypair"]
+        )
+        init, accept = make_pair(world, init_cred=proxy)
+        run_handshake(init, accept)
+        assert accept.peer_subject == world["alice"].subject
+
+    def test_wrap_unwrap_both_directions(self, world):
+        init, accept = make_pair(world)
+        run_handshake(init, accept)
+        assert accept.unwrap(init.wrap(b"charge account")) == b"charge account"
+        assert init.unwrap(accept.wrap(b"confirmation")) == b"confirmation"
+
+    def test_tampered_record_detected(self, world):
+        init, accept = make_pair(world)
+        run_handshake(init, accept)
+        record = bytearray(init.wrap(b"transfer 100"))
+        record[-1] ^= 0x01
+        with pytest.raises(ChannelError):
+            accept.unwrap(bytes(record))
+
+    def test_untrusted_initiator_rejected(self, world, keypair_c):
+        rogue_ca = CertificateAuthority(
+            DistinguishedName("Rogue", "CA"), clock=world["clock"], keypair=keypair_c
+        )
+        mallory = rogue_ca.issue_identity(
+            DistinguishedName("Rogue", "mallory"), keypair=world["spare_keypair"]
+        )
+        init, accept = make_pair(world, init_cred=mallory)
+        hello = init.step()
+        with pytest.raises(AuthenticationError):
+            accept.step(hello)
+
+    def test_untrusted_acceptor_rejected(self, world, keypair_c):
+        rogue_ca = CertificateAuthority(
+            DistinguishedName("Rogue", "CA"), clock=world["clock"], keypair=keypair_c
+        )
+        fake_bank = rogue_ca.issue_identity(
+            DistinguishedName("Rogue", "fakebank"), keypair=world["spare_keypair"]
+        )
+        init, accept = make_pair(world, accept_cred=fake_bank)
+        hello = init.step()
+        challenge = accept.step(hello)
+        with pytest.raises(AuthenticationError):
+            init.step(challenge)
+
+    def test_substituted_challenge_proof_rejected(self, world):
+        # An attacker relaying the bank's chain but signing with its own key.
+        init, accept = make_pair(world)
+        hello = init.step()
+        challenge = accept.step(hello)
+        challenge = dict(challenge)
+        challenge["proof"] = b"\x00" * len(challenge["proof"])
+        with pytest.raises(AuthenticationError):
+            init.step(challenge)
+
+    def test_protocol_misuse_raises(self, world):
+        init, accept = make_pair(world)
+        with pytest.raises(ProtocolError):
+            init.step({"type": "hello"})  # initiator's first step takes none
+        with pytest.raises(ProtocolError):
+            accept.step(None)
+        with pytest.raises(ProtocolError):
+            init.wrap(b"too early")
+
+    def test_wrong_token_type_rejected(self, world):
+        init, accept = make_pair(world)
+        init.step()
+        with pytest.raises(ProtocolError):
+            accept.step({"type": "exchange"})
+
+    def test_cannot_step_after_established(self, world):
+        init, accept = make_pair(world)
+        run_handshake(init, accept)
+        with pytest.raises(ProtocolError):
+            init.step({})
+
+    def test_sessions_use_distinct_keys(self, world):
+        i1, a1 = make_pair(world, seed=1)
+        i2, a2 = make_pair(world, seed=2)
+        run_handshake(i1, a1)
+        run_handshake(i2, a2)
+        record = i1.wrap(b"secret")
+        with pytest.raises(ChannelError):
+            a2.unwrap(record)
+
+
+class TestAuthorization:
+    def test_allow_all(self):
+        assert AllowAllPolicy().is_authorized("/O=X/CN=anyone")
+
+    def test_subject_list(self):
+        policy = SubjectListPolicy(["/O=A/CN=alice"])
+        assert policy.is_authorized("/O=A/CN=alice")
+        assert not policy.is_authorized("/O=A/CN=bob")
+        policy.add("/O=A/CN=bob")
+        assert policy.is_authorized("/O=A/CN=bob")
+        policy.discard("/O=A/CN=bob")
+        assert not policy.is_authorized("/O=A/CN=bob")
+        assert len(policy) == 1
+
+    def test_callback_policy(self):
+        accounts = {"/O=A/CN=alice"}
+        policy = CallbackPolicy(lambda s: s in accounts, description="has account")
+        assert policy.is_authorized("/O=A/CN=alice")
+        assert not policy.is_authorized("/O=A/CN=eve")
+
+    def test_require_raises(self):
+        policy = SubjectListPolicy()
+        with pytest.raises(AuthorizationError):
+            policy.require("/O=A/CN=eve")
+        policy.add("/O=A/CN=alice")
+        assert policy.require("/O=A/CN=alice") == "/O=A/CN=alice"

@@ -1,0 +1,97 @@
+"""GSI edge cases: expired proxies mid-session, revocation taking effect,
+and handshakes against stale CRLs."""
+
+import random
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.gsi.context import Role, SecurityContext
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.proxy import issue_proxy
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+
+
+@pytest.fixture()
+def world(ca_keypair, keypair_a, keypair_b, keypair_c):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+    )
+    return {
+        "clock": clock,
+        "ca": ca,
+        "store": CertificateStore([ca.root_certificate]),
+        "alice": ca.issue_identity(DistinguishedName("VO-A", "alice"), keypair=keypair_a),
+        "bank": ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_b),
+        "spare": keypair_c,
+    }
+
+
+def handshake(world, init_cred, seed=0):
+    initiator = SecurityContext(
+        Role.INITIATE, init_cred, world["store"], clock=world["clock"],
+        rng=random.Random(10 + seed),
+    )
+    acceptor = SecurityContext(
+        Role.ACCEPT, world["bank"], world["store"], clock=world["clock"],
+        rng=random.Random(20 + seed),
+    )
+    hello = initiator.step()
+    challenge = acceptor.step(hello)
+    exchange = initiator.step(challenge)
+    acceptor.step(exchange)
+    return initiator, acceptor
+
+
+class TestProxyExpiry:
+    def test_short_proxy_rejected_after_expiry(self, world):
+        proxy = issue_proxy(
+            world["alice"], clock=world["clock"], lifetime_seconds=3600.0,
+            keypair=world["spare"],
+        )
+        # fresh proxy: fine
+        handshake(world, proxy, seed=1)
+        # after the proxy expires, the same credential is refused at the
+        # server even though the user certificate is still valid
+        world["clock"].advance(2 * 3600.0)
+        with pytest.raises(AuthenticationError):
+            handshake(world, proxy, seed=2)
+        # single sign-on recovery: mint a fresh proxy without a "password"
+        renewed = issue_proxy(world["alice"], clock=world["clock"], keypair=world["spare"])
+        handshake(world, renewed, seed=3)
+
+
+class TestRevocationPropagation:
+    def test_revocation_effective_once_crl_installed(self, world, keypair_a):
+        victim = world["alice"]
+        world["ca"].revoke(victim.certificate)
+        # the verifier's CRL is stale: the handshake still succeeds
+        handshake(world, victim, seed=4)
+        # CRL update lands: refused from then on
+        world["store"].update_crl(world["ca"].subject, world["ca"].revocation_list())
+        with pytest.raises(AuthenticationError):
+            handshake(world, victim, seed=5)
+
+    def test_revoking_user_kills_their_proxies_too(self, world):
+        proxy = issue_proxy(world["alice"], clock=world["clock"], keypair=world["spare"])
+        world["ca"].revoke(world["alice"].certificate)
+        world["store"].update_crl(world["ca"].subject, world["ca"].revocation_list())
+        with pytest.raises(AuthenticationError):
+            handshake(world, proxy, seed=6)
+
+
+class TestClockSkew:
+    def test_certificate_not_yet_valid(self, world, keypair_a):
+        ident = world["ca"].issue_identity(
+            DistinguishedName("VO-A", "early"), keypair=keypair_a
+        )
+        from repro.errors import CertificateError
+        from repro.pki.validation import validate_chain
+        from repro.util.gbtime import Timestamp
+
+        before_issue = Timestamp(ident.certificate.body.not_before - 10)
+        with pytest.raises(CertificateError):
+            validate_chain([ident.certificate], world["store"], before_issue)

@@ -1,0 +1,114 @@
+"""A heterogeneous provider site: mixed speeds, memory and OS flavors.
+
+Exercises machine-aware placement and the per-machine raw records that
+make the Figure-2 conversion unit genuinely necessary inside a single
+GSP: two machines report usage in different native formats, and the
+standard RURs still charge identically per unit of work.
+"""
+
+import pytest
+
+from repro.grid.job import Job, JobStatus
+from repro.grid.meter import GridResourceMeter
+from repro.grid.resource import GridResource, Machine
+from repro.grid.scheduler import ClusterScheduler
+from repro.rur.conversion import OSFlavor
+from repro.sim.engine import Simulator
+
+
+def mixed_site() -> GridResource:
+    return GridResource(
+        name="mixed.vo-b.org",
+        owner_subject="/O=VO-B/CN=gsp",
+        machines=(
+            Machine.uniform(0, num_pes=2, mips_per_pe=500.0,
+                            memory_mb=2048.0, os_flavor=OSFlavor.LINUX),
+            Machine.uniform(1, num_pes=2, mips_per_pe=1000.0,
+                            memory_mb=8192.0, os_flavor=OSFlavor.SOLARIS),
+        ),
+    )
+
+
+def make_job(job_id, length_mi=500_000.0, memory_mb=64.0):
+    return Job(
+        job_id=job_id, user_subject="/O=VO-A/CN=alice",
+        application_name="het", length_mi=length_mi, memory_mb=memory_mb,
+    )
+
+
+class TestPlacement:
+    def test_jobs_spread_across_machines(self):
+        sim = Simulator()
+        sched = ClusterScheduler(sim, mixed_site())
+        procs = [sched.submit(make_job(f"j{i}")) for i in range(4)]
+        sim.run()
+        flavors = {proc.result.flavor for proc in procs}
+        assert flavors == {OSFlavor.LINUX, OSFlavor.SOLARIS}
+        hosts = {proc.result.origin_host for proc in procs}
+        assert hosts == {"mixed.vo-b.org/m0", "mixed.vo-b.org/m1"}
+
+    def test_memory_constraint_routes_to_big_machine(self):
+        sim = Simulator()
+        sched = ClusterScheduler(sim, mixed_site())
+        big = make_job("big", memory_mb=4096.0)  # only fits machine 1
+        proc = sched.submit(big)
+        sim.run()
+        assert proc.result.origin_host == "mixed.vo-b.org/m1"
+        assert proc.result.flavor is OSFlavor.SOLARIS
+
+    def test_job_too_big_for_any_machine(self):
+        from repro.errors import SchedulingError
+
+        sim = Simulator()
+        sched = ClusterScheduler(sim, mixed_site())
+        with pytest.raises(SchedulingError):
+            sched.submit(make_job("huge", memory_mb=100_000.0))
+
+    def test_fast_machine_finishes_sooner(self):
+        sim = Simulator()
+        sched = ClusterScheduler(sim, mixed_site())
+        procs = [sched.submit(make_job(f"j{i}", length_mi=500_000.0)) for i in range(4)]
+        sim.run()
+        by_machine = {}
+        for proc in procs:
+            raw = proc.result
+            by_machine.setdefault(raw.origin_host, []).append(raw.end_epoch - raw.start_epoch)
+        assert by_machine["mixed.vo-b.org/m0"][0] == pytest.approx(1000.0)  # 500 MIPS
+        assert by_machine["mixed.vo-b.org/m1"][0] == pytest.approx(500.0)   # 1000 MIPS
+
+
+class TestCrossFlavorAccounting:
+    def test_same_work_same_standard_usage(self):
+        """1 MI costs the same standard CPU-seconds-at-rated-speed on both
+        machines once converted — the meter normalizes the flavors away."""
+        sim = Simulator()
+        site = mixed_site()
+        sched = ClusterScheduler(sim, site)
+        meter = GridResourceMeter("/O=VO-B/CN=gsp", site.name)
+        sched.on_complete = meter.record
+        jobs = [make_job(f"j{i}", length_mi=500_000.0) for i in range(4)]
+        for job in jobs:
+            sched.submit(job)
+        sim.run()
+        by_flavor = {}
+        for job in jobs:
+            rur = meter.collect(job.job_id)
+            assert rur.resource_host.startswith("mixed.vo-b.org/m")
+            by_flavor.setdefault(rur.resource_host, rur)
+        linux = by_flavor["mixed.vo-b.org/m0"]
+        solaris = by_flavor["mixed.vo-b.org/m1"]
+        # faster machine: half the CPU seconds for the same MI
+        assert linux.usage.cpu_time_s == pytest.approx(1000.0)
+        assert solaris.usage.cpu_time_s == pytest.approx(500.0)
+
+    def test_collect_attributes_per_machine_host(self):
+        sim = Simulator()
+        site = mixed_site()
+        sched = ClusterScheduler(sim, site)
+        meter = GridResourceMeter("/O=VO-B/CN=gsp", site.name)
+        sched.on_complete = meter.record
+        job = make_job("solo", memory_mb=4096.0)
+        sched.submit(job)
+        sim.run()
+        records = meter.per_resource_records(job.job_id)
+        assert records[0].resource_host == "mixed.vo-b.org/m1"

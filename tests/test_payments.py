@@ -1,0 +1,354 @@
+"""Unit tests for the payment protocol modules (cheque, hashchain, direct)."""
+
+import random
+
+import pytest
+
+from repro.bank.accounts import GBAccounts
+from repro.bank.admin import GBAdmin
+from repro.crypto.hashes import HashChain
+from repro.db.database import Database
+from repro.errors import (
+    DoubleSpendError,
+    InstrumentError,
+    InsufficientFundsError,
+    PaymentError,
+    SignatureError,
+    ValidationError,
+)
+from repro.payments.cheque import GridCheque, GridChequeProtocol
+from repro.payments.direct import DirectTransferProtocol, TransferConfirmation
+from repro.payments.hashchain import (
+    GridHashProtocol,
+    HashChainVerifier,
+    HashChainWallet,
+    PaymentTick,
+)
+from repro.payments.instruments import InstrumentRegistry
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits, ZERO
+
+GSC = "/O=VO-A/CN=alice"
+GSP = "/O=VO-B/CN=gsp"
+
+
+@pytest.fixture()
+def world(keypair_a, keypair_b):
+    clock = VirtualClock()
+    db = Database()
+    accounts = GBAccounts(db, clock=clock)
+    admin = GBAdmin(accounts)
+    registry = InstrumentRegistry(db, clock)
+    gsc_account = accounts.create_account(GSC)
+    gsp_account = accounts.create_account(GSP)
+    admin.deposit(gsc_account, Credits(1000))
+    bank_key = keypair_a.private
+    return {
+        "clock": clock,
+        "accounts": accounts,
+        "admin": admin,
+        "registry": registry,
+        "gsc_account": gsc_account,
+        "gsp_account": gsp_account,
+        "bank_key": bank_key,
+        "bank_public": keypair_a.public,
+        "other_key": keypair_b,
+        "cheques": GridChequeProtocol(accounts, registry, bank_key, "/O=GB/CN=bank", clock),
+        "hashchains": GridHashProtocol(accounts, registry, bank_key, "/O=GB/CN=bank", clock),
+        "direct": DirectTransferProtocol(accounts, bank_key, "/O=GB/CN=bank", clock),
+    }
+
+
+class TestGridCheque:
+    def test_issue_locks_funds(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(100))
+        assert world["accounts"].available_balance(world["gsc_account"]) == Credits(900)
+        assert world["accounts"].locked_balance(world["gsc_account"]) == Credits(100)
+        assert cheque.amount_limit == Credits(100)
+        assert cheque.payee_subject == GSP
+        cheque.verify(world["bank_public"])
+
+    def test_redeem_settles_and_releases(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(100))
+        result = world["cheques"].redeem(GSP, cheque, world["gsp_account"], Credits(60), b"\x01r")
+        assert result.paid == Credits(60)
+        assert result.released == Credits(40)
+        assert world["accounts"].available_balance(world["gsp_account"]) == Credits(60)
+        assert world["accounts"].available_balance(world["gsc_account"]) == Credits(940)
+        assert world["accounts"].locked_balance(world["gsc_account"]) == ZERO
+        transfer = world["accounts"].transfer_record(result.transaction_id)
+        assert transfer["ResourceUsageRecord"] == b"\x01r"
+
+    def test_double_redeem_rejected(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(50))
+        world["cheques"].redeem(GSP, cheque, world["gsp_account"], Credits(50))
+        with pytest.raises(DoubleSpendError):
+            world["cheques"].redeem(GSP, cheque, world["gsp_account"], Credits(50))
+
+    def test_wrong_payee_rejected(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(50))
+        eve_account = world["accounts"].create_account("/O=X/CN=eve")
+        with pytest.raises(InstrumentError, match="different payee"):
+            world["cheques"].redeem("/O=X/CN=eve", cheque, eve_account, Credits(50))
+
+    def test_payee_account_ownership_checked(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(50))
+        with pytest.raises(InstrumentError, match="not owned"):
+            world["cheques"].redeem(GSP, cheque, world["gsc_account"], Credits(50))
+
+    def test_charge_beyond_limit_rejected(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(50))
+        with pytest.raises(InstrumentError, match="exceeds"):
+            world["cheques"].redeem(GSP, cheque, world["gsp_account"], Credits(51))
+
+    def test_forged_cheque_rejected(self, world):
+        from repro.crypto.signature import Signed
+
+        forged = GridCheque(
+            signed=Signed.make(
+                world["other_key"].private,
+                {
+                    "instrument": "GridCheque",
+                    "id": "chq-99999999",
+                    "drawer_account": world["gsc_account"],
+                    "drawer_subject": GSC,
+                    "payee_subject": GSP,
+                    "amount_limit": Credits(1000),
+                },
+                signer="/O=GB/CN=bank",
+            )
+        )
+        with pytest.raises(InstrumentError, match="signature"):
+            world["cheques"].redeem(GSP, forged, world["gsp_account"], Credits(1))
+
+    def test_tampered_amount_rejected(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(10))
+        from repro.crypto.signature import Signed
+
+        tampered_payload = dict(cheque.payload)
+        tampered_payload["amount_limit"] = Credits(999)
+        tampered = GridCheque(
+            signed=Signed(payload=tampered_payload, signature=cheque.signed.signature, signer=cheque.signed.signer)
+        )
+        with pytest.raises(InstrumentError):
+            world["cheques"].redeem(GSP, tampered, world["gsp_account"], Credits(999))
+
+    def test_expired_cheque_rejected(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(10))
+        world["clock"].advance(8 * 24 * 3600)
+        with pytest.raises(InstrumentError, match="expired"):
+            world["cheques"].redeem(GSP, cheque, world["gsp_account"], Credits(10))
+
+    def test_overspend_prevented_by_locking(self, world):
+        # 1000 G$ in the account: cheques totalling more cannot be issued.
+        world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(600))
+        with pytest.raises(InsufficientFundsError):
+            world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(600))
+
+    def test_zero_charge_releases_everything(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(100))
+        result = world["cheques"].redeem(GSP, cheque, world["gsp_account"], ZERO)
+        assert result.transaction_id is None
+        assert result.released == Credits(100)
+        assert world["accounts"].available_balance(world["gsc_account"]) == Credits(1000)
+
+    def test_cancel_restores_funds(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(100))
+        released = world["cheques"].cancel(GSC, cheque)
+        assert released == Credits(100)
+        assert world["accounts"].available_balance(world["gsc_account"]) == Credits(1000)
+        with pytest.raises(InstrumentError):
+            world["cheques"].redeem(GSP, cheque, world["gsp_account"], Credits(1))
+
+    def test_only_drawer_cancels(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(10))
+        with pytest.raises(InstrumentError):
+            world["cheques"].cancel(GSP, cheque)
+
+    def test_drawer_must_own_account(self, world):
+        with pytest.raises(InstrumentError):
+            world["cheques"].issue(GSP, world["gsc_account"], GSP, Credits(10))
+
+    def test_batch_redemption_atomic(self, world):
+        cheques = [
+            world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(10)) for _ in range(3)
+        ]
+        results = world["cheques"].redeem_batch(
+            GSP, [(c, world["gsp_account"], Credits(10), b"") for c in cheques]
+        )
+        assert len(results) == 3
+        assert world["accounts"].available_balance(world["gsp_account"]) == Credits(30)
+        # A batch containing an already-redeemed cheque fails atomically.
+        more = [world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(10)) for _ in range(2)]
+        bad_batch = [(more[0], world["gsp_account"], Credits(10), b""), (cheques[0], world["gsp_account"], Credits(10), b"")]
+        before = world["accounts"].available_balance(world["gsp_account"])
+        with pytest.raises(DoubleSpendError):
+            world["cheques"].redeem_batch(GSP, bad_batch)
+        assert world["accounts"].available_balance(world["gsp_account"]) == before
+        # the good cheque from the failed batch is still redeemable
+        world["cheques"].redeem(GSP, more[0], world["gsp_account"], Credits(10))
+
+    def test_dict_roundtrip(self, world):
+        cheque = world["cheques"].issue(GSC, world["gsc_account"], GSP, Credits(10))
+        again = GridCheque.from_dict(cheque.to_dict())
+        assert again.cheque_id == cheque.cheque_id
+        again.verify(world["bank_public"])
+
+
+class TestGridHash:
+    def _issue(self, world, length=10, link_value=Credits(2)):
+        chain = HashChain(length, rng=random.Random(5))
+        commitment = world["hashchains"].issue(
+            GSC, world["gsc_account"], GSP, chain.root, length, link_value
+        )
+        return chain, commitment
+
+    def test_issue_locks_total(self, world):
+        self._issue(world, length=10, link_value=Credits(2))
+        assert world["accounts"].locked_balance(world["gsc_account"]) == Credits(20)
+
+    def test_wallet_and_verifier_flow(self, world):
+        chain, commitment = self._issue(world)
+        wallet = HashChainWallet(chain, commitment)
+        verifier = HashChainVerifier(commitment, world["bank_public"])
+        total = ZERO
+        for _ in range(4):
+            total = total + verifier.accept(wallet.pay())
+        assert total == Credits(8)
+        assert verifier.verified_index == 4
+        assert wallet.remaining == 6
+        assert wallet.spent_value() == Credits(8)
+
+    def test_multi_tick_payment(self, world):
+        chain, commitment = self._issue(world)
+        wallet = HashChainWallet(chain, commitment)
+        verifier = HashChainVerifier(commitment, world["bank_public"])
+        delta = verifier.accept(wallet.pay(ticks=5))
+        assert delta == Credits(10)
+        assert verifier.hash_operations == 5
+
+    def test_verifier_rejects_bogus_links(self, world):
+        chain, commitment = self._issue(world)
+        verifier = HashChainVerifier(commitment, world["bank_public"])
+        bogus = PaymentTick(commitment.commitment_id, 1, b"\x00" * 32)
+        with pytest.raises(PaymentError):
+            verifier.accept(bogus)
+        with pytest.raises(PaymentError):
+            verifier.accept(PaymentTick("other-id", 1, chain.link(1)))
+        verifier.accept(PaymentTick(commitment.commitment_id, 2, chain.link(2)))
+        with pytest.raises(PaymentError, match="not beyond"):
+            verifier.accept(PaymentTick(commitment.commitment_id, 1, chain.link(1)))
+        with pytest.raises(PaymentError, match="beyond committed"):
+            verifier.accept(PaymentTick(commitment.commitment_id, 99, chain.link(10)))
+
+    def test_wallet_exhaustion(self, world):
+        chain, commitment = self._issue(world, length=3)
+        wallet = HashChainWallet(chain, commitment)
+        wallet.pay(ticks=3)
+        with pytest.raises(PaymentError, match="exhausted"):
+            wallet.pay()
+        with pytest.raises(ValidationError):
+            wallet.pay(ticks=0)
+
+    def test_wallet_requires_matching_root(self, world):
+        chain, commitment = self._issue(world)
+        other_chain = HashChain(10, rng=random.Random(99))
+        with pytest.raises(PaymentError):
+            HashChainWallet(other_chain, commitment)
+
+    def test_redeem_pays_and_releases(self, world):
+        chain, commitment = self._issue(world)  # 10 links x 2 G$
+        wallet = HashChainWallet(chain, commitment)
+        verifier = HashChainVerifier(commitment, world["bank_public"])
+        for _ in range(7):
+            verifier.accept(wallet.pay())
+        result = world["hashchains"].redeem(
+            GSP, commitment, world["gsp_account"], verifier.best_tick, b"\x01r"
+        )
+        assert result.paid == Credits(14)
+        assert result.released == Credits(6)
+        assert result.links_redeemed == 7
+        assert world["accounts"].available_balance(world["gsp_account"]) == Credits(14)
+        assert world["accounts"].locked_balance(world["gsc_account"]) == ZERO
+
+    def test_redeem_none_releases_all(self, world):
+        _chain, commitment = self._issue(world)
+        result = world["hashchains"].redeem(GSP, commitment, world["gsp_account"], None)
+        assert result.paid == ZERO
+        assert result.released == Credits(20)
+        assert world["accounts"].available_balance(world["gsc_account"]) == Credits(1000)
+
+    def test_redeem_rejects_forged_tick(self, world):
+        _chain, commitment = self._issue(world)
+        forged = PaymentTick(commitment.commitment_id, 5, b"\x01" * 32)
+        with pytest.raises(InstrumentError, match="root"):
+            world["hashchains"].redeem(GSP, commitment, world["gsp_account"], forged)
+
+    def test_redeem_double_spend_rejected(self, world):
+        chain, commitment = self._issue(world)
+        tick = PaymentTick(commitment.commitment_id, 3, chain.link(3))
+        world["hashchains"].redeem(GSP, commitment, world["gsp_account"], tick)
+        with pytest.raises(DoubleSpendError):
+            world["hashchains"].redeem(GSP, commitment, world["gsp_account"], tick)
+
+    def test_issue_validation(self, world):
+        chain = HashChain(5, rng=random.Random(1))
+        with pytest.raises(ValidationError):
+            world["hashchains"].issue(GSC, world["gsc_account"], GSP, chain.root, 0, Credits(1))
+        with pytest.raises(ValidationError):
+            world["hashchains"].issue(GSC, world["gsc_account"], GSP, b"short", 5, Credits(1))
+        with pytest.raises(ValidationError):
+            world["hashchains"].issue(GSC, world["gsc_account"], GSP, chain.root, 5, ZERO)
+
+    def test_amortization_one_signature_many_payments(self, world):
+        # The protocol's selling point: the signature count stays 1 no
+        # matter how many micropayments flow.
+        chain, commitment = self._issue(world, length=10, link_value=Credits(1))
+        wallet = HashChainWallet(chain, commitment)
+        verifier = HashChainVerifier(commitment, world["bank_public"])
+        for _ in range(10):
+            verifier.accept(wallet.pay())
+        assert verifier.hash_operations == 10  # one hash per payment
+        # exactly one signed object was involved (the commitment itself)
+
+
+class TestDirectTransfer:
+    def test_transfer_with_confirmation(self, world):
+        confirmation = world["direct"].transfer(
+            GSC, world["gsc_account"], world["gsp_account"], Credits(25), "gsp.example.org/confirm"
+        )
+        assert world["accounts"].available_balance(world["gsp_account"]) == Credits(25)
+        payload = confirmation.verify(world["bank_public"])
+        assert payload["amount"] == Credits(25)
+        assert confirmation.recipient_address == "gsp.example.org/confirm"
+        assert confirmation.transaction_id > 0
+
+    def test_confirmation_tamper_detected(self, world):
+        confirmation = world["direct"].transfer(
+            GSC, world["gsc_account"], world["gsp_account"], Credits(25), "url"
+        )
+        from repro.crypto.signature import Signed
+
+        tampered = TransferConfirmation(
+            signed=Signed(
+                payload={**confirmation.payload, "amount": Credits(9999)},
+                signature=confirmation.signed.signature,
+                signer=confirmation.signed.signer,
+            )
+        )
+        with pytest.raises(SignatureError):
+            tampered.verify(world["bank_public"])
+
+    def test_requires_ownership_and_funds(self, world):
+        with pytest.raises(InstrumentError):
+            world["direct"].transfer(GSP, world["gsc_account"], world["gsp_account"], Credits(1), "u")
+        with pytest.raises(InsufficientFundsError):
+            world["direct"].transfer(GSC, world["gsc_account"], world["gsp_account"], Credits(100000), "u")
+
+    def test_dict_roundtrip(self, world):
+        confirmation = world["direct"].transfer(
+            GSC, world["gsc_account"], world["gsp_account"], Credits(5), "url"
+        )
+        again = TransferConfirmation.from_dict(confirmation.to_dict())
+        again.verify(world["bank_public"])
+        assert again.amount == Credits(5)

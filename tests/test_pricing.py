@@ -1,0 +1,89 @@
+"""Unit tests for competitive-model price estimation (paper sec 4.2)."""
+
+import pytest
+
+from repro.bank.pricing import PriceEstimator, ResourceDescription
+from repro.errors import NotFoundError, ValidationError
+from repro.util.money import Credits
+
+
+def desc(mips=500.0, procs=4, mem=1024.0, disk=100.0, bw=100.0) -> ResourceDescription:
+    return ResourceDescription(
+        cpu_speed_mips=mips,
+        num_processors=procs,
+        memory_mb=mem,
+        storage_gb=disk,
+        bandwidth_mbps=bw,
+    )
+
+
+class TestResourceDescription:
+    def test_vector_order(self):
+        d = desc()
+        assert d.vector() == [500.0, 4.0, 1024.0, 100.0, 100.0]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            desc(mips=0)
+        with pytest.raises(ValidationError):
+            desc(procs=-1)
+
+
+class TestPriceEstimator:
+    def test_empty_history_raises(self):
+        estimator = PriceEstimator()
+        with pytest.raises(NotFoundError):
+            estimator.estimate(desc())
+        assert estimator.estimate_or_default(desc(), Credits(3)) == Credits(3)
+
+    def test_exact_match_returns_observed_price(self):
+        estimator = PriceEstimator()
+        estimator.observe(desc(), Credits(5))
+        assert estimator.estimate(desc()) == Credits(5)
+
+    def test_interpolates_between_neighbours(self):
+        estimator = PriceEstimator(k=2)
+        estimator.observe(desc(mips=100), Credits(1))
+        estimator.observe(desc(mips=900), Credits(9))
+        estimate = estimator.estimate(desc(mips=500))
+        assert Credits(1) < estimate < Credits(9)
+        # symmetric query -> midpoint
+        assert abs(estimate.to_float() - 5.0) < 0.01
+
+    def test_nearer_neighbours_weigh_more(self):
+        estimator = PriceEstimator(k=2)
+        estimator.observe(desc(mips=100), Credits(1))
+        estimator.observe(desc(mips=1000), Credits(10))
+        estimate = estimator.estimate(desc(mips=200))
+        assert estimate < Credits(5)  # pulled toward the cheap nearby machine
+
+    def test_faster_resources_estimate_higher(self):
+        estimator = PriceEstimator(k=3)
+        for mips, price in ((100, 1.0), (200, 2.0), (400, 4.0), (800, 8.0)):
+            estimator.observe(desc(mips=mips), Credits(price))
+        slow = estimator.estimate(desc(mips=150))
+        fast = estimator.estimate(desc(mips=700))
+        assert fast > slow
+
+    def test_history_is_confidential_aggregate(self):
+        # The estimate is a scalar; individual observations are not exposed.
+        estimator = PriceEstimator(k=5)
+        for i in range(10):
+            estimator.observe(desc(mips=100 + i), Credits(2))
+        assert estimator.history_size == 10
+        assert estimator.estimate(desc(mips=105)) == Credits(2)
+        assert not hasattr(estimator.estimate(desc(mips=105)), "observations")
+
+    def test_k_validation_and_price_validation(self):
+        with pytest.raises(ValidationError):
+            PriceEstimator(k=0)
+        estimator = PriceEstimator()
+        with pytest.raises(ValidationError):
+            estimator.observe(desc(), Credits(-1))
+
+    def test_multidimensional_similarity(self):
+        estimator = PriceEstimator(k=1)
+        estimator.observe(desc(mips=500, mem=8192), Credits(10))  # big-memory node
+        estimator.observe(desc(mips=500, mem=512), Credits(2))    # small node
+        assert estimator.estimate(desc(mips=500, mem=7000)) == Credits(10)
+        assert estimator.estimate(desc(mips=500, mem=600)) == Credits(2)

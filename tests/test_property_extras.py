@@ -1,0 +1,153 @@
+"""Additional property tests over core data structures and invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.bank.records import AccountID
+from repro.crypto.rsa import decrypt_bytes, encrypt_bytes
+from repro.db import Column, Database, Float, TableSchema, VarChar, eq
+from repro.errors import IntegrityError, NotFoundError, ValidationError
+from repro.rur.record import UsageVector
+from repro.util.money import Credits
+
+
+class TestAccountIDProperties:
+    @given(
+        bank=st.integers(0, 99),
+        branch=st.integers(0, 9999),
+        account=st.integers(0, 99_999_999),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip(self, bank, branch, account):
+        aid = AccountID(bank, branch, account)
+        text = str(aid)
+        assert len(text) == 16  # always fits the VARCHAR(16) column exactly
+        assert AccountID.parse(text) == aid
+
+    @given(st.text(max_size=20))
+    @settings(max_examples=200)
+    def test_parse_never_crashes_weirdly(self, text):
+        try:
+            aid = AccountID.parse(text)
+        except ValidationError:
+            return
+        assert str(aid) == text  # anything accepted round-trips
+
+
+class TestPKEncryptionProperties:
+    @given(st.binary(min_size=0, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, keypair_prop, message):
+        ciphertext = encrypt_bytes(keypair_prop.public, message, random.Random(1))
+        assert decrypt_bytes(keypair_prop.private, ciphertext) == message
+
+    @given(st.binary(min_size=1, max_size=50), st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_tampered_ciphertext_never_decrypts_silently(self, keypair_prop, message, where):
+        ciphertext = bytearray(encrypt_bytes(keypair_prop.public, message, random.Random(1)))
+        ciphertext[where % len(ciphertext)] ^= 0x01
+        try:
+            recovered = decrypt_bytes(keypair_prop.private, bytes(ciphertext))
+        except ValidationError:
+            return  # padding destroyed: detected
+        assert recovered != message  # or garbage, never the original
+
+
+@pytest.fixture(scope="module")
+def keypair_prop(keypair_a):
+    return keypair_a
+
+
+class TestUsageVectorProperties:
+    quantities = st.floats(min_value=0, max_value=1e9)
+
+    @given(a=quantities, b=quantities, c=quantities)
+    @settings(max_examples=100)
+    def test_addition_commutative_and_zero_identity(self, a, b, c):
+        x = UsageVector(cpu_time_s=a, network_mb=b, memory_mb_h=c)
+        y = UsageVector(cpu_time_s=c, network_mb=a, memory_mb_h=b)
+        assert (x + y).as_dict() == (y + x).as_dict()
+        assert (x + UsageVector()).as_dict() == x.as_dict()
+
+    @given(a=quantities, rate=st.floats(min_value=0, max_value=1e4))
+    @settings(max_examples=100)
+    def test_charge_scales_linearly(self, a, rate):
+        from repro.core.rates import ServiceRatesRecord
+
+        rates = ServiceRatesRecord.flat(network_per_mb=rate)
+        single = rates.total_charge(UsageVector(network_mb=a))
+        double = rates.total_charge(UsageVector(network_mb=2 * a))
+        assert abs(double.micro - 2 * single.micro) <= 2  # rounding only
+
+
+class DatabaseIndexMachine(RuleBasedStateMachine):
+    """The secondary index must always agree with a brute-force scan."""
+
+    @initialize()
+    def setup(self):
+        self.db = Database()
+        self.db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column.make("id", VarChar(8)),
+                    Column.make("owner", VarChar(8)),
+                    Column.make("amount", Float(), default=0.0),
+                ],
+                primary_key=["id"],
+                indexes=["owner"],
+            )
+        )
+        self.model: dict[str, dict] = {}
+
+    ids = st.integers(0, 15)
+    owners = st.sampled_from(["a", "b", "c"])
+
+    @rule(i=ids, owner=owners, amount=st.floats(-100, 100))
+    def insert(self, i, owner, amount):
+        key = f"{i:08d}"
+        try:
+            self.db.insert("t", {"id": key, "owner": owner, "amount": amount})
+            assert key not in self.model
+            self.model[key] = {"id": key, "owner": owner, "amount": amount}
+        except IntegrityError:
+            assert key in self.model
+
+    @rule(i=ids, owner=owners)
+    def update_owner(self, i, owner):
+        key = f"{i:08d}"
+        try:
+            self.db.update("t", (key,), {"owner": owner})
+            assert key in self.model
+            self.model[key]["owner"] = owner
+        except NotFoundError:
+            assert key not in self.model
+
+    @rule(i=ids)
+    def delete(self, i):
+        key = f"{i:08d}"
+        try:
+            self.db.delete("t", (key,))
+            assert key in self.model
+            del self.model[key]
+        except NotFoundError:
+            assert key not in self.model
+
+    @invariant()
+    def index_matches_scan(self):
+        if not hasattr(self, "db"):
+            return
+        for owner in ("a", "b", "c"):
+            indexed = {r["id"] for r in self.db.select("t", [eq("owner", owner)])}
+            modeled = {k for k, v in self.model.items() if v["owner"] == owner}
+            assert indexed == modeled
+        assert self.db.count("t") == len(self.model)
+
+
+DatabaseIndexMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestDatabaseIndexStateful = DatabaseIndexMachine.TestCase

@@ -1,0 +1,247 @@
+"""Unit + property tests for Resource Usage Records."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeteringError, ValidationError
+from repro.rur import (
+    ConversionUnit,
+    OSFlavor,
+    RawUsageRecord,
+    ResourceUsageRecord,
+    UsageVector,
+    aggregate_records,
+    decode_json,
+    decode_xml,
+    encode_json,
+    encode_xml,
+    from_blob,
+    to_blob,
+)
+
+
+def make_rur(job_id="job-1", user="/O=VO-A/CN=alice", cpu=120.0, start=0.0, end=300.0, **kw):
+    defaults = dict(
+        user_certificate_name=user,
+        user_host="client.vo-a.org",
+        job_id=job_id,
+        application_name="render",
+        job_start_epoch=start,
+        job_end_epoch=end,
+        resource_certificate_name="/O=VO-B/CN=gsp",
+        resource_host="cluster.vo-b.org",
+        host_type="Linux/x86",
+        local_job_id="pid-4242",
+        usage=UsageVector(cpu_time_s=cpu, memory_mb_h=64.0, network_mb=10.0, wall_clock_s=end - start),
+    )
+    defaults.update(kw)
+    return ResourceUsageRecord(**defaults)
+
+
+class TestUsageVector:
+    def test_defaults_zero(self):
+        vec = UsageVector()
+        assert vec.as_dict() == {k: 0.0 for k in vec.as_dict()}
+        assert vec.nonzero_items() == []
+
+    def test_addition(self):
+        a = UsageVector(cpu_time_s=10.0, network_mb=1.0)
+        b = UsageVector(cpu_time_s=5.0, memory_mb_h=2.0)
+        c = a + b
+        assert c.cpu_time_s == 15.0
+        assert c.memory_mb_h == 2.0
+        assert c.network_mb == 1.0
+
+    def test_rejects_negative_and_nan(self):
+        with pytest.raises(ValidationError):
+            UsageVector(cpu_time_s=-1.0)
+        with pytest.raises(ValidationError):
+            UsageVector(network_mb=float("nan"))
+        with pytest.raises(ValidationError):
+            UsageVector(cpu_time_s=True)  # type: ignore[arg-type]
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            UsageVector.from_dict({"gpu_time_s": 1.0})
+
+    def test_roundtrip(self):
+        vec = UsageVector(cpu_time_s=1.5, storage_mb_h=3.25)
+        assert UsageVector.from_dict(vec.as_dict()) == vec
+
+
+class TestRecord:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_rur(job_id="")
+        with pytest.raises(ValidationError):
+            make_rur(start=100.0, end=50.0)
+
+    def test_duration(self):
+        assert make_rur(start=10.0, end=70.0).duration_s == 60.0
+
+    def test_dict_roundtrip(self):
+        rur = make_rur()
+        assert ResourceUsageRecord.from_dict(rur.to_dict()) == rur
+
+    def test_malformed_dict(self):
+        with pytest.raises(ValidationError):
+            ResourceUsageRecord.from_dict({"job_id": "x"})
+
+
+class TestConversion:
+    def test_linux_flavor(self):
+        raw = RawUsageRecord(
+            flavor=OSFlavor.LINUX,
+            local_job_id="pid-1",
+            start_epoch=0.0,
+            end_epoch=100.0,
+            fields={
+                "utime_jiffies": 9000.0,   # 90 s
+                "stime_jiffies": 1000.0,   # 10 s
+                "mem_kb_hours": 2048.0,    # 2 MB*h
+                "disk_kb_hours": 1024.0,   # 1 MB*h
+                "net_kb": 5120.0,          # 5 MB
+            },
+        )
+        usage = ConversionUnit().convert_usage(raw)
+        assert usage.cpu_time_s == pytest.approx(90.0)
+        assert usage.software_time_s == pytest.approx(10.0)
+        assert usage.memory_mb_h == pytest.approx(2.0)
+        assert usage.storage_mb_h == pytest.approx(1.0)
+        assert usage.network_mb == pytest.approx(5.0)
+        assert usage.wall_clock_s == pytest.approx(100.0)
+
+    def test_solaris_flavor(self):
+        raw = RawUsageRecord(
+            flavor=OSFlavor.SOLARIS,
+            local_job_id="pr-9",
+            start_epoch=50.0,
+            end_epoch=60.0,
+            fields={"pr_utime_us": 3_000_000.0, "pr_net_mb": 2.0},
+        )
+        usage = ConversionUnit().convert_usage(raw)
+        assert usage.cpu_time_s == pytest.approx(3.0)
+        assert usage.network_mb == pytest.approx(2.0)
+        assert usage.memory_mb_h == 0.0
+
+    def test_cray_flavor(self):
+        raw = RawUsageRecord(
+            flavor=OSFlavor.CRAY_UNICOS,
+            local_job_id="cray-1",
+            start_epoch=0.0,
+            end_epoch=10.0,
+            fields={"cpu_seconds": 8.0, "mem_word_hours": 131072.0},  # 1 MB*h in words
+        )
+        usage = ConversionUnit().convert_usage(raw)
+        assert usage.cpu_time_s == pytest.approx(8.0)
+        assert usage.memory_mb_h == pytest.approx(1.0)
+
+    def test_flavors_agree_on_equivalent_usage(self):
+        # The whole point of the conversion unit: same physical usage,
+        # different OS encodings, identical standard RUR.
+        linux = RawUsageRecord(
+            OSFlavor.LINUX, "a", 0.0, 60.0, {"utime_jiffies": 6000.0, "net_kb": 1024.0}
+        )
+        solaris = RawUsageRecord(
+            OSFlavor.SOLARIS, "b", 0.0, 60.0, {"pr_utime_us": 60_000_000.0, "pr_net_mb": 1.0}
+        )
+        unit = ConversionUnit()
+        assert unit.convert_usage(linux).as_dict() == pytest.approx(
+            unit.convert_usage(solaris).as_dict()
+        )
+
+    def test_full_convert_builds_rur(self):
+        raw = RawUsageRecord(OSFlavor.LINUX, "pid-7", 100.0, 200.0, {"utime_jiffies": 100.0})
+        rur = ConversionUnit().convert(
+            raw,
+            user_certificate_name="/O=A/CN=u",
+            user_host="h1",
+            job_id="job-9",
+            application_name="app",
+            resource_certificate_name="/O=B/CN=gsp",
+            resource_host="h2",
+            host_type="Linux",
+        )
+        assert rur.local_job_id == "pid-7"
+        assert rur.duration_s == 100.0
+        assert rur.usage.cpu_time_s == pytest.approx(1.0)
+
+    def test_invalid_raw_values(self):
+        raw = RawUsageRecord(OSFlavor.LINUX, "x", 0.0, 1.0, {"utime_jiffies": -5.0})
+        with pytest.raises(MeteringError):
+            ConversionUnit().convert_usage(raw)
+        backwards = RawUsageRecord(OSFlavor.LINUX, "x", 10.0, 5.0, {})
+        with pytest.raises(MeteringError):
+            ConversionUnit().convert_usage(backwards)
+
+
+class TestAggregation:
+    def test_sums_usage_and_spans_time(self):
+        r1 = make_rur(start=0.0, end=100.0, local_job_id="r1", cpu=50.0)
+        r2 = make_rur(start=20.0, end=150.0, local_job_id="r2", cpu=70.0)
+        merged = aggregate_records([r1, r2], "/O=B/CN=gsp", "head.vo-b.org")
+        assert merged.usage.cpu_time_s == pytest.approx(120.0)
+        assert merged.job_start_epoch == 0.0
+        assert merged.job_end_epoch == 150.0
+        assert merged.usage.wall_clock_s == pytest.approx(150.0)  # span, not sum
+        assert merged.aggregated_from == ("r1", "r2")
+        assert merged.resource_host == "head.vo-b.org"
+
+    def test_rejects_mixed_users_or_jobs(self):
+        r1 = make_rur()
+        with pytest.raises(MeteringError):
+            aggregate_records([r1, make_rur(user="/O=X/CN=other")], "g", "h")
+        with pytest.raises(MeteringError):
+            aggregate_records([r1, make_rur(job_id="job-2")], "g", "h")
+        with pytest.raises(MeteringError):
+            aggregate_records([], "g", "h")
+
+    def test_single_record_aggregation(self):
+        r1 = make_rur(local_job_id="only")
+        merged = aggregate_records([r1], "/O=B/CN=gsp", "host")
+        assert merged.usage.cpu_time_s == r1.usage.cpu_time_s
+        assert merged.aggregated_from == ("only",)
+
+
+class TestFormats:
+    def test_json_roundtrip(self):
+        rur = make_rur()
+        assert decode_json(encode_json(rur)) == rur
+
+    def test_xml_roundtrip(self):
+        rur = make_rur(aggregated_from=("r1", "r2"))
+        text = encode_xml(rur)
+        assert text.startswith("<UsageRecord>")
+        assert decode_xml(text) == rur
+
+    def test_blob_roundtrip_both_formats(self):
+        rur = make_rur()
+        assert from_blob(to_blob(rur, fmt="json")) == rur
+        assert from_blob(to_blob(rur, fmt="xml")) == rur
+
+    def test_blob_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            to_blob(make_rur(), fmt="asn1")
+        with pytest.raises(ValidationError):
+            from_blob(b"")
+        with pytest.raises(ValidationError):
+            from_blob(b"\x99data")
+
+    def test_malformed_xml(self):
+        with pytest.raises(ValidationError):
+            decode_xml("<NotUsage/>")
+        with pytest.raises(ValidationError):
+            decode_xml("not xml at all <")
+
+    @given(
+        cpu=st.floats(min_value=0, max_value=1e6),
+        mem=st.floats(min_value=0, max_value=1e6),
+        net=st.floats(min_value=0, max_value=1e6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_blob_roundtrip_property(self, cpu, mem, net):
+        rur = make_rur(
+            usage=UsageVector(cpu_time_s=cpu, memory_mb_h=mem, network_mb=net, wall_clock_s=300.0)
+        )
+        assert from_blob(to_blob(rur)) == rur
+        assert decode_xml(encode_xml(rur)) == rur

@@ -1,0 +1,149 @@
+"""Edge cases of the end-to-end session layer.
+
+Chain exhaustion mid-service, charges capped by the cheque guarantee,
+time-shared providers, concurrent consumers contending for the template
+pool, and negotiation failure propagation.
+"""
+
+import pytest
+
+from repro.core.rates import ServiceRatesRecord
+from repro.core.session import GridSession, PaymentStrategy
+from repro.errors import NegotiationError, PoolExhaustedError
+from repro.grid.job import Job, JobStatus
+from repro.grid.scheduler import SchedulingPolicy
+from repro.grid.trade import PricingModel
+from repro.util.money import Credits, ZERO
+
+
+def make_job(subject, job_id, length_mi=180_000.0, **kw):
+    defaults = dict(application_name="edge", memory_mb=32.0)
+    defaults.update(kw)
+    return Job(job_id=job_id, user_subject=subject, length_mi=length_mi, **defaults)
+
+
+class TestChainExhaustion:
+    def test_payg_chain_runs_dry_gsp_keeps_what_was_paid(self):
+        session = GridSession(seed=71)
+        alice = session.add_consumer("alice", funds=1000)
+        provider = session.add_provider(
+            "gsp", ServiceRatesRecord.flat(cpu_per_hour=6.0), num_pes=1, mips_per_pe=500
+        )
+        job = make_job(alice.subject, "dry", length_mi=900_000.0)  # 1800 s
+        # budget only covers ~1/3 of the run: the chain exhausts mid-job
+        outcome = session.run_job(
+            alice, provider, job,
+            strategy=PaymentStrategy.PAY_AS_YOU_GO,
+            budget=Credits(1.0),
+            payg_tick_seconds=60.0,
+        )
+        assert job.status is JobStatus.DONE
+        assert outcome.paid <= Credits(1.0)
+        assert outcome.paid < outcome.charge  # GSP under-recovered
+        # everything still conserves
+        assert alice.balance() + provider.balance() == Credits(1000)
+
+
+class TestGuaranteeCap:
+    def test_charge_capped_at_cheque_limit(self):
+        session = GridSession(seed=72)
+        alice = session.add_consumer("alice", funds=1000)
+        provider = session.add_provider(
+            "gsp", ServiceRatesRecord.flat(cpu_per_hour=6.0), num_pes=1, mips_per_pe=500
+        )
+        job = make_job(alice.subject, "cap", length_mi=900_000.0)  # charge G$3
+        outcome = session.run_job(
+            alice, provider, job,
+            strategy=PaymentStrategy.PAY_AFTER_USE,
+            budget=Credits(2.0),  # reservation below the metered charge
+        )
+        # sec 3.4: the GSP can never take more than the guaranteed amount
+        assert outcome.charge > Credits(2.0)
+        assert outcome.paid == Credits(2.0)
+        assert provider.balance() == Credits(2.0)
+
+
+class TestTimeSharedProvider:
+    def test_session_on_time_shared_cluster(self):
+        session = GridSession(seed=73)
+        alice = session.add_consumer("alice", funds=1000)
+        provider = session.add_provider(
+            "ts-gsp",
+            ServiceRatesRecord.flat(cpu_per_hour=6.0, wall_per_hour=1.0),
+            num_pes=1,
+            mips_per_pe=500,
+            scheduling_policy=SchedulingPolicy.TIME_SHARED,
+        )
+        job = make_job(alice.subject, "ts-1", length_mi=450_000.0)  # 900 s dedicated
+        outcome = session.run_job(alice, provider, job, PaymentStrategy.PAY_AFTER_USE)
+        rur = outcome.service.rur
+        assert rur.usage.cpu_time_s == pytest.approx(900.0)
+        assert rur.usage.wall_clock_s == pytest.approx(900.0)  # alone on the box
+        assert outcome.paid == outcome.charge
+
+
+class TestPoolContention:
+    def test_pool_exhaustion_surfaces_at_admission(self):
+        session = GridSession(seed=74)
+        provider = session.add_provider(
+            "tiny", ServiceRatesRecord.flat(cpu_per_hour=1.0),
+            num_pes=4, mips_per_pe=500, pool_size=1,
+        )
+        a = session.add_consumer("a", funds=100)
+        b = session.add_consumer("b", funds=100)
+        gsp = provider.provider
+        cheque_a = a.api.request_cheque(a.account_id, gsp.subject, Credits(5))
+        cheque_b = b.api.request_cheque(b.account_id, gsp.subject, Credits(5))
+        gsp.admit(a.subject, cheque_a)
+        with pytest.raises(PoolExhaustedError):
+            gsp.admit(b.subject, cheque_b)
+        # once a releases, b fits
+        gsp.gbcm.release(a.subject)
+        gsp.admit(b.subject, cheque_b)
+
+
+class TestNegotiationFailure:
+    def test_failed_bargain_aborts_before_any_payment(self):
+        session = GridSession(seed=75)
+        alice = session.add_consumer("alice", funds=100)
+        provider = session.add_provider(
+            "stubborn",
+            ServiceRatesRecord.flat(cpu_per_hour=10.0),
+            num_pes=1,
+            mips_per_pe=500,
+            pricing_model=PricingModel.BARGAINING,
+        )
+        provider.provider.trade_server.reserve_fraction = 0.99
+        provider.provider.trade_server.concession_per_round = 0.001
+        provider.provider.trade_server.max_rounds = 2
+        job = make_job(alice.subject, "noDeal")
+        with pytest.raises(NegotiationError):
+            session.run_job(
+                alice, provider, job, PaymentStrategy.PAY_AFTER_USE, bid_fraction=0.01
+            )
+        assert alice.balance() == Credits(100)
+        assert provider.balance() == ZERO
+        assert job.status is JobStatus.CREATED
+
+
+class TestProviderRevenueStatement:
+    def test_gsp_sees_income_in_statement(self):
+        session = GridSession(seed=76)
+        alice = session.add_consumer("alice", funds=1000)
+        provider = session.add_provider(
+            "gsp", ServiceRatesRecord.flat(cpu_per_hour=6.0), num_pes=1, mips_per_pe=500
+        )
+        start = session.clock.now()
+        for i in range(3):
+            session.run_job(
+                alice, provider, make_job(alice.subject, f"rev-{i}"),
+                PaymentStrategy.PAY_AFTER_USE,
+            )
+        session.clock.advance(60)
+        statement = provider.api.account_statement(
+            provider.account_id, start, session.clock.now()
+        )
+        income = [t for t in statement["transactions"] if t["Amount"] > 0]
+        assert len(income) == 3
+        assert provider.provider.gbcm.charges_settled == 3
+        assert provider.provider.gbcm.revenue == provider.balance()

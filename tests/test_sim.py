@@ -1,0 +1,289 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.sim import Distributions, EventQueue, Interrupt, Simulator
+from repro.util.gbtime import VirtualClock
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(9.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_seq(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("later"), priority=1)
+        queue.push(1.0, lambda: order.append("first"), priority=0)
+        queue.push(1.0, lambda: order.append("second"), priority=0)
+        while queue:
+            queue.pop().callback()
+        assert order == ["first", "second", "later"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert len(queue) == 1
+        event.cancel()
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            EventQueue().push(float("nan"), lambda: None)
+
+
+class TestSimulator:
+    def test_hold_advances_time(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            trace.append(sim.now)
+            yield 10.0
+            trace.append(sim.now)
+            yield 5.0
+            trace.append(sim.now)
+
+        sim.spawn(worker())
+        end = sim.run()
+        assert trace == [0.0, 10.0, 15.0]
+        assert end == 15.0
+
+    def test_clock_shared_with_components(self):
+        clock = VirtualClock()
+        start = clock.now().epoch
+        sim = Simulator(clock=clock)
+
+        def worker():
+            yield 3600.0
+
+        sim.spawn(worker())
+        sim.run()
+        assert clock.now().epoch == start + 3600.0
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def worker():
+            yield 100.0
+
+        sim.spawn(worker())
+        assert sim.run(until=30.0) == 30.0
+
+    def test_run_until_beyond_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=50.0) == 50.0
+
+    def test_process_result_and_join(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield 5.0
+            return 42
+
+        def parent():
+            value = yield sim.spawn(child())
+            results.append((sim.now, value))
+
+        sim.spawn(parent())
+        sim.run()
+        assert results == [(5.0, 42)]
+
+    def test_signal_wakes_waiters_with_value(self):
+        sim = Simulator()
+        ready = sim.signal("ready")
+        seen = []
+
+        def waiter(tag):
+            value = yield ready.wait()
+            seen.append((tag, sim.now, value))
+
+        def firer():
+            yield 7.0
+            ready.fire("go")
+
+        sim.spawn(waiter("w1"))
+        sim.spawn(waiter("w2"))
+        sim.spawn(firer())
+        sim.run()
+        assert sorted(seen) == [("w1", 7.0, "go"), ("w2", 7.0, "go")]
+
+    def test_wait_on_already_fired_signal(self):
+        sim = Simulator()
+        done = sim.signal()
+        seen = []
+
+        def firer():
+            done.fire(1)
+            yield 0.0
+
+        def late():
+            yield 5.0
+            value = yield done.wait()
+            seen.append(value)
+
+        sim.spawn(firer())
+        sim.spawn(late())
+        sim.run()
+        assert seen == [1]
+
+    def test_signal_double_fire_rejected(self):
+        sim = Simulator()
+        signal = sim.signal()
+        signal.fire()
+        with pytest.raises(ValidationError):
+            signal.fire()
+
+    def test_resource_serializes_access(self):
+        sim = Simulator()
+        cpu = sim.resource(capacity=2, name="cpu")
+        spans = []
+
+        def job(tag, duration):
+            yield cpu.acquire()
+            start = sim.now
+            yield duration
+            cpu.release()
+            spans.append((tag, start, sim.now))
+
+        for i in range(4):
+            sim.spawn(job(f"j{i}", 10.0))
+        sim.run()
+        # capacity 2: two jobs run [0,10], two run [10,20]
+        starts = sorted(s for _, s, _ in spans)
+        assert starts == [0.0, 0.0, 10.0, 10.0]
+
+    def test_resource_queue_length_and_misuse(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        with pytest.raises(ValidationError):
+            res.release()
+        with pytest.raises(ValidationError):
+            sim.resource(capacity=0)
+
+    def test_interrupt(self):
+        sim = Simulator()
+        outcome = []
+
+        def sleeper():
+            try:
+                yield 1000.0
+                outcome.append("finished")
+            except Interrupt as exc:
+                outcome.append(("interrupted", sim.now, exc.reason))
+
+        def killer(target):
+            yield 5.0
+            target.interrupt("deadline")
+
+        proc = sim.spawn(sleeper())
+        sim.spawn(killer(proc))
+        sim.run()
+        assert outcome == [("interrupted", 5.0, "deadline")]
+
+    def test_process_failure_propagates(self):
+        sim = Simulator()
+
+        def bad():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        sim.spawn(bad())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_negative_hold_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield -1.0
+
+        sim.spawn(bad())
+        with pytest.raises(ValidationError):
+            sim.run()
+
+    def test_unsupported_yield_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+
+        sim.spawn(bad())
+        with pytest.raises(ValidationError):
+            sim.run()
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValidationError):
+            sim.schedule(-1.0, lambda: None)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestDistributions:
+    def test_deterministic_under_seed(self):
+        d1, d2 = Distributions(9), Distributions(9)
+        assert [d1.exponential(5) for _ in range(5)] == [d2.exponential(5) for _ in range(5)]
+
+    def test_bounds(self):
+        dist = Distributions(1)
+        for _ in range(200):
+            assert 1.0 <= dist.uniform(1.0, 2.0) <= 2.0
+            assert dist.pareto(1.5, minimum=2.0) >= 2.0
+            assert 0.0 <= dist.normal_clamped(0.5, 1.0, 0.0, 1.0) <= 1.0
+            assert dist.randint(1, 3) in (1, 2, 3)
+
+    def test_exponential_mean_roughly_right(self):
+        dist = Distributions(7)
+        samples = [dist.exponential(10.0) for _ in range(5000)]
+        assert 9.0 < sum(samples) / len(samples) < 11.0
+
+    def test_weighted_choice_and_bernoulli(self):
+        dist = Distributions(3)
+        picks = [dist.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(200)]
+        assert picks.count("a") > 150
+        flips = [dist.bernoulli(0.9) for _ in range(200)]
+        assert flips.count(True) > 150
+
+    def test_validation(self):
+        dist = Distributions(0)
+        with pytest.raises(ValidationError):
+            dist.uniform(2, 1)
+        with pytest.raises(ValidationError):
+            dist.exponential(0)
+        with pytest.raises(ValidationError):
+            dist.pareto(0, 1)
+        with pytest.raises(ValidationError):
+            dist.choice([])
+        with pytest.raises(ValidationError):
+            dist.bernoulli(1.5)
+        with pytest.raises(ValidationError):
+            dist.weighted_choice(["a"], [1.0, 2.0])
+
+    def test_shuffle_is_copy(self):
+        dist = Distributions(0)
+        items = [1, 2, 3, 4]
+        shuffled = dist.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == [1, 2, 3, 4]

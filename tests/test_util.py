@@ -1,0 +1,184 @@
+"""Unit + property tests for money, time, ids and canonical serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.util.gbtime import SystemClock, Timestamp, VirtualClock
+from repro.util.ids import IdGenerator, random_token
+from repro.util.money import Credits, MICRO_PER_CREDIT, ZERO
+from repro.util.serialize import canonical_dumps, canonical_loads, to_bytes
+
+
+class TestCredits:
+    def test_construct_from_int_float_credits(self):
+        assert Credits(2).micro == 2 * MICRO_PER_CREDIT
+        assert Credits(2.5).micro == 2_500_000
+        assert Credits(Credits(3)).micro == 3 * MICRO_PER_CREDIT
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            Credits(float("nan"))
+        with pytest.raises(ValidationError):
+            Credits(float("inf"))
+        with pytest.raises(ValidationError):
+            Credits(True)
+        with pytest.raises(ValidationError):
+            Credits("5")  # type: ignore[arg-type]
+        with pytest.raises(ValidationError):
+            Credits.from_micro(1.5)  # type: ignore[arg-type]
+
+    def test_arithmetic(self):
+        assert Credits(1) + Credits(2) == Credits(3)
+        assert Credits(5) - Credits(2) == Credits(3)
+        assert -Credits(4) == Credits(-4)
+        assert abs(Credits(-4)) == Credits(4)
+        assert Credits(2) * 3 == Credits(6)
+        assert 3 * Credits(2) == Credits(6)
+        assert Credits(5) / 2 == Credits(2.5)
+
+    def test_scalar_multiplication_rounds_to_micro(self):
+        # 1/3 of one G$ is 333333.33.. micro -> rounds to 333333
+        assert (Credits(1) * (1 / 3)).micro == 333333
+
+    def test_ordering_and_bool(self):
+        assert Credits(1) < Credits(2) <= Credits(2)
+        assert Credits(3) > Credits(2) >= Credits(2)
+        assert not ZERO
+        assert Credits(0.000001)
+
+    def test_comparison_with_numbers(self):
+        assert Credits(2) == 2
+        assert Credits(2.5) == 2.5
+        assert Credits(2) >= 1
+        assert Credits(2) != 3
+
+    def test_str_and_repr(self):
+        assert str(Credits(5)) == "G$5"
+        assert str(Credits(-1.25)) == "-G$1.25"
+        assert "Credits" in repr(Credits(1))
+
+    def test_require_positive(self):
+        assert Credits(1).require_positive() == Credits(1)
+        with pytest.raises(ValidationError):
+            ZERO.require_positive()
+        with pytest.raises(ValidationError):
+            Credits(-1).require_positive("fee")
+
+    def test_float_roundtrip(self):
+        for value in (0.0, 1.5, 123456.789012, -0.000001):
+            assert Credits(Credits(value).to_float()) == Credits(value)
+
+    @given(st.integers(min_value=-10**15, max_value=10**15), st.integers(min_value=-10**15, max_value=10**15))
+    def test_addition_exact(self, a, b):
+        assert (Credits.from_micro(a) + Credits.from_micro(b)).micro == a + b
+
+    @given(st.lists(st.integers(min_value=-10**12, max_value=10**12), max_size=30))
+    def test_sum_order_independent(self, micros):
+        amounts = [Credits.from_micro(m) for m in micros]
+        total1 = sum(amounts, ZERO)
+        total2 = sum(reversed(amounts), ZERO)
+        assert total1 == total2
+
+
+class TestTimestamp:
+    def test_stamp14_format(self):
+        ts = Timestamp.from_stamp14("20030101000000")
+        assert ts.stamp14 == "20030101000000"
+        assert ts.epoch == VirtualClock.DEFAULT_START
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("", "2003", "2003010100000x", "200301010000000"):
+            with pytest.raises(ValidationError):
+                Timestamp.from_stamp14(bad)
+
+    def test_ordering_and_arithmetic(self):
+        t0 = Timestamp(100.0)
+        t1 = t0 + 50
+        assert t1 > t0
+        assert t1 - t0 == 50.0
+        assert (t1 - 25).epoch == 125.0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValidationError):
+            Timestamp(float("nan"))
+
+
+class TestClocks:
+    def test_virtual_clock_advances(self):
+        clock = VirtualClock()
+        t0 = clock.now()
+        clock.advance(3600)
+        assert clock.now() - t0 == 3600.0
+
+    def test_virtual_clock_never_backwards(self):
+        clock = VirtualClock()
+        with pytest.raises(ValidationError):
+            clock.advance(-1)
+        with pytest.raises(ValidationError):
+            clock.set_epoch(0)
+
+    def test_system_clock_monotonic_enough(self):
+        clock = SystemClock()
+        assert clock.now().epoch <= clock.now().epoch
+
+
+class TestIds:
+    def test_generator_sequence(self):
+        gen = IdGenerator(prefix="txn")
+        assert gen.next_str() == "txn-000001"
+        assert gen.next_int() == 2
+        assert gen.peek() == 3
+
+    def test_random_token_seeded(self):
+        assert random_token(random.Random(5)) == random_token(random.Random(5))
+        assert len(random_token(random.Random(5), nbytes=8)) == 16
+
+
+class TestCanonicalSerialize:
+    def test_key_order_independent(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == canonical_dumps({"a": 2, "b": 1})
+
+    def test_roundtrip_extended_types(self):
+        value = {
+            "amount": Credits(12.5),
+            "when": Timestamp(1041379200.0),
+            "blob": b"\x00\xff",
+            "plain": [1, "two", 3.5, None, True],
+        }
+        again = canonical_loads(canonical_dumps(value))
+        assert again == value
+        assert isinstance(again["amount"], Credits)
+        assert isinstance(again["when"], Timestamp)
+        assert isinstance(again["blob"], bytes)
+
+    def test_rejects_unserializable(self):
+        with pytest.raises(ValidationError):
+            canonical_dumps({"x": object()})
+        with pytest.raises(ValidationError):
+            canonical_dumps({1: "non-string key"})  # type: ignore[dict-item]
+        with pytest.raises(ValidationError):
+            canonical_dumps(float("inf"))
+
+    def test_rejects_malformed_bytes(self):
+        with pytest.raises(ValidationError):
+            canonical_loads(b"\xff\xfe not json")
+
+    def test_to_bytes_views(self):
+        assert to_bytes(b"raw") == b"raw"
+        assert to_bytes("text") == b"text"
+        assert to_bytes({"a": 1}) == canonical_dumps({"a": 1})
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers(min_value=-10**9, max_value=10**9) | st.text(max_size=20),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=8), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_arbitrary_json(self, value):
+        assert canonical_loads(canonical_dumps(value)) == value

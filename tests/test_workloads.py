@@ -1,0 +1,89 @@
+"""Tests for workload generators and the open-queue scenario runner."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import (
+    community_specs,
+    job_stream,
+    provider_specs,
+    run_open_queue,
+    sweep_application,
+)
+
+
+class TestGenerators:
+    def test_job_stream_shape(self):
+        jobs = job_stream("/O=A/CN=u", count=50, seed=5)
+        assert len(jobs) == 50
+        assert len({j.job_id for j in jobs}) == 50
+        assert all(j.length_mi > 0 for j in jobs)
+        assert all(j.user_subject == "/O=A/CN=u" for j in jobs)
+
+    def test_job_stream_deterministic(self):
+        a = job_stream("/O=A/CN=u", count=10, seed=9)
+        b = job_stream("/O=A/CN=u", count=10, seed=9)
+        assert [j.length_mi for j in a] == [j.length_mi for j in b]
+
+    def test_job_stream_heavy_tail(self):
+        jobs = job_stream("/O=A/CN=u", count=2000, seed=1, mean_length_mi=100_000.0)
+        lengths = sorted(j.length_mi for j in jobs)
+        # Pareto: the top decile carries disproportionate mass
+        top = sum(lengths[-200:])
+        assert top > 0.25 * sum(lengths)
+
+    def test_sweep_application(self):
+        app = sweep_application(points=12)
+        assert app.job_count == 12
+        jobs = app.jobs("/O=A/CN=u")
+        assert {j.parameters["theta"] for j in jobs} == set(range(12))
+
+    def test_provider_and_community_specs(self):
+        specs = provider_specs(5, seed=2)
+        assert len(specs) == 5
+        assert all(s["cpu_rate"] > 0 for s in specs)
+        members = community_specs(4, seed=2)
+        assert len(members) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            job_stream("/O=A/CN=u", count=0)
+        with pytest.raises(ValidationError):
+            sweep_application(points=0)
+        with pytest.raises(ValidationError):
+            provider_specs(0)
+        with pytest.raises(ValidationError):
+            community_specs(1)
+
+
+class TestOpenQueue:
+    def test_light_load_completes_without_waiting(self):
+        result = run_open_queue(
+            mean_interarrival_s=400.0, horizon_s=8000.0, seed=11
+        )
+        assert result.jobs_submitted > 5
+        assert result.completion_rate == 1.0
+        assert result.mean_wait_s < 10.0
+        assert result.funds_conserved
+
+    def test_heavier_load_waits_longer(self):
+        light = run_open_queue(mean_interarrival_s=300.0, horizon_s=12_000.0, seed=12)
+        heavy = run_open_queue(mean_interarrival_s=60.0, horizon_s=12_000.0, seed=12)
+        assert heavy.jobs_submitted > light.jobs_submitted
+        assert heavy.mean_wait_s > light.mean_wait_s
+        assert max(heavy.per_provider_busy_fraction.values()) > max(
+            light.per_provider_busy_fraction.values()
+        )
+
+    def test_every_completed_job_paid_for(self):
+        result = run_open_queue(mean_interarrival_s=200.0, horizon_s=8000.0, seed=13)
+        from repro.util.money import ZERO
+
+        assert result.total_paid > ZERO
+        assert result.funds_conserved
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            run_open_queue(num_providers=0)
+        with pytest.raises(ValidationError):
+            run_open_queue(mean_interarrival_s=0)
