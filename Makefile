@@ -2,12 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples all clean
+.PHONY: install lint test bench examples all clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+lint:
+	$(PYTHON) -m compileall -q src
+	$(PYTHON) tools/check_no_print.py
+
+test: lint
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -25,7 +29,7 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-all: test bench
+all: lint test bench
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

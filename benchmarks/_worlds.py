@@ -6,6 +6,7 @@ artifact; these helpers keep that construction consistent and seeded.
 
 from __future__ import annotations
 
+import contextlib
 import random
 
 from repro.bank.server import GridBankServer
@@ -21,6 +22,26 @@ from repro.util.gbtime import VirtualClock
 from repro.util.money import Credits
 
 STANDARD_RATES = dict(cpu_per_hour=6.0, network_per_mb=0.1, memory_per_mb_hour=0.001)
+
+
+@contextlib.contextmanager
+def scenario_metrics(sink: dict, scenario: str):
+    """Per-scenario metrics isolation for the bench harness.
+
+    Resets the process-wide observability registry before the scenario
+    runs and stores its final ``snapshot()`` (op-level request counts and
+    latency percentiles) into *sink* under *scenario* — the conftest
+    dumps the collected sink as a JSON sidecar next to the bench output.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.reset()
+    try:
+        yield
+    finally:
+        snapshot = obs_metrics.snapshot()
+        if any(snapshot.values()):
+            sink[scenario] = snapshot
 
 
 def make_bank_world(seed: int = 0, open_enrollment: bool = True):

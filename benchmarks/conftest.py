@@ -3,10 +3,38 @@
 Run with ``pytest benchmarks/ --benchmark-only``. Each bench file
 regenerates one paper artifact (figure / table / section claim); see
 DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+
+Every scenario additionally runs inside :func:`_worlds.scenario_metrics`:
+the observability registry is reset per test and its final snapshot
+(op-level request counts and latency percentiles from
+:mod:`repro.obs.metrics`) is dumped to ``benchmarks/BENCH_METRICS.json``
+at session end — the per-scenario metric sidecar next to the bench output.
 """
 
+import json
 import sys
 from pathlib import Path
 
+import pytest
+
 # make the shared _worlds helper importable regardless of rootdir
 sys.path.insert(0, str(Path(__file__).parent))
+
+from _worlds import scenario_metrics  # noqa: E402
+
+_METRICS_SIDECAR = Path(__file__).parent / "BENCH_METRICS.json"
+_scenario_snapshots: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _per_scenario_metrics(request):
+    """Reset obs metrics per scenario; collect the snapshot afterwards."""
+    with scenario_metrics(_scenario_snapshots, request.node.nodeid):
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _scenario_snapshots:
+        _METRICS_SIDECAR.write_text(
+            json.dumps(_scenario_snapshots, indent=2, sort_keys=True) + "\n"
+        )

@@ -38,6 +38,7 @@ from repro.errors import (
     NotFoundError,
     ValidationError,
 )
+from repro.obs.trace import current_trace_id
 from repro.util.gbtime import Clock, SystemClock, Timestamp
 from repro.util.ids import IdGenerator
 from repro.util.money import Credits, ZERO
@@ -215,6 +216,7 @@ class GBAccounts:
                 "Type": txn_type,
                 "Date": when,
                 "Amount": credits_to_db(amount),
+                "TraceID": current_trace_id(),
             },
         )
 
@@ -281,6 +283,7 @@ class GBAccounts:
                     "Amount": credits_to_db(amount),
                     "RecipientAccountID": to_account,
                     "ResourceUsageRecord": rur_blob,
+                    "TraceID": current_trace_id(),
                 },
             )
             return txn_id
@@ -355,6 +358,7 @@ class GBAccounts:
                     "Amount": credits_to_db(amount),
                     "RecipientAccountID": to_account,
                     "ResourceUsageRecord": rur_blob,
+                    "TraceID": current_trace_id(),
                 },
             )
             return txn_id

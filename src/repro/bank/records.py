@@ -21,6 +21,9 @@ close-account operation, and per-account transaction rows need their own
 ``EntryID`` because one TransactionID produces two rows (drawer negative,
 recipient positive). Balances are carried as FLOAT per the paper but all
 arithmetic happens in fixed-point :class:`~repro.util.money.Credits`.
+TRANSACTION and TRANSFER rows additionally carry a ``TraceID`` column
+(empty when written outside any request trace) linking each ledger write
+to the RPC trace that caused it — see :mod:`repro.obs.trace`.
 """
 
 from __future__ import annotations
@@ -131,6 +134,7 @@ def transaction_schema() -> TableSchema:
             Column.make("Type", VarChar(10)),
             Column.make("Date", Timestamp14()),
             Column.make("Amount", Float()),
+            Column.make("TraceID", VarChar(32), default=""),
         ],
         primary_key=["EntryID"],
         indexes=["AccountID", "TransactionID"],
@@ -147,6 +151,7 @@ def transfer_schema() -> TableSchema:
             Column.make("Amount", Float()),
             Column.make("RecipientAccountID", VarChar(16)),
             Column.make("ResourceUsageRecord", Blob(), default=b""),
+            Column.make("TraceID", VarChar(32), default=""),
         ],
         primary_key=["TransactionID"],
         indexes=["DrawerAccountID", "RecipientAccountID"],

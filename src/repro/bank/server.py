@@ -20,6 +20,7 @@ subjects may connect and call ``CreateAccount`` only.
 from __future__ import annotations
 
 import random
+import time
 from typing import Optional
 
 from repro.bank.accounts import GBAccounts
@@ -27,9 +28,11 @@ from repro.bank.admin import GBAdmin
 from repro.bank.pricing import PriceEstimator, ResourceDescription
 from repro.bank.security import bank_authorization_policy
 from repro.db.database import Database
-from repro.errors import AuthorizationError, ValidationError
+from repro.errors import AuthorizationError, ReproError, ValidationError
 from repro.gsi.authorization import CallbackPolicy
-from repro.net.rpc import ServiceEndpoint
+from repro.net.rpc import Operation, ServiceEndpoint
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
 from repro.payments.cheque import GridCheque, GridChequeProtocol
 from repro.payments.direct import DirectTransferProtocol
 from repro.payments.hashchain import GridHashCommitment, GridHashProtocol, PaymentTick
@@ -40,6 +43,8 @@ from repro.util.gbtime import Clock, SystemClock, Timestamp
 from repro.util.money import Credits
 
 __all__ = ["GridBankServer"]
+
+_log = get_logger("bank.server")
 
 
 class GridBankServer:
@@ -107,8 +112,39 @@ class GridBankServer:
     def connection_handler(self):
         return self.endpoint.connection_handler()
 
+    def _instrumented(self, operation: Operation) -> Operation:
+        """Dispatch-level wrapper: every ``op_*`` gets a request counter,
+        an error counter and a latency histogram, named after the
+        operation (``bank.op.direct_transfer.latency_seconds``, ...)."""
+        op_name = operation.__name__.removeprefix("op_")
+        requests = obs_metrics.counter(f"bank.op.{op_name}.requests")
+        errors = obs_metrics.counter(f"bank.op.{op_name}.errors")
+        latency = obs_metrics.histogram(f"bank.op.{op_name}.latency_seconds")
+
+        def dispatch(subject: str, params: dict):
+            requests.inc()
+            started = time.perf_counter()
+            try:
+                result = operation(subject, params)
+            except Exception as exc:
+                errors.inc()
+                latency.observe(time.perf_counter() - started)
+                _log.warning(
+                    "bank.op.error", op=op_name, subject=subject,
+                    error=type(exc).__name__, reason=str(exc),
+                )
+                raise
+            elapsed = time.perf_counter() - started
+            latency.observe(elapsed)
+            _log.debug("bank.op", op=op_name, subject=subject, duration=elapsed)
+            return result
+
+        dispatch.__name__ = operation.__name__
+        return dispatch
+
     def _register_operations(self) -> None:
-        register = self.endpoint.register
+        def register(method: str, operation: Operation) -> None:
+            self.endpoint.register(method, self._instrumented(operation))
         register("BankInfo", self.op_bank_info)
         register("CreateAccount", self.op_create_account)
         register("RequestAccountDetails", self.op_account_details)
@@ -304,26 +340,65 @@ class GridBankServer:
         }
 
     def op_redeem_cheque_batch(self, subject: str, params: dict) -> list:
+        """Redeem a batch of cheques, one ledger TRANSACTION per cheque.
+
+        Cheques settle independently in input order (so TransactionIDs
+        are monotone in batch position); a rejected cheque does not abort
+        the rest of the batch — it yields an ``ok: False`` entry carrying
+        the error type, and a warning log line, while every other cheque
+        still settles. (The protocol-level
+        :meth:`~repro.payments.cheque.GridChequeProtocol.redeem_batch`
+        keeps its all-or-nothing semantics for callers that want them.)
+        """
         self._require_standing(subject)
-        items = [
-            (
-                GridCheque.from_dict(item["cheque"]),
-                item["payee_account"],
-                Credits(item["charge"]) if not isinstance(item["charge"], Credits) else item["charge"],
-                item.get("rur_blob", b""),
+        results: list[dict] = []
+        rejected = obs_metrics.counter("bank.cheque_batch.rejected")
+        for position, item in enumerate(params["items"]):
+            cheque_id = ""
+            try:
+                cheque = GridCheque.from_dict(item["cheque"])
+                cheque_id = cheque.cheque_id
+                charge = item["charge"]
+                result = self.cheques.redeem(
+                    redeemer_subject=subject,
+                    cheque=cheque,
+                    payee_account=item["payee_account"],
+                    charge=charge if isinstance(charge, Credits) else Credits(charge),
+                    rur_blob=item.get("rur_blob", b""),
+                )
+            except ReproError as exc:
+                rejected.inc()
+                _log.warning(
+                    "bank.cheque_batch.rejected",
+                    position=position,
+                    cheque_id=cheque_id,
+                    error=type(exc).__name__,
+                    reason=str(exc),
+                )
+                results.append(
+                    {
+                        "ok": False,
+                        "position": position,
+                        "cheque_id": cheque_id,
+                        "transaction_id": None,
+                        "paid": Credits(0),
+                        "released": Credits(0),
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                    }
+                )
+                continue
+            results.append(
+                {
+                    "ok": True,
+                    "position": position,
+                    "cheque_id": result.cheque_id,
+                    "transaction_id": result.transaction_id,
+                    "paid": result.paid,
+                    "released": result.released,
+                }
             )
-            for item in params["items"]
-        ]
-        results = self.cheques.redeem_batch(subject, items)
-        return [
-            {
-                "cheque_id": r.cheque_id,
-                "transaction_id": r.transaction_id,
-                "paid": r.paid,
-                "released": r.released,
-            }
-            for r in results
-        ]
+        return results
 
     def op_cancel_cheque(self, subject: str, params: dict) -> dict:
         self._require_standing(subject)

@@ -11,6 +11,7 @@ invocations::
     python -m repro.cli balance --home ./mybank --account 01-0001-00000001
     python -m repro.cli statement --home ./mybank --account 01-0001-00000001
     python -m repro.cli serve --home ./mybank --port 7776   # real TCP service
+    python -m repro.cli metrics --home ./mybank [--json]    # observability dump
 
 Administrative commands (deposit/withdraw/credit-limit/close) act as the
 bank operator — the sec 5.2.1 role of "GridBank's administrators who are
@@ -20,6 +21,8 @@ responsible for transferring real money to and from clients".
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import sys
 from pathlib import Path
@@ -29,6 +32,8 @@ from repro.bank.server import GridBankServer
 from repro.crypto.keys import private_key_from_dict, private_key_to_dict
 from repro.db.database import Database
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import configure_from_env
 from repro.pki.ca import CertificateAuthority, Identity
 from repro.pki.certificate import Certificate, DistinguishedName
 from repro.pki.validation import CertificateStore
@@ -41,6 +46,7 @@ __all__ = ["main"]
 _IDENTITY_FILE = "bank-identity.gbk"
 _ROOT_FILE = "ca-root.gbk"
 _DB_DIR = "db"
+_METRICS_FILE = "metrics.json"
 
 
 def _save_identity(home: Path, identity: Identity, root: Certificate) -> None:
@@ -290,7 +296,8 @@ def cmd_remote_transfer(args) -> int:
 def cmd_serve(args) -> int:
     from repro.net.tcp import TCPServer
 
-    bank = _load_bank(Path(args.home))
+    home = Path(args.home)
+    bank = _load_bank(home)
     with TCPServer(bank.connection_handler, host=args.host, port=args.port) as server:
         host, port = server.address
         print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
@@ -302,7 +309,31 @@ def cmd_serve(args) -> int:
         except KeyboardInterrupt:
             pass
     bank.db.close()
+    # persist the run's metrics so `gridbank metrics` can read them later
+    (home / _METRICS_FILE).write_text(
+        json.dumps(obs_metrics.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
     print("server stopped")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Dump the observability registry: per-operation request/error
+    counters and latency histogram summaries (p50/p95/p99).
+
+    Reads the ``metrics.json`` a previous ``serve`` wrote into the bank
+    home; ``--live`` (or a home without one) shows the current process's
+    registry instead.
+    """
+    source = Path(args.home) / _METRICS_FILE
+    if not args.live and source.exists():
+        data = json.loads(source.read_text())
+    else:
+        data = obs_metrics.snapshot()
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(obs_metrics.render_snapshot(data))
     return 0
 
 
@@ -357,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--duration", type=float, default=None, help="seconds to run (default: forever)")
 
+    p = add("metrics", cmd_metrics, help="dump recorded metrics (text or JSON)")
+    p.add_argument("--json", action="store_true", help="machine-readable JSON dump")
+    p.add_argument("--live", action="store_true",
+                   help="show this process's registry, ignoring metrics.json")
+
     p = add("issue-identity", cmd_issue_identity, help="enroll a user credential")
     p.add_argument("--organization", required=True)
     p.add_argument("--name", required=True)
@@ -387,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    configure_from_env()  # GRIDBANK_LOG_LEVEL / GRIDBANK_LOG_FORMAT=json
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
@@ -396,6 +433,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: bank home not initialized ({exc})", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # downstream closed the pipe (e.g. `gridbank metrics | head`);
+        # detach stdout so interpreter shutdown doesn't traceback on flush
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.crypto.rsa import RSAPublicKey
 from repro.crypto.signature import Signed
 from repro.errors import InstrumentError, SignatureError, ValidationError
 from repro.grid.accounts_pool import TemplateAccountPool
+from repro.obs import metrics as obs_metrics
 from repro.payments.cheque import GridCheque
 from repro.payments.hashchain import GridHashCommitment, HashChainVerifier, PaymentTick
 from repro.pki.ca import Identity
@@ -216,6 +217,9 @@ class GridBankChargingModule:
         self.release(ref)
         self.charges_settled += 1
         self.revenue = self.revenue + earned
+        obs_metrics.counter("core.charging.settlements").inc()
+        obs_metrics.counter("core.charging.amount_charged").inc(calculation.total.to_float())
+        obs_metrics.counter("core.charging.revenue").inc(earned.to_float())
         return calculation, result
 
     def release(self, ref: str) -> None:

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.errors import MeteringError
 from repro.grid.job import Job
+from repro.obs import metrics as obs_metrics
 from repro.rur.aggregate import aggregate_records
 from repro.rur.conversion import ConversionUnit, RawUsageRecord
 from repro.rur.record import ResourceUsageRecord
@@ -41,6 +42,7 @@ class GridResourceMeter:
         self._jobs[job.job_id] = job
         self._raw.setdefault(job.job_id, []).append((host, raw))
         self.records_collected += 1
+        obs_metrics.counter("grid.meter.raw_records").inc()
 
     def pending_jobs(self) -> list[str]:
         return sorted(self._raw)
@@ -74,6 +76,7 @@ class GridResourceMeter:
         records = self.per_resource_records(job_id, user_host=user_host)
         del self._raw[job_id]
         del self._jobs[job_id]
+        obs_metrics.counter("grid.meter.rur_collected").inc()
         if len(records) == 1 and not records[0].aggregated_from:
             merged = records[0]
         elif aggregate:

@@ -19,6 +19,8 @@ from repro.net.message import (
     make_response,
     make_error,
     parse_payload,
+    raise_remote_error,
+    resolve_error_class,
 )
 from repro.net.transport import InProcessNetwork, TransportStats, FaultPlan
 from repro.net.rpc import ServiceEndpoint, RPCClient, ConnectionRefused
@@ -30,6 +32,8 @@ __all__ = [
     "make_response",
     "make_error",
     "parse_payload",
+    "raise_remote_error",
+    "resolve_error_class",
     "InProcessNetwork",
     "TransportStats",
     "FaultPlan",

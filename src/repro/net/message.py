@@ -11,7 +11,8 @@ from __future__ import annotations
 import struct
 from typing import Any, Iterator, Optional
 
-from repro.errors import ProtocolError, RPCError, ValidationError
+import repro.errors as _errors
+from repro.errors import ProtocolError, ReproError, RPCError, ValidationError
 from repro.util.serialize import canonical_dumps, canonical_loads
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "make_response",
     "make_error",
     "parse_payload",
+    "resolve_error_class",
+    "raise_remote_error",
 ]
 
 MAX_FRAME = 16 * 1024 * 1024  # 16 MiB — RURs are small; this is generous
@@ -70,8 +73,20 @@ def _read_exact(read, n: int, allow_eof: bool) -> Optional[bytes]:
 # -- RPC envelopes -----------------------------------------------------------
 
 
-def make_request(method: str, params: dict, request_id: int) -> bytes:
-    return canonical_dumps({"kind": "request", "id": request_id, "method": method, "params": params})
+def make_request(
+    method: str, params: dict, request_id: int, trace: Optional[dict] = None
+) -> bytes:
+    """Encode a request envelope.
+
+    *trace* is the optional observability context (``trace_id`` /
+    ``span_id`` / ``parent_id``, see :mod:`repro.obs.trace`); servers
+    restore it around dispatch so client and server spans share one
+    trace ID.
+    """
+    envelope: dict = {"kind": "request", "id": request_id, "method": method, "params": params}
+    if trace:
+        envelope["trace"] = trace
+    return canonical_dumps(envelope)
 
 
 def make_response(request_id: int, result: Any) -> bytes:
@@ -95,6 +110,30 @@ def parse_payload(data: bytes) -> dict:
     return payload
 
 
+_ERROR_CLASSES = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+    if isinstance(getattr(_errors, name), type)
+}
+
+
+def resolve_error_class(error_type: str) -> Optional[type]:
+    """Library exception class named by a wire ``error_type``, if any."""
+    error_class = _ERROR_CLASSES.get(error_type)
+    if error_class is not None and issubclass(error_class, ReproError):
+        return error_class
+    return None
+
+
 def raise_remote_error(payload: dict) -> None:
-    """Re-raise an error payload as a local :class:`RPCError`."""
-    raise RPCError(payload.get("message", "remote error"), remote_type=payload.get("error_type", ""))
+    """Re-raise an error payload, preserving the server-side error type.
+
+    A remote ``PaymentError`` surfaces as :class:`PaymentError` locally;
+    types outside the :mod:`repro.errors` hierarchy fall back to
+    :class:`RPCError` with ``remote_type`` carrying the original name.
+    """
+    message = payload.get("message", "remote error")
+    error_class = resolve_error_class(payload.get("error_type", ""))
+    if error_class is not None:
+        raise error_class(message)
+    raise RPCError(message, remote_type=payload.get("error_type", ""))

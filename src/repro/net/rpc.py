@@ -19,17 +19,24 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Optional
 
-import repro.errors as _errors
 from repro.errors import (
     ChannelError,
     ProtocolError,
     ReproError,
-    RPCError,
     TransportError,
 )
 from repro.gsi.authorization import AuthorizationPolicy
 from repro.gsi.context import Role, SecurityContext
-from repro.net.message import make_error, make_request, make_response, parse_payload
+from repro.net.message import (
+    make_error,
+    make_request,
+    make_response,
+    parse_payload,
+    raise_remote_error,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
 from repro.pki.validation import CertificateStore
 from repro.util.gbtime import Clock, SystemClock
 from repro.util.serialize import canonical_dumps
@@ -38,11 +45,7 @@ __all__ = ["ServiceEndpoint", "RPCClient", "ConnectionRefused", "Operation"]
 
 Operation = Callable[[str, dict], Any]
 
-_ERROR_CLASSES = {
-    name: getattr(_errors, name)
-    for name in _errors.__all__
-    if isinstance(getattr(_errors, name), type)
-}
+_log = get_logger("net.rpc")
 
 
 class ConnectionRefused(TransportError):
@@ -61,6 +64,7 @@ class _ServerConnection:
             clock=endpoint.clock,
             rng=random.Random(endpoint._rng.getrandbits(64)),
         )
+        self._trace_rng = random.Random(endpoint._rng.getrandbits(64))
         self._open = False
         self._closed = False
 
@@ -106,15 +110,38 @@ class _ServerConnection:
         method = request.get("method", "")
         subject = self._context.peer_subject
         assert subject is not None
-        operation = self._endpoint.operations.get(method)
-        if operation is None:
-            response = make_error(request_id, "ProtocolError", f"no such operation: {method!r}")
+        # restore the caller's trace around dispatch: the server span is a
+        # child of the client span, sharing its trace ID
+        parent = obs_trace.from_wire(request.get("trace"))
+        if parent is not None:
+            span = parent.child(self._trace_rng)
         else:
-            try:
-                result = operation(subject, request.get("params", {}))
-                response = make_response(request_id, result)
-            except ReproError as exc:
-                response = make_error(request_id, type(exc).__name__, str(exc))
+            span = obs_trace.SpanContext(
+                trace_id=obs_trace.new_trace_id(self._trace_rng),
+                span_id=obs_trace.new_span_id(self._trace_rng),
+            )
+        operation = self._endpoint.operations.get(method)
+        with obs_trace.activate(span):
+            if operation is None:
+                obs_metrics.counter("rpc.server.unknown_method").inc()
+                response = make_error(request_id, "ProtocolError", f"no such operation: {method!r}")
+            else:
+                try:
+                    result = operation(subject, request.get("params", {}))
+                    response = make_response(request_id, result)
+                except ReproError as exc:
+                    response = make_error(request_id, type(exc).__name__, str(exc))
+                except Exception as exc:  # noqa: BLE001 - a bug in an operation
+                    # must not kill the connection thread; the type name still
+                    # crosses the wire so the client sees what happened
+                    obs_metrics.counter("rpc.server.unexpected_errors").inc()
+                    _log.error(
+                        "rpc.dispatch.unexpected_error",
+                        method=method,
+                        error=type(exc).__name__,
+                        reason=str(exc),
+                    )
+                    response = make_error(request_id, type(exc).__name__, str(exc))
         return canonical_dumps({"kind": "sealed", "record": self._context.wrap(response)})
 
     def close(self) -> None:
@@ -164,12 +191,14 @@ class RPCClient:
         rng: Optional[random.Random] = None,
     ) -> None:
         self._connection = connection
+        base_rng = rng if rng is not None else random.Random()
+        self._trace_rng = random.Random(base_rng.getrandbits(64))
         self._context = SecurityContext(
             Role.INITIATE,
             credential,
             trust_store,
             clock=clock if clock is not None else SystemClock(),
-            rng=rng if rng is not None else random.Random(),
+            rng=base_rng,
         )
         self._next_id = 1
         self.server_subject: Optional[str] = None
@@ -200,28 +229,42 @@ class RPCClient:
                 raise ProtocolError("handshake ended without establishment")
 
     def call(self, method: str, **params: Any) -> Any:
-        """Invoke *method*; re-raises remote library errors by class."""
+        """Invoke *method*; re-raises remote library errors by class.
+
+        Each call runs in its own client span — continuing the caller's
+        active trace if there is one, otherwise rooting a fresh trace —
+        and the span travels in the request envelope so the server's
+        dispatch span shares the same trace ID.
+        """
         if not self.connected:
             raise ProtocolError("call before connect()")
         request_id = self._next_id
         self._next_id += 1
-        sealed = self._context.wrap(make_request(method, params, request_id))
-        raw = self._connection.request(canonical_dumps({"kind": "sealed", "record": sealed}))
-        reply = parse_payload(raw)
-        if reply["kind"] == "refused":
-            self.connected = False
-            raise ConnectionRefused(reply.get("reason", "connection dropped"))
-        if reply["kind"] != "sealed":
-            raise ProtocolError(f"unexpected reply kind {reply['kind']!r}")
-        response = parse_payload(self._context.unwrap(reply["record"]))
-        if response["kind"] == "error":
-            error_class = _ERROR_CLASSES.get(response.get("error_type", ""))
-            if error_class is not None and issubclass(error_class, ReproError):
-                raise error_class(response.get("message", ""))
-            raise RPCError(response.get("message", ""), remote_type=response.get("error_type", ""))
-        if response["kind"] != "response" or response.get("id") != request_id:
-            raise ProtocolError("response/request id mismatch")
-        return response.get("result")
+        span = obs_trace.child_span(self._trace_rng)
+        with obs_trace.activate(span), obs_metrics.timed("rpc.client.call_seconds", method=method):
+            sealed = self._context.wrap(
+                make_request(method, params, request_id, trace=obs_trace.to_wire(span))
+            )
+            raw = self._connection.request(canonical_dumps({"kind": "sealed", "record": sealed}))
+            reply = parse_payload(raw)
+            if reply["kind"] == "refused":
+                self.connected = False
+                raise ConnectionRefused(reply.get("reason", "connection dropped"))
+            if reply["kind"] != "sealed":
+                raise ProtocolError(f"unexpected reply kind {reply['kind']!r}")
+            response = parse_payload(self._context.unwrap(reply["record"]))
+            if response["kind"] == "error":
+                obs_metrics.counter("rpc.client.remote_errors", method=method).inc()
+                _log.debug(
+                    "rpc.call.remote_error",
+                    method=method,
+                    error=response.get("error_type", ""),
+                )
+                raise_remote_error(response)
+            if response["kind"] != "response" or response.get("id") != request_id:
+                raise ProtocolError("response/request id mismatch")
+            _log.debug("rpc.call", method=method)
+            return response.get("result")
 
     def close(self) -> None:
         self.connected = False

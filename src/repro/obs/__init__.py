@@ -1,0 +1,19 @@
+"""Observability substrate: structured logs, metrics, trace propagation.
+
+GridBank's value is an auditable record of who used what and who paid
+whom (GASA sec 3.2, 5.1); this package gives the reproduction the same
+property for its own behaviour. Three pieces:
+
+* :mod:`repro.obs.metrics` — thread-safe in-process counters, gauges and
+  fixed-bucket histograms, read out via ``snapshot()`` (the benchmark
+  sidecars and the ``gridbank metrics`` CLI).
+* :mod:`repro.obs.logging` — structured key=value / JSON-line logging on
+  stdlib :mod:`logging`, with a capturing handler for tests.
+* :mod:`repro.obs.trace` — trace/span IDs minted at the RPC client,
+  carried in the envelope ``trace`` field, restored around server-side
+  dispatch, and stamped onto ledger TRANSACTION/TRANSFER rows.
+"""
+
+from repro.obs import logging, metrics, trace
+
+__all__ = ["logging", "metrics", "trace"]

@@ -1,0 +1,222 @@
+"""Structured logging on top of stdlib :mod:`logging`.
+
+Every component gets a child of the ``gridbank`` root logger
+(``gridbank.bank.server``, ``gridbank.net.rpc``, ...) wrapped in an
+:class:`ObsLogger` whose methods take an *event* name plus key=value
+fields::
+
+    log = get_logger("bank.server")
+    log.info("op.dispatch", op="direct_transfer", duration=0.0021)
+
+The active trace/span IDs (:mod:`repro.obs.trace`) are attached to every
+record automatically, so one ``grep trace_id=...`` reconstructs a request
+across client, server and ledger. Output is either aligned ``key=value``
+text (default) or JSON lines (:func:`configure` with ``json_lines=True``,
+or ``GRIDBANK_LOG_FORMAT=json`` in the environment).
+
+The library itself never configures a handler — importing repro stays
+silent (a ``NullHandler`` swallows records until :func:`configure` runs).
+Tests assert on log output through :class:`CapturingHandler` /
+:func:`capture`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import sys
+from typing import Iterator, Optional, TextIO
+
+from repro.obs import trace
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "ObsLogger",
+    "get_logger",
+    "configure",
+    "configure_from_env",
+    "KeyValueFormatter",
+    "JsonLineFormatter",
+    "CapturingHandler",
+    "capture",
+]
+
+ROOT_LOGGER_NAME = "gridbank"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+_root.addHandler(logging.NullHandler())
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bytes):
+        return value.hex()
+    text = str(value)
+    if any(ch.isspace() for ch in text) or "=" in text or not text:
+        return json.dumps(text)
+    return text
+
+
+class ObsLogger:
+    """Thin structured facade over one stdlib logger."""
+
+    __slots__ = ("_logger", "component")
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+        self._logger = logging.getLogger(f"{ROOT_LOGGER_NAME}.{component}")
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        span = trace.current()
+        if span is not None:
+            fields.setdefault("trace_id", span.trace_id)
+            fields.setdefault("span_id", span.span_id)
+        self._logger.log(level, event, extra={"obs_event": event, "obs_fields": fields})
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def isEnabledFor(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+
+def get_logger(component: str) -> ObsLogger:
+    """Structured logger for *component* (e.g. ``"bank.server"``)."""
+    return ObsLogger(component)
+
+
+# -- formatters --------------------------------------------------------------
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    fields = getattr(record, "obs_fields", None)
+    return dict(fields) if isinstance(fields, dict) else {}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``2026-08-06T10:00:00 INFO gridbank.bank.server op.dispatch op=... trace_id=...``"""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, "obs_event", record.getMessage())
+        parts = [
+            self.formatTime(record, self.default_time_format),
+            record.levelname,
+            record.name,
+            event,
+        ]
+        for key, value in _record_fields(record).items():
+            parts.append(f"{key}={_render_value(value)}")
+        return " ".join(parts)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per line; field values stringified when needed."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": getattr(record, "obs_event", record.getMessage()),
+        }
+        for key, value in _record_fields(record).items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                payload[key] = value
+            elif isinstance(value, bytes):
+                payload[key] = value.hex()
+            else:
+                payload[key] = str(value)
+        return json.dumps(payload, sort_keys=False)
+
+
+# -- process-level configuration ---------------------------------------------
+
+_configured_handler: Optional[logging.Handler] = None
+
+
+def configure(
+    level: int = logging.INFO,
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Install (or replace) the process-wide gridbank log handler."""
+    global _configured_handler
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter() if json_lines else KeyValueFormatter())
+    if _configured_handler is not None:
+        _root.removeHandler(_configured_handler)
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    _configured_handler = handler
+    return handler
+
+
+def configure_from_env() -> Optional[logging.Handler]:
+    """Configure from ``GRIDBANK_LOG_LEVEL`` / ``GRIDBANK_LOG_FORMAT``.
+
+    Unset environment means no handler is installed (library stays
+    silent). ``GRIDBANK_LOG_LEVEL=debug GRIDBANK_LOG_FORMAT=json`` gives
+    JSON lines on stderr.
+    """
+    level_name = os.environ.get("GRIDBANK_LOG_LEVEL", "")
+    format_name = os.environ.get("GRIDBANK_LOG_FORMAT", "")
+    if not level_name and not format_name:
+        return None
+    level = getattr(logging, level_name.upper(), logging.INFO) if level_name else logging.INFO
+    return configure(level=level, json_lines=format_name.lower() == "json")
+
+
+# -- test support ------------------------------------------------------------
+
+
+class CapturingHandler(logging.Handler):
+    """Collects records (with their structured fields) for assertions."""
+
+    def __init__(self, level: int = logging.DEBUG) -> None:
+        super().__init__(level)
+        self.records: list[logging.LogRecord] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record)
+
+    def events(self) -> list[str]:
+        return [getattr(r, "obs_event", r.getMessage()) for r in self.records]
+
+    def find(self, event: str) -> list[dict]:
+        """Field dicts of every captured record whose event matches."""
+        return [
+            _record_fields(r)
+            for r in self.records
+            if getattr(r, "obs_event", r.getMessage()) == event
+        ]
+
+
+@contextlib.contextmanager
+def capture(level: int = logging.DEBUG) -> Iterator[CapturingHandler]:
+    """Attach a :class:`CapturingHandler` to the gridbank root for a block."""
+    handler = CapturingHandler(level)
+    previous_level = _root.level
+    _root.addHandler(handler)
+    if _root.level == logging.NOTSET or _root.level > level:
+        _root.setLevel(level)
+    try:
+        yield handler
+    finally:
+        _root.removeHandler(handler)
+        _root.setLevel(previous_level)

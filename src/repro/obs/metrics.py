@@ -1,0 +1,328 @@
+"""In-process metrics registry — counters, gauges, fixed-bucket histograms.
+
+The measurement substrate for the "fast as the hardware allows" roadmap:
+every hot path (RPC dispatch, payment protocols, ledger transactions)
+observes into the process-wide :data:`REGISTRY`, and the benchmark
+harness / ``gridbank metrics`` CLI read it back out via :func:`snapshot`.
+
+Design constraints:
+
+* **Thread-safe.** The TCP server dispatches on one thread per
+  connection; every instrument guards its state with a lock.
+* **Cheap.** An observation is a lock acquire, one or two float adds and
+  a bucket ``bisect`` — negligible next to the RSA/MAC work on the
+  request path (verified by ``bench_fig3_server_layers``).
+* **Self-contained.** Histograms are fixed-bucket, so a snapshot is a
+  small dict of bucket counts from which p50/p95/p99 are estimated by
+  linear interpolation; there is no unbounded sample storage.
+
+Instruments are named; optional labels are folded into the name as
+``name{key=value,...}`` with sorted keys so the same (name, labels) pair
+always resolves to the same instrument.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "timed",
+    "snapshot",
+    "reset",
+    "render_snapshot",
+]
+
+# Geometric 1-2-5 ladder from 1us to 100s — covers everything from a dict
+# lookup to an RSA keygen. The last bucket is +inf (implicit).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6,
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1,
+    1.0, 2.0, 5.0,
+    10.0, 30.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count (requests served, coins redeemed)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (open connections, pool occupancy)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with percentile estimation.
+
+    ``buckets`` are the inclusive upper bounds of each bucket (sorted,
+    strictly increasing); observations above the last bound land in an
+    implicit +inf bucket. Percentiles are estimated by linear
+    interpolation inside the bucket containing the target rank, which is
+    exact at bucket boundaries and bounded by bucket width elsewhere.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be sorted, unique and non-empty")
+        self.name = name
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last slot: > bounds[-1]
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 < q <= 1) from bucket counts."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0.0
+        lower = 0.0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                if index < len(self.buckets):
+                    lower = self.buckets[index]
+                continue
+            upper = self.buckets[index] if index < len(self.buckets) else self._max
+            if seen + bucket_count >= rank:
+                fraction = (rank - seen) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                # never estimate outside the observed range
+                return min(max(estimate, self._min), self._max)
+            seen += bucket_count
+            lower = upper
+        return self._max
+
+    def summary(self) -> dict:
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count,
+                "min": self._min,
+                "max": self._max,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
+
+
+class _Timer:
+    """``timed()`` handle: context manager and decorator in one."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+    def __call__(self, fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._histogram.observe(time.perf_counter() - started)
+
+        wrapper.__name__ = getattr(fn, "__name__", "timed")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(key)
+            return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(key)
+            return instrument
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  **labels: object) -> Histogram:
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(key, buckets=buckets)
+            return instrument
+
+    def timed(self, name: str, buckets: Optional[Sequence[float]] = None,
+              **labels: object) -> _Timer:
+        """Time a block (``with timed(...)``) or a callable (decorator)."""
+        return _Timer(self.histogram(name, buckets=buckets, **labels))
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (per-scenario isolation in benchmarks)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def render_snapshot(data: dict) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    lines: list[str] = []
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    histograms = data.get("histograms", {})
+    if counters:
+        lines.append("# counters")
+        for name, value in counters.items():
+            rendered = f"{value:.6f}".rstrip("0").rstrip(".") if value % 1 else f"{int(value)}"
+            lines.append(f"{name:<56} {rendered}")
+    if gauges:
+        lines.append("# gauges")
+        for name, value in gauges.items():
+            lines.append(f"{name:<56} {value:g}")
+    if histograms:
+        lines.append("# histograms (seconds unless named otherwise)")
+        for name, s in histograms.items():
+            lines.append(
+                f"{name:<56} count={s['count']} mean={s['mean']:.6g} "
+                f"p50={s['p50']:.6g} p95={s['p95']:.6g} p99={s['p99']:.6g} max={s['max']:.6g}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+#: The process-wide registry every instrumented module observes into.
+REGISTRY = MetricsRegistry()
+
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+timed = REGISTRY.timed
+snapshot = REGISTRY.snapshot
+reset = REGISTRY.reset

@@ -1,0 +1,124 @@
+"""Trace propagation — one trace ID per request path, spans per hop.
+
+A :class:`SpanContext` names one unit of work: the ``trace_id`` is shared
+by every hop of a request (client call, RPC dispatch, bank operation,
+ledger write), each hop gets its own ``span_id``, and ``parent_id`` links
+a server span back to the client span that caused it. The active span
+lives in a :mod:`contextvars` context variable, so it follows the work
+within a thread (each TCP connection is served by one thread) without any
+explicit plumbing; the obs logger and the bank's TRANSACTION/TRANSFER
+writers read it implicitly.
+
+IDs come from explicitly-seeded :class:`random.Random` generators (the
+library-wide determinism rule — see :mod:`repro.util.ids`); callers that
+do not care pass ``rng=None`` and get a process-local generator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.util.ids import random_token
+
+__all__ = [
+    "SpanContext",
+    "new_trace_id",
+    "new_span_id",
+    "current",
+    "current_trace_id",
+    "activate",
+    "child_span",
+    "to_wire",
+    "from_wire",
+]
+
+_TRACE_BYTES = 8  # 16 hex chars
+_SPAN_BYTES = 4  # 8 hex chars
+
+_fallback_rng = random.Random()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity of one unit of work within a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+    def child(self, rng: Optional[random.Random] = None) -> "SpanContext":
+        """A new span in the same trace, parented to this one."""
+        return SpanContext(trace_id=self.trace_id, span_id=new_span_id(rng), parent_id=self.span_id)
+
+
+_current: contextvars.ContextVar[Optional[SpanContext]] = contextvars.ContextVar(
+    "gridbank_active_span", default=None
+)
+
+
+def new_trace_id(rng: Optional[random.Random] = None) -> str:
+    return random_token(rng if rng is not None else _fallback_rng, nbytes=_TRACE_BYTES)
+
+
+def new_span_id(rng: Optional[random.Random] = None) -> str:
+    return random_token(rng if rng is not None else _fallback_rng, nbytes=_SPAN_BYTES)
+
+
+def current() -> Optional[SpanContext]:
+    """The span active in this execution context, if any."""
+    return _current.get()
+
+
+def current_trace_id() -> str:
+    """Trace ID of the active span, or ``""`` outside any trace."""
+    span = _current.get()
+    return span.trace_id if span is not None else ""
+
+
+@contextlib.contextmanager
+def activate(span: Optional[SpanContext]) -> Iterator[Optional[SpanContext]]:
+    """Make *span* the active span for the duration of the block."""
+    token = _current.set(span)
+    try:
+        yield span
+    finally:
+        _current.reset(token)
+
+
+def child_span(rng: Optional[random.Random] = None) -> SpanContext:
+    """A span continuing the active trace, or rooting a fresh one."""
+    parent = _current.get()
+    if parent is not None:
+        return parent.child(rng)
+    return SpanContext(trace_id=new_trace_id(rng), span_id=new_span_id(rng))
+
+
+# -- wire form (the RPC envelope's ``trace`` field) --------------------------
+
+
+def to_wire(span: SpanContext) -> dict:
+    wire = {"trace_id": span.trace_id, "span_id": span.span_id}
+    if span.parent_id:
+        wire["parent_id"] = span.parent_id
+    return wire
+
+
+def from_wire(wire: object) -> Optional[SpanContext]:
+    """Parse an envelope ``trace`` field; tolerant of absence/malformation
+    (tracing must never break the protocol)."""
+    if not isinstance(wire, dict):
+        return None
+    trace_id = wire.get("trace_id")
+    span_id = wire.get("span_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    if not isinstance(span_id, str) or not span_id:
+        return None
+    parent_id = wire.get("parent_id", "")
+    if not isinstance(parent_id, str):
+        parent_id = ""
+    return SpanContext(trace_id=trace_id, span_id=span_id, parent_id=parent_id)

@@ -22,7 +22,8 @@ from typing import Optional, Sequence
 from repro.bank.accounts import GBAccounts
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
 from repro.crypto.signature import Signed
-from repro.errors import InstrumentError, ValidationError
+from repro.errors import InstrumentError, ReproError, ValidationError
+from repro.obs import metrics as obs_metrics
 from repro.payments.instruments import (
     InstrumentRegistry,
     require_amount,
@@ -137,6 +138,7 @@ class GridChequeProtocol:
                 "expires_at": now + self.lifetime,
             }
             self.registry.register(cheque_id, INSTRUMENT_TYPE, drawer_account, payee_subject, amount)
+            obs_metrics.counter("payments.cheque.issued").inc()
             return GridCheque(signed=Signed.make(self._key, payload, signer=self._subject))
 
     # -- redeem (Redeem GridCheque, sec 5.2) --------------------------------------
@@ -154,6 +156,20 @@ class GridChequeProtocol:
         The unused remainder of the locked reservation returns to the
         drawer's available balance. A zero charge releases everything.
         """
+        try:
+            return self._redeem(redeemer_subject, cheque, payee_account, charge, rur_blob)
+        except ReproError:
+            obs_metrics.counter("payments.cheque.bounced").inc()
+            raise
+
+    def _redeem(
+        self,
+        redeemer_subject: str,
+        cheque: GridCheque,
+        payee_account: str,
+        charge: Credits,
+        rur_blob: bytes,
+    ) -> RedemptionResult:
         payload = cheque.verify(self._key.public_key())
         require_not_expired(payload, self.clock)
         if payload["payee_subject"] != redeemer_subject:
@@ -181,6 +197,8 @@ class GridChequeProtocol:
             if released > ZERO:
                 self.accounts.unlock_funds(drawer_account, released)
             self.registry.mark_redeemed(payload["id"])
+            obs_metrics.counter("payments.cheque.redeemed").inc()
+            obs_metrics.counter("payments.cheque.settled_value").inc(charge.to_float())
             return RedemptionResult(
                 cheque_id=payload["id"], transaction_id=txn_id, paid=charge, released=released
             )
@@ -210,4 +228,5 @@ class GridChequeProtocol:
             amount = Credits(payload["amount_limit"])
             self.accounts.unlock_funds(payload["drawer_account"], amount)
             self.registry.mark_cancelled(payload["id"])
+            obs_metrics.counter("payments.cheque.cancelled").inc()
             return amount

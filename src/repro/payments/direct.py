@@ -22,6 +22,7 @@ from repro.bank.accounts import GBAccounts
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
 from repro.crypto.signature import Signed
 from repro.errors import InstrumentError, SignatureError
+from repro.obs import metrics as obs_metrics
 from repro.payments.instruments import require_amount
 from repro.util.gbtime import Clock
 from repro.util.money import Credits
@@ -94,6 +95,8 @@ class DirectTransferProtocol:
         if drawer["CertificateName"] != drawer_subject:
             raise InstrumentError("transfer drawer does not own the account")
         txn_id = self.accounts.transfer(from_account, to_account, amount, rur_blob=rur_blob)
+        obs_metrics.counter("payments.direct.transfers").inc()
+        obs_metrics.counter("payments.direct.settled_value").inc(amount.to_float())
         payload = {
             "confirmation": "DirectTransfer",
             "transaction_id": txn_id,

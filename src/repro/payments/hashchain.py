@@ -30,6 +30,7 @@ from repro.crypto.hashes import HashChain, verify_link
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
 from repro.crypto.signature import Signed
 from repro.errors import InstrumentError, PaymentError, ValidationError
+from repro.obs import metrics as obs_metrics
 from repro.payments.instruments import (
     InstrumentRegistry,
     require_amount,
@@ -165,7 +166,9 @@ class HashChainVerifier:
             raise PaymentError("tick index beyond committed chain length")
         distance = tick.index - self._last_index
         self.hash_operations += distance
-        if not verify_link(tick.link, self._last_link, distance=distance):
+        with obs_metrics.timed("payments.hashchain.verify_seconds"):
+            verified = verify_link(tick.link, self._last_link, distance=distance)
+        if not verified:
             raise PaymentError(f"tick {tick.index} does not hash back to last verified link")
         delta = self.commitment.link_value * distance
         self._last_link = tick.link
@@ -242,6 +245,7 @@ class GridHashProtocol:
                 "expires_at": now + self.lifetime,
             }
             self.registry.register(commitment_id, INSTRUMENT_TYPE, drawer_account, payee_subject, total)
+            obs_metrics.counter("payments.hashchain.issued").inc()
             return GridHashCommitment(signed=Signed.make(self._key, payload, signer=self._subject))
 
     def redeem(
@@ -270,9 +274,10 @@ class GridHashProtocol:
                 raise InstrumentError("tick belongs to a different commitment")
             if not isinstance(tick.index, int) or not 1 <= tick.index <= payload["length"]:
                 raise InstrumentError("tick index outside committed chain")
-            digest = tick.link
-            for _ in range(tick.index):
-                digest = hashlib.sha256(digest).digest()
+            with obs_metrics.timed("payments.hashchain.verify_seconds"):
+                digest = tick.link
+                for _ in range(tick.index):
+                    digest = hashlib.sha256(digest).digest()
             if digest != payload["root"]:
                 raise InstrumentError("tick does not hash back to the committed root")
             links = tick.index
@@ -291,6 +296,8 @@ class GridHashProtocol:
             if released > ZERO:
                 self.accounts.unlock_funds(drawer_account, released)
             self.registry.mark_redeemed(payload["id"], redeemed_units=links)
+            obs_metrics.counter("payments.hashchain.redeemed").inc()
+            obs_metrics.counter("payments.hashchain.links_redeemed").inc(links)
             return HashRedemptionResult(
                 commitment_id=payload["id"],
                 transaction_id=txn_id,

@@ -253,8 +253,54 @@ class TestPaymentsOverRPC:
             ],
         )
         assert len(results) == 4
+        assert all(r["ok"] for r in results)
+        # one ledger TRANSACTION per cheque, monotone in batch position
+        txn_ids = [r["transaction_id"] for r in results]
+        assert txn_ids == sorted(txn_ids) and len(set(txn_ids)) == 4
         details = gsp_client.call("RequestAccountDetails", account_id=gsp_account)
         assert details["AvailableBalance"] == 32.0
+
+    def test_cheque_batch_rejection_is_per_cheque(self, grid, alice_client, gsp_client, admin_client):
+        """A bad cheque in a batch is rejected with a warning log; the
+        other cheques still settle, each with its own transaction."""
+        from repro.obs import logging as obs_logging
+
+        src = open_funded_account(alice_client, admin_client)
+        gsp_account = gsp_client.call("CreateAccount")["account_id"]
+        cheques = [
+            alice_client.call(
+                "RequestGridCheque", account_id=src,
+                payee_subject=grid["gsp"].subject, amount=Credits(10),
+            )["cheque"]
+            for _ in range(3)
+        ]
+        # burn the middle cheque so the batch hits a double-spend there
+        gsp_client.call(
+            "RedeemGridCheque", cheque=cheques[1], payee_account=gsp_account, charge=Credits(10)
+        )
+        with obs_logging.capture() as cap:
+            results = gsp_client.call(
+                "RedeemGridChequeBatch",
+                items=[
+                    {"cheque": c, "payee_account": gsp_account, "charge": Credits(8)}
+                    for c in cheques
+                ],
+            )
+        assert [r["ok"] for r in results] == [True, False, True]
+        rejected = results[1]
+        assert rejected["error_type"] == "DoubleSpendError"
+        assert rejected["transaction_id"] is None
+        assert rejected["paid"] == Credits(0)
+        good = [r for r in results if r["ok"]]
+        assert [r["position"] for r in good] == [0, 2]
+        assert good[0]["transaction_id"] < good[1]["transaction_id"]
+        warnings = cap.find("bank.cheque_batch.rejected")
+        assert len(warnings) == 1
+        assert warnings[0]["position"] == 1
+        assert warnings[0]["error"] == "DoubleSpendError"
+        # the good cheques settled: 10 (individual) + 8 + 8
+        details = gsp_client.call("RequestAccountDetails", account_id=gsp_account)
+        assert details["AvailableBalance"] == 26.0
 
     def test_hashchain_lifecycle(self, grid, alice_client, gsp_client, admin_client):
         src = open_funded_account(alice_client, admin_client)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import (
     InsufficientFundsError,
+    PaymentError,
     ProtocolError,
     RPCError,
     TransportError,
@@ -47,7 +48,15 @@ def make_endpoint(world, policy=None) -> ServiceEndpoint:
     def overdraw(subject, params):
         raise InsufficientFundsError("balance too low")
 
+    def bounce(subject, params):
+        raise PaymentError("cheque bounced")
+
+    def explode(subject, params):
+        raise KeyError("missing_param")
+
     endpoint.register("overdraw", overdraw)
+    endpoint.register("bounce", bounce)
+    endpoint.register("explode", explode)
     return endpoint
 
 
@@ -121,6 +130,31 @@ class TestInProcessRPC:
         client.connect()
         with pytest.raises(InsufficientFundsError, match="balance too low"):
             client.call("overdraw")
+
+    def test_remote_payment_error_type_preserved(self, world):
+        """Regression: a PaymentError raised inside a server operation must
+        surface at the client as PaymentError — the exact class, not a
+        generic RPCError — so payment-protocol callers can catch it."""
+        network = InProcessNetwork()
+        network.listen("bank", make_endpoint(world).connection_handler)
+        client = make_client(world, network.connect("bank"))
+        client.connect()
+        with pytest.raises(PaymentError, match="cheque bounced") as excinfo:
+            client.call("bounce")
+        assert type(excinfo.value) is PaymentError
+
+    def test_unexpected_server_error_survives_as_rpc_error(self, world):
+        """A non-library bug (KeyError) in an operation must not kill the
+        connection: the client sees an RPCError naming the remote type and
+        the session stays usable."""
+        network = InProcessNetwork()
+        network.listen("bank", make_endpoint(world).connection_handler)
+        client = make_client(world, network.connect("bank"))
+        client.connect()
+        with pytest.raises(RPCError) as excinfo:
+            client.call("explode")
+        assert excinfo.value.remote_type == "KeyError"
+        assert client.call("add", a=1, b=2) == 3  # connection still alive
 
     def test_unknown_method(self, world):
         network = InProcessNetwork()

@@ -1,0 +1,425 @@
+"""Observability layer: metrics registry, structured logs, trace propagation.
+
+The integration test at the bottom is the acceptance scenario for the
+layer: a direct transfer driven over real TCP sockets must produce a
+client span and a server span sharing one trace ID, a latency histogram
+entry for the bank operation, a structured log line carrying the trace
+ID, and a TRANSFER ledger row stamped with it.
+"""
+
+import io
+import json
+import logging
+import random
+import threading
+
+import pytest
+
+from repro.bank.server import GridBankServer
+from repro.net.rpc import RPCClient
+from repro.net.tcp import TCPClientConnection, TCPServer
+from repro.obs import logging as obs_logging
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_upper_bound_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (1.0, 1.5, 10.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == pytest.approx(12.5)
+        # 1.0 sits in the <=1.0 bucket, 10.0 overflows into +inf
+        assert h._counts == [1, 1, 0, 1]
+
+    def test_percentile_linear_interpolation(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (1.0, 1.5, 10.0):
+            h.observe(value)
+        # rank 1.5 lands halfway through the (1, 2] bucket
+        assert h.percentile(0.5) == pytest.approx(1.5)
+        # top quantile is clamped to the observed max, not the +inf bound
+        assert h.percentile(1.0) == pytest.approx(10.0)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0, 10.0))
+        for _ in range(100):
+            h.observe(5.0)
+        # naive interpolation inside (2, 5] would say 3.5; the estimate
+        # must never leave [min, max] = [5, 5]
+        assert h.percentile(0.5) == pytest.approx(5.0)
+        assert h.percentile(0.99) == pytest.approx(5.0)
+
+    def test_empty_summary_is_all_zeros(self):
+        summary = Histogram("h").summary()
+        assert summary == {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                           "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_summary_fields(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 4.0):
+            h.observe(value)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(6.5 / 3)
+        assert s["min"] == 0.5 and s["max"] == 4.0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_invalid_quantile_rejected(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+
+class TestCounterAndGauge:
+    def test_counter_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_thread_safety(self):
+        c = Counter("c")
+        h = Histogram("h", buckets=(1.0,))
+        per_thread = 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                c.inc()
+                h.observe(0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8 * per_thread
+        assert h.count == 8 * per_thread
+        assert h.sum == pytest.approx(8 * per_thread * 0.5)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("pool.occupancy")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+        assert registry.counter("a") is not registry.counter("other")
+
+    def test_labels_fold_into_name_sorted(self):
+        registry = MetricsRegistry()
+        c = registry.counter("rpc.calls", method="Echo", peer="alice")
+        assert c.name == "rpc.calls{method=Echo,peer=alice}"
+        assert registry.counter("rpc.calls", peer="alice", method="Echo") is c
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(4)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"requests": 4.0}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # snapshot must be JSON-serializable as-is
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_timed_context_manager_and_decorator(self):
+        registry = MetricsRegistry()
+        with registry.timed("block_seconds"):
+            pass
+        assert registry.histogram("block_seconds").count == 1
+
+        @registry.timed("fn_seconds")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work.__name__ == "work"
+        assert registry.histogram("fn_seconds").count == 1
+
+    def test_timed_records_on_exception(self):
+        registry = MetricsRegistry()
+
+        @registry.timed("fail_seconds")
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            boom()
+        assert registry.histogram("fail_seconds").count == 1
+
+    def test_render_snapshot_text(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = obs_metrics.render_snapshot(registry.snapshot())
+        assert "requests" in text and "count=1" in text
+        assert obs_metrics.render_snapshot(MetricsRegistry().snapshot()) == "(no metrics recorded)"
+
+
+class TestTrace:
+    def test_root_and_child_spans(self):
+        rng = random.Random(7)
+        root = obs_trace.child_span(rng)  # no active span: roots a trace
+        assert root.parent_id == ""
+        with obs_trace.activate(root):
+            child = obs_trace.child_span(rng)
+            assert child.trace_id == root.trace_id
+            assert child.parent_id == root.span_id
+            assert child.span_id != root.span_id
+
+    def test_activation_nests_and_restores(self):
+        rng = random.Random(8)
+        assert obs_trace.current() is None
+        assert obs_trace.current_trace_id() == ""
+        outer = obs_trace.child_span(rng)
+        with obs_trace.activate(outer):
+            assert obs_trace.current_trace_id() == outer.trace_id
+            inner = outer.child(rng)
+            with obs_trace.activate(inner):
+                assert obs_trace.current() is inner
+            assert obs_trace.current() is outer
+        assert obs_trace.current() is None
+
+    def test_wire_roundtrip(self):
+        rng = random.Random(9)
+        span = obs_trace.child_span(rng).child(rng)
+        assert obs_trace.from_wire(obs_trace.to_wire(span)) == span
+
+    def test_from_wire_tolerates_malformation(self):
+        assert obs_trace.from_wire(None) is None
+        assert obs_trace.from_wire("junk") is None
+        assert obs_trace.from_wire({}) is None
+        assert obs_trace.from_wire({"trace_id": "", "span_id": "x"}) is None
+        assert obs_trace.from_wire({"trace_id": "t", "span_id": 42}) is None
+        span = obs_trace.from_wire({"trace_id": "t", "span_id": "s", "parent_id": 3})
+        assert span is not None and span.parent_id == ""
+
+    def test_ids_are_deterministic_under_seeded_rng(self):
+        assert obs_trace.new_trace_id(random.Random(1)) == obs_trace.new_trace_id(random.Random(1))
+        assert len(obs_trace.new_trace_id(random.Random(1))) == 16
+        assert len(obs_trace.new_span_id(random.Random(1))) == 8
+
+
+class TestStructuredLogging:
+    def test_capture_collects_events_and_fields(self):
+        log = obs_logging.get_logger("test.component")
+        with obs_logging.capture() as cap:
+            log.info("thing.happened", a=1, note="x y")
+        assert "thing.happened" in cap.events()
+        fields = cap.find("thing.happened")[0]
+        assert fields["a"] == 1 and fields["note"] == "x y"
+
+    def test_trace_ids_attached_automatically(self):
+        log = obs_logging.get_logger("test.component")
+        span = obs_trace.child_span(random.Random(3))
+        with obs_logging.capture() as cap, obs_trace.activate(span):
+            log.info("traced.event")
+        fields = cap.find("traced.event")[0]
+        assert fields["trace_id"] == span.trace_id
+        assert fields["span_id"] == span.span_id
+
+    def test_key_value_formatter(self):
+        log = obs_logging.get_logger("test.component")
+        with obs_logging.capture() as cap:
+            log.warning("op.rejected", op="redeem", amount=1.25, blob=b"\x01\x02")
+        line = obs_logging.KeyValueFormatter().format(cap.records[0])
+        assert " WARNING gridbank.test.component op.rejected " in line
+        assert "op=redeem" in line and "amount=1.25" in line and "blob=0102" in line
+
+    def test_json_line_formatter(self):
+        log = obs_logging.get_logger("test.component")
+        with obs_logging.capture() as cap:
+            log.info("json.event", n=3, raw=b"\xff", obj=Credits(5))
+        payload = json.loads(obs_logging.JsonLineFormatter().format(cap.records[0]))
+        assert payload["event"] == "json.event"
+        assert payload["level"] == "INFO"
+        assert payload["n"] == 3
+        assert payload["raw"] == "ff"
+        assert payload["obj"] == str(Credits(5))
+
+    def test_configure_streams_json_lines(self):
+        stream = io.StringIO()
+        handler = obs_logging.configure(level=logging.INFO, json_lines=True, stream=stream)
+        try:
+            obs_logging.get_logger("test.component").info("configured.event", k="v")
+        finally:
+            logging.getLogger(obs_logging.ROOT_LOGGER_NAME).removeHandler(handler)
+            logging.getLogger(obs_logging.ROOT_LOGGER_NAME).setLevel(logging.NOTSET)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["event"] == "configured.event" and payload["k"] == "v"
+
+    def test_configure_from_env(self, monkeypatch):
+        monkeypatch.delenv("GRIDBANK_LOG_LEVEL", raising=False)
+        monkeypatch.delenv("GRIDBANK_LOG_FORMAT", raising=False)
+        assert obs_logging.configure_from_env() is None  # unset: stays silent
+        monkeypatch.setenv("GRIDBANK_LOG_LEVEL", "debug")
+        handler = obs_logging.configure_from_env()
+        try:
+            assert handler is not None
+            assert isinstance(handler.formatter, obs_logging.KeyValueFormatter)
+            root = logging.getLogger(obs_logging.ROOT_LOGGER_NAME)
+            assert root.level == logging.DEBUG
+        finally:
+            logging.getLogger(obs_logging.ROOT_LOGGER_NAME).removeHandler(handler)
+            logging.getLogger(obs_logging.ROOT_LOGGER_NAME).setLevel(logging.NOTSET)
+
+
+class TestMetricsCLI:
+    def test_live_dump_shows_registry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        obs_metrics.reset()
+        obs_metrics.counter("demo.requests").inc(3)
+        assert main(["metrics", "--home", str(tmp_path), "--live"]) == 0
+        out = capsys.readouterr().out
+        assert "demo.requests" in out
+
+    def test_json_dump_reads_serve_sidecar(self, tmp_path, capsys):
+        from repro.cli import main
+
+        sidecar = {"counters": {"bank.op.direct_transfer.requests": 7.0},
+                   "gauges": {}, "histograms": {}}
+        (tmp_path / "metrics.json").write_text(json.dumps(sidecar))
+        assert main(["metrics", "--home", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["bank.op.direct_transfer.requests"] == 7.0
+
+
+# -- acceptance: trace propagation over a real TCP round-trip ----------------
+
+
+@pytest.fixture(scope="module")
+def tcp_grid(ca_keypair, keypair_a, keypair_b, keypair_c):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+    )
+    return {
+        "clock": clock,
+        "store": CertificateStore([ca.root_certificate]),
+        "bank_ident": ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_a),
+        "alice": ca.issue_identity(DistinguishedName("VO-A", "alice"), keypair=keypair_b),
+        "admin_ident": ca.issue_identity(DistinguishedName("GridBank", "admin"), keypair=keypair_c),
+    }
+
+
+class TestTracePropagationOverTCP:
+    def test_direct_transfer_spans_share_one_trace(self, tcp_grid):
+        # reset BEFORE the bank exists: dispatch instruments are created at
+        # registration time and must live in the registry we snapshot
+        obs_metrics.reset()
+        bank = GridBankServer(
+            tcp_grid["bank_ident"], tcp_grid["store"],
+            clock=tcp_grid["clock"], rng=random.Random(31),
+        )
+        bank.admin.add_administrator(tcp_grid["admin_ident"].subject)
+        with TCPServer(bank.connection_handler) as server:
+            def connect(identity, seed):
+                client = RPCClient(
+                    TCPClientConnection(server.address), identity, tcp_grid["store"],
+                    clock=tcp_grid["clock"], rng=random.Random(seed),
+                )
+                client.connect()
+                return client
+
+            alice = connect(tcp_grid["alice"], 41)
+            admin = connect(tcp_grid["admin_ident"], 42)
+            src = alice.call("CreateAccount", organization_name="VO-A")["account_id"]
+            dst = admin.call("CreateAccount", organization_name="GridBank")["account_id"]
+            admin.call("Admin.Deposit", account_id=src, amount=Credits(100))
+            with obs_logging.capture() as cap:
+                alice.call(
+                    "RequestDirectTransfer",
+                    from_account=src, to_account=dst, amount=Credits(30),
+                )
+            alice.close()
+            admin.close()
+
+        # client span and server span share one trace ID, distinct spans
+        client_calls = [
+            f for f in cap.find("rpc.call") if f.get("method") == "RequestDirectTransfer"
+        ]
+        server_ops = [f for f in cap.find("bank.op") if f.get("op") == "direct_transfer"]
+        assert len(client_calls) == 1 and len(server_ops) == 1
+        trace_id = client_calls[0]["trace_id"]
+        assert trace_id and server_ops[0]["trace_id"] == trace_id
+        assert server_ops[0]["span_id"] != client_calls[0]["span_id"]
+
+        # the structured log line itself carries the trace ID
+        lines = [obs_logging.KeyValueFormatter().format(r) for r in cap.records]
+        assert any(f"trace_id={trace_id}" in line and "bank.op" in line for line in lines)
+
+        # dispatch-level instruments recorded the operation
+        snap = obs_metrics.snapshot()
+        assert snap["counters"]["bank.op.direct_transfer.requests"] == 1.0
+        assert snap["histograms"]["bank.op.direct_transfer.latency_seconds"]["count"] == 1
+        assert "rpc.client.call_seconds{method=RequestDirectTransfer}" in snap["histograms"]
+
+        # the TRANSFER ledger row is stamped with the same trace ID
+        transfers = bank.accounts.db.table("transfers").all_rows()
+        stamped = [row for row in transfers if row["TraceID"] == trace_id]
+        assert len(stamped) == 1
+        assert stamped[0]["Amount"] == Credits(30)
+
+        # ... and so is the TRANSACTION row written by the same operation
+        transactions = bank.accounts.db.table("transactions").all_rows()
+        assert any(row["TraceID"] == trace_id for row in transactions)
+
+    def test_server_roots_a_trace_for_untraced_callers(self, tcp_grid):
+        """A request without a trace envelope still gets a server-side
+        trace (rooted at dispatch) rather than an empty trace ID."""
+        obs_metrics.reset()
+        bank = GridBankServer(
+            tcp_grid["bank_ident"], tcp_grid["store"],
+            clock=tcp_grid["clock"], rng=random.Random(32),
+        )
+        from repro.net.transport import InProcessNetwork
+
+        network = InProcessNetwork()
+        network.listen("bank", bank.connection_handler)
+        client = RPCClient(
+            network.connect("bank"), tcp_grid["alice"], tcp_grid["store"],
+            clock=tcp_grid["clock"], rng=random.Random(51),
+        )
+        client.connect()
+        # strip the trace from outgoing requests to simulate an old client
+        import repro.net.rpc as rpc_module
+
+        original_to_wire = rpc_module.obs_trace.to_wire
+        rpc_module.obs_trace.to_wire = lambda span: {}
+        try:
+            with obs_logging.capture() as cap:
+                client.call("CreateAccount")
+        finally:
+            rpc_module.obs_trace.to_wire = original_to_wire
+            client.close()
+        server_ops = [f for f in cap.find("bank.op") if f.get("op") == "create_account"]
+        assert len(server_ops) == 1
+        assert server_ops[0]["trace_id"]  # rooted server-side, not empty

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Lint: library modules must use the obs logger, not bare ``print()``.
+
+Walks every module under ``src/`` and fails (exit 1) if any calls the
+builtin ``print``. Debug output through ``print`` is invisible to the
+structured logging/metrics pipeline (no level, no trace ID, no capture in
+tests), so the observability layer would silently lose it.
+
+Allowlisted: ``repro/cli.py`` — its stdout *is* the user interface of the
+``gridbank`` command, not diagnostics.
+
+Run via ``make lint`` (also: ``python tools/check_no_print.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+# paths (relative to src/) whose stdout is their contract
+ALLOWLIST = {
+    Path("repro/cli.py"),
+}
+
+
+def find_print_calls(path: Path) -> list[int]:
+    """Line numbers of bare ``print(...)`` calls in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def main() -> int:
+    offenders: list[tuple[Path, int]] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT)
+        if relative in ALLOWLIST:
+            continue
+        try:
+            for line in find_print_calls(path):
+                offenders.append((relative, line))
+        except SyntaxError as exc:
+            print(f"check_no_print: cannot parse {relative}: {exc}", file=sys.stderr)
+            return 1
+    if offenders:
+        print("bare print() in library code — use repro.obs.logging instead:", file=sys.stderr)
+        for relative, line in offenders:
+            print(f"  src/{relative}:{line}", file=sys.stderr)
+        return 1
+    print(f"check_no_print: OK ({len(list(SRC_ROOT.rglob('*.py')))} modules clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
