@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench examples all clean
+# targets work from a fresh checkout without `make install`
+export PYTHONPATH := src
+
+.PHONY: install lint test bench chaos examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +20,12 @@ test: lint
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# seeded fault-injection and exactly-once chaos suites, plus the chaos bench
+chaos:
+	$(PYTHON) -m pytest tests/ -m chaos
+	$(PYTHON) -m pytest tests/test_fault_injection.py tests/test_exactly_once.py tests/test_retry.py
+	$(PYTHON) -m pytest benchmarks/bench_chaos.py --benchmark-only
+
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -29,7 +38,7 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-all: lint test bench
+all: lint test chaos bench
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

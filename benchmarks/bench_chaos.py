@@ -1,0 +1,153 @@
+"""CHAOS — the Fig. 1 use case under an adversarial network.
+
+Replays the sec 2 end-to-end scenario (broker buys a GridCheque, job
+runs, GBCM charges, bank settles) while the network drops 20% of
+responses and duplicates 10% of requests, with retrying clients answered
+by the bank's durable reply cache. Asserts the exactly-once guarantees:
+zero double-applied transfers, zero lost confirmed payments, and exact
+credit conservation. A final scenario measures the fault-free overhead
+of carrying the retry machinery on the happy path.
+"""
+
+import random
+
+import pytest
+
+from _worlds import make_grid_session, standard_job
+from repro.core.session import GridSession, PaymentStrategy
+from repro.net.transport import FaultPhase, FaultPlan, FaultSchedule
+from repro.obs import metrics as obs_metrics
+from repro.util.money import Credits
+
+DROP_RESPONSES = 0.2
+DUPLICATE_REQUESTS = 0.1
+FUNDS = 10_000.0
+
+
+def make_chaos_session(seed: int = 301):
+    faults = FaultPlan(
+        drop_response_probability=DROP_RESPONSES,
+        duplicate_request_probability=DUPLICATE_REQUESTS,
+        rng=random.Random(seed + 5),
+    )
+    session = GridSession(seed=seed, faults=faults, retry_attempts=10)
+    consumer = session.add_consumer("consumer", funds=FUNDS)
+    from repro.core.rates import ServiceRatesRecord
+    from _worlds import STANDARD_RATES
+
+    provider = session.add_provider(
+        "gsp0", ServiceRatesRecord.flat(**STANDARD_RATES),
+        num_pes=4, mips_per_pe=500.0,
+    )
+    return session, consumer, provider, faults
+
+
+def test_chaos_fig1_use_case(benchmark):
+    """The full Fig. 1 interaction completes — and settles exactly once —
+    despite 20% response loss and 10% request duplication."""
+    session, consumer, provider, faults = make_chaos_session()
+    counter = [0]
+
+    def run_use_case():
+        counter[0] += 1
+        job = standard_job(consumer.subject, f"chaos-{counter[0]:05d}")
+        return session.run_job(
+            consumer, provider, job, strategy=PaymentStrategy.PAY_AFTER_USE
+        )
+
+    outcome = benchmark.pedantic(run_use_case, rounds=10, iterations=1)
+    # the settlement itself is intact: metered charge paid in full
+    assert outcome.charge == outcome.paid
+    assert outcome.charge > Credits(0)
+    # zero lost confirmed payments: every settled charge reached the GSP
+    assert provider.balance() > Credits(0)
+    # zero double-applied transfers: each of the 10 runs settled its cheque
+    # exactly once (one ledger transfer per run, one cached redemption reply)
+    bank = session.bank
+    transfer_rows = bank.db.table("transfers").all_rows()
+    redemption_replies = [
+        r for r in bank.db.table("replies").all_rows()
+        if r["Method"] == "RedeemGridCheque"
+    ]
+    assert len(transfer_rows) == counter[0]
+    assert len(redemption_replies) == counter[0]
+    # exact credit conservation across every fault the storm threw
+    assert bank.accounts.total_bank_funds() == Credits(FUNDS)
+    # the chaos really happened (the run would be vacuous otherwise)
+    assert session.network.stats.drops > 0
+    assert session.network.stats.duplicates > 0
+
+
+def test_chaos_scheduled_storm_conserves(benchmark):
+    """A programmed storm (calm -> drops -> drops+duplicates -> calm) over a
+    stream of direct transfers: conservation and dedup hold at every phase."""
+
+    def run_storm(seed: int = 313):
+        faults = FaultPlan(rng=random.Random(seed + 5))
+        session = GridSession(seed=seed, faults=faults, retry_attempts=10)
+        consumer = session.add_consumer("consumer", funds=FUNDS)
+        other = session.add_consumer("other", funds=0.0)
+        base = session.clock.epoch()
+        faults.schedule = FaultSchedule(
+            [
+                FaultPhase(base + 10.0, {"drop_response_probability": DROP_RESPONSES}),
+                FaultPhase(
+                    base + 20.0,
+                    {"duplicate_request_probability": DUPLICATE_REQUESTS},
+                ),
+                FaultPhase(
+                    base + 30.0,
+                    {
+                        "drop_response_probability": 0.0,
+                        "duplicate_request_probability": 0.0,
+                    },
+                ),
+            ]
+        )
+        confirmed = 0
+        for _ in range(40):
+            session.clock.advance(1.0)
+            consumer.api.request_direct_transfer(
+                consumer.account_id, other.account_id, Credits(1)
+            )
+            confirmed += 1
+        return session, other, confirmed
+
+    session, other, confirmed = benchmark.pedantic(run_storm, rounds=3, iterations=1)
+    bank = session.bank
+    assert confirmed == 40
+    assert other.balance() == Credits(40)
+    assert bank.accounts.total_bank_funds() == Credits(FUNDS)
+    assert bank.db.count("transfers") == 40
+
+
+def test_fault_free_retry_overhead(benchmark):
+    """Carrying the exactly-once machinery (idempotency keys, reply-cache
+    writes, retry bookkeeping) must cost ~nothing when nothing fails.
+    Compares median dispatch latency with and without a retry policy."""
+
+    def median_call_seconds(retry_attempts: int, seed: int) -> float:
+        obs_metrics.reset()
+        session = GridSession(seed=seed, retry_attempts=retry_attempts)
+        consumer = session.add_consumer("consumer", funds=FUNDS)
+        other = session.add_consumer("other", funds=0.0)
+        for _ in range(60):
+            consumer.api.request_direct_transfer(
+                consumer.account_id, other.account_id, Credits(1)
+            )
+        histogram = obs_metrics.REGISTRY.histogram(
+            "rpc.client.call_seconds", method="RequestDirectTransfer"
+        )
+        return histogram.percentile(0.5)
+
+    def compare():
+        plain = median_call_seconds(0, seed=317)
+        retrying = median_call_seconds(10, seed=317)
+        return plain, retrying
+
+    plain, retrying = benchmark.pedantic(compare, rounds=3, iterations=1)
+    overhead = (retrying - plain) / plain if plain > 0 else 0.0
+    # record for the metrics sidecar; the hard gate is deliberately loose
+    # (CI timer noise) — the 2% target is checked by eye in BENCH_METRICS
+    obs_metrics.gauge("bench.chaos.fault_free_overhead").set(overhead)
+    assert retrying <= plain * 1.5

@@ -48,6 +48,7 @@ __all__ = [
     "transfer_schema",
     "admin_schema",
     "instrument_schema",
+    "reply_schema",
     "credits_to_db",
     "db_to_credits",
 ]
@@ -164,6 +165,34 @@ def admin_schema() -> TableSchema:
         "administrators",
         [Column.make("CertificateName", VarChar(150))],
         primary_key=["CertificateName"],
+    )
+
+
+def reply_schema() -> TableSchema:
+    """REPLY table — the durable reply cache behind exactly-once dispatch.
+
+    One row per executed mutating operation, keyed by the request's
+    idempotency key. ``Body`` is the canonical serialization of the
+    operation's result; ``Subject``/``Method`` pin the key to its
+    original caller and operation so a replay under a different identity
+    or method is refused instead of served. Rows commit in the *same* WAL
+    transaction as the operation's ledger effects, so after crash
+    recovery an operation and its cached reply are either both present or
+    both absent — never one without the other. ``Seq`` orders rows for
+    bounded-size eviction.
+    """
+    return TableSchema(
+        "replies",
+        [
+            Column.make("IdempotencyKey", VarChar(64)),
+            Column.make("Seq", BigIntUnsigned()),
+            Column.make("Subject", VarChar(150)),
+            Column.make("Method", VarChar(40)),
+            Column.make("Date", Timestamp14()),
+            Column.make("Body", Blob()),
+        ],
+        primary_key=["IdempotencyKey"],
+        indexes=["Seq"],
     )
 
 

@@ -26,11 +26,12 @@ from typing import Optional
 from repro.bank.accounts import GBAccounts
 from repro.bank.admin import GBAdmin
 from repro.bank.pricing import PriceEstimator, ResourceDescription
+from repro.bank.replies import ReplyCache
 from repro.bank.security import bank_authorization_policy
 from repro.db.database import Database
 from repro.errors import AuthorizationError, ReproError, ValidationError
 from repro.gsi.authorization import CallbackPolicy
-from repro.net.rpc import Operation, ServiceEndpoint
+from repro.net.rpc import Operation, ServiceEndpoint, current_request
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.payments.cheque import GridCheque, GridChequeProtocol
@@ -69,6 +70,7 @@ class GridBankServer:
             self.db, clock=self.clock, bank_number=bank_number, branch_number=branch_number
         )
         self.admin = GBAdmin(self.accounts)
+        self.replies = ReplyCache(self.db, self.clock)
         self.registry = InstrumentRegistry(self.db, self.clock)
         subject = identity.subject
         key = identity.private_key
@@ -107,6 +109,7 @@ class GridBankServer:
         replayed = self.db.recover()
         self.accounts.rescan_ids()
         self.registry.rescan_ids()
+        self.replies.rescan()
         return replayed
 
     def connection_handler(self):
@@ -142,8 +145,66 @@ class GridBankServer:
         dispatch.__name__ = operation.__name__
         return dispatch
 
+    def _exactly_once(self, method: str, operation: Operation) -> Operation:
+        """Route a mutating operation through the durable reply cache.
+
+        A request whose idempotency key already has a cached reply (a
+        live duplicate, or a retry replayed after crash recovery) gets
+        the original response back without re-execution. A fresh request
+        executes inside one database transaction together with the reply
+        row, so "the op happened" and "its reply is cached" commit as a
+        single WAL line — exactly-once across crashes. Requests without a
+        key (legacy clients, direct in-process calls) execute normally.
+        """
+        dedup_hits = obs_metrics.counter("bank.dedup_hits")
+
+        def dispatch(subject: str, params: dict):
+            context = current_request()
+            key = context.idempotency_key if context is not None else ""
+            if not key:
+                return operation(subject, params)
+            cached = self.replies.lookup(key, subject, method)
+            if cached is not None:
+                dedup_hits.inc()
+                _log.info("bank.dedup_hit", op=method, subject=subject, key=key)
+                return ReplyCache.replay(cached)
+            with self.db.transaction():
+                result = operation(subject, params)
+                self.replies.store(key, subject, method, result)
+                return result
+
+        dispatch.__name__ = operation.__name__
+        return dispatch
+
+    #: Operations whose effects must apply at most once. Everything else
+    #: is a pure read (re-execution is harmless and cheaper than caching).
+    MUTATING_OPS = frozenset(
+        {
+            "CreateAccount",
+            "UpdateAccountDetails",
+            "FundsAvailabilityCheck",
+            "ReleaseFunds",
+            "RequestDirectTransfer",
+            "FetchConfirmations",  # drains the inbox: a duplicate must replay, not re-drain
+            "RequestGridCheque",
+            "RedeemGridCheque",
+            "RedeemGridChequeBatch",
+            "CancelGridCheque",
+            "RequestGridHash",
+            "RedeemGridHash",
+            "Admin.Deposit",
+            "Admin.Withdraw",
+            "Admin.ChangeCreditLimit",
+            "Admin.CancelTransfer",
+            "Admin.CloseAccount",
+            "Admin.AddAdministrator",
+        }
+    )
+
     def _register_operations(self) -> None:
         def register(method: str, operation: Operation) -> None:
+            if method in self.MUTATING_OPS:
+                operation = self._exactly_once(method, operation)
             self.endpoint.register(method, self._instrumented(operation))
         register("BankInfo", self.op_bank_info)
         register("CreateAccount", self.op_create_account)

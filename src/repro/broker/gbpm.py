@@ -9,11 +9,12 @@ enforces the user budget across everything the broker commits to.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.core.api import GridBankAPI
 from repro.core.session import PaymentStrategy
 from repro.errors import BudgetExceededError, ValidationError
+from repro.net.retry import CircuitBreaker
 from repro.payments.cheque import GridCheque
 from repro.payments.hashchain import HashChainWallet
 from repro.util.money import Credits, ZERO
@@ -27,12 +28,25 @@ class GridBankPaymentModule:
         api: GridBankAPI,
         account_id: str,
         budget: Optional[Credits] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.api = api
         self.account_id = account_id
         self._budget = Credits(budget) if budget is not None else None
+        self.breaker = breaker
         self.committed = ZERO   # reserved via instruments / prepayments
         self.refunded = ZERO    # reservations released at settlement
+
+    def _bank(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Invoke a bank call, through the circuit breaker when one is set.
+
+        An open breaker raises :class:`~repro.errors.CircuitOpenError`
+        immediately — the broker fails fast instead of stacking retries on
+        a bank that is already known to be down.
+        """
+        if self.breaker is None:
+            return fn(*args, **kwargs)
+        return self.breaker.call(fn, *args, **kwargs)
 
     # -- budget management -----------------------------------------------------
 
@@ -72,19 +86,37 @@ class GridBankPaymentModule:
     def obtain_cheque(self, payee_subject: str, amount: Credits) -> GridCheque:
         amount = Credits(amount)
         self._reserve(amount)
-        return self.api.request_cheque(self.account_id, payee_subject, amount)
+        try:
+            return self._bank(self.api.request_cheque, self.account_id, payee_subject, amount)
+        except Exception:
+            self.committed = self.committed - amount
+            raise
 
     def obtain_hashchain(self, payee_subject: str, length: int, link_value: Credits) -> HashChainWallet:
         total = Credits(link_value) * length
         self._reserve(total)
-        return self.api.request_hashchain(self.account_id, payee_subject, length, link_value)
+        try:
+            return self._bank(
+                self.api.request_hashchain, self.account_id, payee_subject, length, link_value
+            )
+        except Exception:
+            self.committed = self.committed - total
+            raise
 
     def pay_before(self, payee_account: str, amount: Credits, recipient_address: str = ""):
         amount = Credits(amount)
         self._reserve(amount)
-        return self.api.request_direct_transfer(
-            self.account_id, payee_account, amount, recipient_address=recipient_address
-        )
+        try:
+            return self._bank(
+                self.api.request_direct_transfer,
+                self.account_id,
+                payee_account,
+                amount,
+                recipient_address=recipient_address,
+            )
+        except Exception:
+            self.committed = self.committed - amount
+            raise
 
     # -- sec 5.3 convenience mirrors of the GB API ---------------------------------
 

@@ -189,6 +189,15 @@ class GridBankAPI:
 
     # -- misc ------------------------------------------------------------------------------
 
+    def ping(self) -> bool:
+        """Cheap liveness probe: a ``BankInfo`` round trip.
+
+        Used as the half-open trial call by circuit-breaker wiring — it is
+        read-only, so probing a possibly-broken service has no effects.
+        """
+        info = self._client.call("BankInfo")
+        return info["subject"] == self.bank_subject
+
     def estimate_price(self, description) -> Credits:
         return self._client.call(
             "EstimatePrice",

@@ -28,8 +28,9 @@ from repro.grid.market import GridMarketDirectory
 from repro.grid.resource import GridResource
 from repro.grid.scheduler import SchedulingPolicy
 from repro.grid.trade import PricingModel
+from repro.net.retry import RetryPolicy
 from repro.net.rpc import RPCClient
-from repro.net.transport import InProcessNetwork
+from repro.net.transport import FaultPlan, InProcessNetwork
 from repro.pki.ca import CertificateAuthority, Identity
 from repro.pki.certificate import DistinguishedName
 from repro.pki.validation import CertificateStore
@@ -84,7 +85,17 @@ class SessionOutcome:
 
 
 class GridSession:
-    def __init__(self, seed: int = 0, bank_funds_per_user: float = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        bank_funds_per_user: float = 0.0,
+        faults: Optional[FaultPlan] = None,
+        retry_attempts: int = 0,
+    ) -> None:
+        """*faults* injects network failures between every participant and
+        the bank; *retry_attempts* > 0 gives each bank client a seeded
+        :class:`~repro.net.retry.RetryPolicy` (exactly-once re-sends), which
+        is what lets a session complete under an aggressive fault plan."""
         self.rng = random.Random(seed)
         self.clock = VirtualClock()
         self.sim = Simulator(clock=self.clock)
@@ -104,7 +115,10 @@ class GridSession:
             clock=self.clock,
             rng=random.Random(self.rng.getrandbits(32)),
         )
-        self.network = InProcessNetwork()
+        if faults is not None and faults.clock is None:
+            faults.clock = self.clock
+        self._retry_attempts = retry_attempts
+        self.network = InProcessNetwork(faults=faults)
         self.network.listen("gridbank", self.bank.connection_handler)
         self.gmd = GridMarketDirectory()
         admin_ident = self.ca.issue_identity(DistinguishedName("GridBank", "admin"), key_bits=512)
@@ -116,12 +130,20 @@ class GridSession:
     # -- construction -----------------------------------------------------------
 
     def _bank_api(self, identity: Identity) -> GridBankAPI:
+        policy = None
+        if self._retry_attempts > 0:
+            policy = RetryPolicy(
+                max_attempts=self._retry_attempts,
+                rng=random.Random(self.rng.getrandbits(32)),
+            )
         client = RPCClient(
             self.network.connect("gridbank"),
             identity,
             self.store,
             clock=self.clock,
             rng=random.Random(self.rng.getrandbits(32)),
+            retry_policy=policy,
+            reconnect=lambda: self.network.connect("gridbank"),
         )
         client.connect()
         return GridBankAPI(client, rng=random.Random(self.rng.getrandbits(32)))

@@ -68,6 +68,18 @@ class Database:
 
     # -- transactions ----------------------------------------------------------
 
+    @property
+    def in_transaction(self) -> bool:
+        """True while inside a :meth:`transaction` block.
+
+        Consumers that must commit atomically with other effects (the
+        bank's reply cache writes its row in the same WAL transaction as
+        the operation's ledger writes) assert on this instead of silently
+        autocommitting a row that could then survive a rollback.
+        """
+        with self._lock:
+            return bool(self._frames)
+
     @contextmanager
     def transaction(self) -> Iterator[None]:
         """Atomic block; nested blocks act as savepoints."""

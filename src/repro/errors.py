@@ -34,7 +34,10 @@ __all__ = [
     "ConformanceError",
     "ProtocolError",
     "TransportError",
+    "TransportTimeout",
     "RPCError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
     "GridError",
     "SchedulingError",
     "MeteringError",
@@ -168,12 +171,40 @@ class TransportError(ReproError):
     """Message could not be delivered (connection refused, dropped, ...)."""
 
 
+class TransportTimeout(TransportError):
+    """The peer did not answer in time — "slow", not provably "dead".
+
+    The connection's state is unknown (a late response may still be in
+    flight), so the transport must be reconnected before reuse; the retry
+    classifier treats this as retryable on a fresh connection.
+    """
+
+
 class RPCError(ReproError):
     """Remote procedure call failed; carries the remote error message."""
 
     def __init__(self, message: str, remote_type: str = "") -> None:
         super().__init__(message)
         self.remote_type = remote_type
+
+
+class DeadlineExceeded(RPCError):
+    """The per-call deadline expired before the call could complete.
+
+    Raised server-side before dispatch when a request arrives past its
+    envelope ``deadline`` (the bank refuses to start work nobody is
+    waiting for), and client-side when the retry loop runs out of time.
+    Terminal: retrying a call whose deadline passed cannot help.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open; the call was rejected without dispatch.
+
+    Deliberately NOT a :class:`TransportError`: the retry classifier must
+    treat a fast-failed call as terminal, otherwise retries would burn
+    their budget against an endpoint already known to be down.
+    """
 
 
 # --------------------------------------------------------------------------

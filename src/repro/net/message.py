@@ -74,7 +74,12 @@ def _read_exact(read, n: int, allow_eof: bool) -> Optional[bytes]:
 
 
 def make_request(
-    method: str, params: dict, request_id: int, trace: Optional[dict] = None
+    method: str,
+    params: dict,
+    request_id: int,
+    trace: Optional[dict] = None,
+    idempotency_key: str = "",
+    deadline: Optional[float] = None,
 ) -> bytes:
     """Encode a request envelope.
 
@@ -82,10 +87,21 @@ def make_request(
     ``span_id`` / ``parent_id``, see :mod:`repro.obs.trace`); servers
     restore it around dispatch so client and server spans share one
     trace ID.
+
+    *idempotency_key* (``client_nonce:seq``) names the logical call: it
+    stays stable across transparent re-sends, so the server's reply cache
+    can return the original response instead of re-executing a mutating
+    operation. *deadline* is an absolute epoch-seconds bound; a request
+    arriving past it is rejected with ``DeadlineExceeded`` before
+    dispatch.
     """
     envelope: dict = {"kind": "request", "id": request_id, "method": method, "params": params}
     if trace:
         envelope["trace"] = trace
+    if idempotency_key:
+        envelope["idempotency_key"] = idempotency_key
+    if deadline is not None:
+        envelope["deadline"] = deadline
     return canonical_dumps(envelope)
 
 

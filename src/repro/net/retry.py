@@ -1,0 +1,223 @@
+"""Retry policy, error classification, and circuit breaking.
+
+The client half of the exactly-once RPC substrate. A :class:`RetryPolicy`
+bounds re-sends three ways — attempt count, total sleep budget, and a
+per-call deadline — and spaces them with exponential backoff under *full
+jitter* (AWS-style: each delay is uniform in ``[0, min(cap, base *
+mult^attempt)]``, which decorrelates a thundering herd of brokers
+retrying against one bank). Sleeping is clock-aware: against a
+:class:`~repro.util.gbtime.VirtualClock` the delay advances simulated
+time instead of blocking, so chaos tests run in microseconds.
+
+Classification separates *retryable* failures (the message may not have
+been delivered, or the connection died: :class:`TransportError`,
+:class:`TransportTimeout`, :class:`ChannelError`) from *terminal* ones
+(the server answered — a library error, a :class:`DeadlineExceeded`, an
+authorization refusal). Retrying is only safe because every request
+carries a stable idempotency key and the bank's reply cache makes
+re-execution impossible (see :mod:`repro.bank.replies`).
+
+:class:`CircuitBreaker` sits in front of an endpoint (GBPM uses one per
+bank) so a dead service degrades fast: after ``failure_threshold``
+consecutive infrastructure failures the breaker opens and rejects calls
+with :class:`CircuitOpenError` (terminal — no retry budget burned) until
+``reset_timeout`` passes, then admits one half-open probe.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import (
+    ChannelError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    TransportError,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.util.gbtime import Clock, SystemClock
+
+__all__ = [
+    "RetryPolicy",
+    "is_retryable",
+    "sleep_for",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+_log = get_logger("net.retry")
+
+
+def sleep_for(clock: Optional[Clock], seconds: float) -> None:
+    """Clock-aware sleep: advance a virtual clock, block a real one.
+
+    Any clock exposing ``advance(seconds)`` (the simulator's
+    :class:`~repro.util.gbtime.VirtualClock`) is advanced in place;
+    otherwise the thread really sleeps. This keeps retry backoff exact
+    and free in deterministic tests and benchmarks.
+    """
+    if seconds <= 0:
+        return
+    advance = getattr(clock, "advance", None)
+    if callable(advance):
+        advance(seconds)
+    else:
+        _time.sleep(seconds)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """May re-sending the request (with its idempotency key) succeed?
+
+    Retryable: the message may never have arrived, or the connection died
+    underneath the call — transport failures, timeouts, and secure-channel
+    breakage (a resend needs a fresh handshake, which the client does
+    automatically). Terminal: everything proving the server *answered*
+    (library errors re-raised by class, :class:`DeadlineExceeded`) and
+    fast-fail rejections (:class:`CircuitOpenError`).
+    """
+    if isinstance(exc, (DeadlineExceeded, CircuitOpenError)):
+        return False
+    return isinstance(exc, (TransportError, ChannelError))
+
+
+@dataclass
+class RetryPolicy:
+    """Bounds and spacing for transparent RPC re-sends.
+
+    ``max_attempts`` counts the first send; ``budget`` caps the *total*
+    seconds the policy may spend sleeping across one call; ``call_deadline``
+    is stamped into the request envelope (absolute epoch = now + deadline)
+    so the server can refuse work nobody is waiting for. ``on_retry`` is a
+    chaos-harness hook invoked as ``on_retry(attempt, exc)`` just before
+    each re-send — tests use it to crash and restart the bank mid-retry.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    budget: Optional[float] = None
+    call_deadline: Optional[float] = None
+    rng: random.Random = field(default_factory=random.Random)
+    on_retry: Optional[Callable[[int, BaseException], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff parameters out of range")
+
+    def backoff(self, attempt: int) -> float:
+        """Full-jitter delay before re-send number *attempt* (1-based)."""
+        cap = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        return self.rng.uniform(0.0, cap)
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 1.0, BREAKER_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure containment for one endpoint.
+
+    Only *infrastructure* failures (transport, timeout, channel) trip the
+    breaker — a library error proves the endpoint is alive and resets the
+    failure streak. State is observable as the gauge
+    ``rpc.breaker.state{breaker=...}`` (0 closed, 1 half-open, 2 open).
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock if clock is not None else SystemClock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._gauge = obs_metrics.gauge("rpc.breaker.state", breaker=name)
+        self._rejected = obs_metrics.counter("rpc.breaker.rejected", breaker=name)
+        self._opened = obs_metrics.counter("rpc.breaker.opened", breaker=name)
+        self._gauge.set(_STATE_GAUGE[self._state])
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            _log.info("breaker.transition", name=self.name, from_state=self._state, to_state=state)
+        self._state = state
+        self._gauge.set(_STATE_GAUGE[state])
+
+    def _maybe_half_open(self) -> None:
+        if self._state == BREAKER_OPEN and self.clock.epoch() - self._opened_at >= self.reset_timeout:
+            self._transition(BREAKER_HALF_OPEN)
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Open → half-open on timeout.)"""
+        self._maybe_half_open()
+        return self._state != BREAKER_OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        if self._state != BREAKER_CLOSED:
+            self._transition(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        if self._state == BREAKER_HALF_OPEN:
+            # the probe failed: straight back to open, restart the timer
+            self._opened_at = self.clock.epoch()
+            self._opened.inc()
+            self._transition(BREAKER_OPEN)
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold and self._state == BREAKER_CLOSED:
+            self._opened_at = self.clock.epoch()
+            self._opened.inc()
+            self._transition(BREAKER_OPEN)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run *fn* under the breaker.
+
+        Infrastructure failures count against the threshold; library
+        errors (the endpoint answered) count as successes and re-raise
+        unchanged. When open, raises :class:`CircuitOpenError` without
+        invoking *fn* at all.
+        """
+        if not self.allow():
+            self._rejected.inc()
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open (endpoint failing); "
+                f"retry after {self.reset_timeout}s"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except (TransportError, ChannelError):
+            self.record_failure()
+            raise
+        except ReproError:
+            self.record_success()
+            raise
+        self.record_success()
+        return result

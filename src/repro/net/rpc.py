@@ -12,15 +12,30 @@ records only.
 Remote exceptions propagate by name: the server maps a raised library
 exception to its class name, and the client re-raises the matching class
 from :mod:`repro.errors` (falling back to :class:`RPCError`).
+
+Exactly-once layer: every request envelope carries a stable idempotency
+key (``client_nonce:seq``) and an optional absolute deadline. The server
+rejects expired requests with :class:`~repro.errors.DeadlineExceeded`
+*before* dispatch and exposes the key/deadline to operations through
+:func:`current_request` (a context variable, like the trace span), which
+the bank's durable reply cache consumes. A client built with a
+:class:`~repro.net.retry.RetryPolicy` transparently re-sends on retryable
+failures — reconnecting and re-running the handshake when the connection
+died — which is safe precisely because the key never changes across
+re-sends.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import random
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import (
     ChannelError,
+    DeadlineExceeded,
     ProtocolError,
     ReproError,
     TransportError,
@@ -34,14 +49,24 @@ from repro.net.message import (
     parse_payload,
     raise_remote_error,
 )
+from repro.net.retry import RetryPolicy, is_retryable, sleep_for
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger
 from repro.pki.validation import CertificateStore
 from repro.util.gbtime import Clock, SystemClock
+from repro.util.ids import random_token
 from repro.util.serialize import canonical_dumps
 
-__all__ = ["ServiceEndpoint", "RPCClient", "ConnectionRefused", "Operation"]
+__all__ = [
+    "ServiceEndpoint",
+    "RPCClient",
+    "ConnectionRefused",
+    "Operation",
+    "RequestContext",
+    "current_request",
+    "request_scope",
+]
 
 Operation = Callable[[str, dict], Any]
 
@@ -50,6 +75,45 @@ _log = get_logger("net.rpc")
 
 class ConnectionRefused(TransportError):
     """The service refused the connection at authorization time."""
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Envelope metadata of the request being dispatched.
+
+    Available to operations via :func:`current_request` while the server
+    runs them — the idempotency key is what the bank's reply cache keys
+    on, and the deadline lets long operations bail out early.
+    """
+
+    method: str
+    subject: str
+    idempotency_key: str = ""
+    deadline: Optional[float] = None
+
+
+_request_ctx: contextvars.ContextVar[Optional[RequestContext]] = contextvars.ContextVar(
+    "gridbank_rpc_request", default=None
+)
+
+
+def current_request() -> Optional[RequestContext]:
+    """The request context active in this dispatch, if any."""
+    return _request_ctx.get()
+
+
+@contextlib.contextmanager
+def request_scope(context: Optional[RequestContext]) -> Iterator[Optional[RequestContext]]:
+    """Make *context* the active request for the duration of the block.
+
+    The server wraps every dispatch in this; tests replaying a specific
+    idempotency key against a bank operation use it directly.
+    """
+    token = _request_ctx.set(context)
+    try:
+        yield context
+    finally:
+        _request_ctx.reset(token)
 
 
 class _ServerConnection:
@@ -110,6 +174,24 @@ class _ServerConnection:
         method = request.get("method", "")
         subject = self._context.peer_subject
         assert subject is not None
+        # reject expired deadlines BEFORE dispatch: the caller has already
+        # given up (or will refuse the answer), so starting the work would
+        # only risk effects nobody collects
+        deadline = request.get("deadline")
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            deadline = None
+        if deadline is not None and self._endpoint.clock.epoch() > deadline:
+            obs_metrics.counter("rpc.server.deadline_rejected").inc()
+            _log.warning("rpc.deadline_rejected", method=method, subject=subject)
+            response = make_error(
+                request_id,
+                "DeadlineExceeded",
+                f"request deadline expired before dispatch of {method!r}",
+            )
+            return canonical_dumps({"kind": "sealed", "record": self._context.wrap(response)})
+        idempotency_key = request.get("idempotency_key", "")
+        if not isinstance(idempotency_key, str):
+            idempotency_key = ""
         # restore the caller's trace around dispatch: the server span is a
         # child of the client span, sharing its trace ID
         parent = obs_trace.from_wire(request.get("trace"))
@@ -121,7 +203,10 @@ class _ServerConnection:
                 span_id=obs_trace.new_span_id(self._trace_rng),
             )
         operation = self._endpoint.operations.get(method)
-        with obs_trace.activate(span):
+        context = RequestContext(
+            method=method, subject=subject, idempotency_key=idempotency_key, deadline=deadline
+        )
+        with obs_trace.activate(span), request_scope(context):
             if operation is None:
                 obs_metrics.counter("rpc.server.unknown_method").inc()
                 response = make_error(request_id, "ProtocolError", f"no such operation: {method!r}")
@@ -180,7 +265,15 @@ class ServiceEndpoint:
 
 
 class RPCClient:
-    """Client session: handshake on connect, then typed calls."""
+    """Client session: handshake on connect, then typed calls.
+
+    With a :class:`~repro.net.retry.RetryPolicy` and a *reconnect* factory
+    (``() -> connection``), :meth:`call` becomes exactly-once under
+    message loss: retryable failures are re-sent with the same
+    idempotency key after a jittered backoff, over a fresh connection and
+    handshake whenever the old connection is no longer healthy. Without a
+    policy the behaviour is unchanged from the at-most-once client.
+    """
 
     def __init__(
         self,
@@ -189,27 +282,65 @@ class RPCClient:
         trust_store: CertificateStore,
         clock: Optional[Clock] = None,
         rng: Optional[random.Random] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        reconnect: Optional[Callable[[], Any]] = None,
     ) -> None:
         self._connection = connection
+        self._credential = credential
+        self._trust_store = trust_store
+        self._clock = clock if clock is not None else SystemClock()
         base_rng = rng if rng is not None else random.Random()
+        self._rng = base_rng
         self._trace_rng = random.Random(base_rng.getrandbits(64))
-        self._context = SecurityContext(
-            Role.INITIATE,
-            credential,
-            trust_store,
-            clock=clock if clock is not None else SystemClock(),
-            rng=base_rng,
-        )
+        # the client nonce scopes idempotency keys to this logical client:
+        # key = "<nonce>:<request id>" is stable across re-sends of one
+        # call but never collides across clients or across calls
+        self._nonce = random_token(base_rng, nbytes=8)
+        self._retry = retry_policy
+        self._reconnect = reconnect
+        self._context = self._new_context()
         self._next_id = 1
         self.server_subject: Optional[str] = None
         self.connected = False
+
+    def _new_context(self) -> SecurityContext:
+        return SecurityContext(
+            Role.INITIATE,
+            self._credential,
+            self._trust_store,
+            clock=self._clock,
+            rng=self._rng,
+        )
+
+    # -- connection management ------------------------------------------------
 
     def connect(self) -> str:
         """Run the handshake; returns the server's authenticated subject.
 
         Raises :class:`ConnectionRefused` if the server refuses (either a
-        failed handshake or connection-time authorization).
+        failed handshake or connection-time authorization) — refusals are
+        terminal and never retried. Transport failures during the
+        handshake are retried under the client's policy when a reconnect
+        factory is available.
         """
+        attempt = 0
+        slept = 0.0
+        while True:
+            attempt += 1
+            try:
+                return self._handshake()
+            except ReproError as exc:
+                # a partially-run handshake poisons the security context;
+                # any retry needs a fresh connection AND a fresh context
+                if isinstance(exc, ConnectionRefused) or not is_retryable(exc) or self._reconnect is None:
+                    raise
+                retry_after = self._plan_retry(attempt, slept, None, exc)
+                if retry_after is None:
+                    raise
+                slept += retry_after
+                self._replace_connection()
+
+    def _handshake(self) -> str:
         token = self._context.step()
         while True:
             reply = parse_payload(self._connection.request(canonical_dumps({"kind": "gsi", "token": token})))
@@ -228,22 +359,123 @@ class RPCClient:
             if token is None:
                 raise ProtocolError("handshake ended without establishment")
 
+    def _replace_connection(self) -> None:
+        """Swap in a fresh connection + security context (pre-handshake)."""
+        assert self._reconnect is not None
+        try:
+            self._connection.close()
+        except ReproError:
+            pass
+        self.connected = False
+        self._connection = self._reconnect()
+        self._context = self._new_context()
+        obs_metrics.counter("rpc.client.reconnects").inc()
+
+    def _connection_usable(self) -> bool:
+        return self.connected and getattr(self._connection, "healthy", True)
+
+    # -- calls ----------------------------------------------------------------
+
     def call(self, method: str, **params: Any) -> Any:
         """Invoke *method*; re-raises remote library errors by class.
 
         Each call runs in its own client span — continuing the caller's
         active trace if there is one, otherwise rooting a fresh trace —
         and the span travels in the request envelope so the server's
-        dispatch span shares the same trace ID.
+        dispatch span shares the same trace ID. The envelope also carries
+        the call's idempotency key and (under a retry policy with a
+        deadline) its absolute deadline.
         """
-        if not self.connected:
+        if not self.connected and self.server_subject is None:
             raise ProtocolError("call before connect()")
         request_id = self._next_id
         self._next_id += 1
+        idempotency_key = f"{self._nonce}:{request_id}"
+        deadline: Optional[float] = None
+        if self._retry is not None and self._retry.call_deadline is not None:
+            deadline = self._clock.epoch() + self._retry.call_deadline
+        attempt = 0
+        slept = 0.0
+        while True:
+            attempt += 1
+            try:
+                if not self._connection_usable():
+                    if self._reconnect is None:
+                        raise TransportError("connection is no longer usable and no reconnect factory was given")
+                    self._replace_connection()
+                    self._handshake()
+                return self._call_once(method, params, request_id, idempotency_key, deadline)
+            except ReproError as exc:
+                if not is_retryable(exc):
+                    raise
+                retry_after = self._plan_retry(attempt, slept, deadline, exc)
+                if retry_after is None:
+                    raise
+                slept += retry_after
+                obs_metrics.counter("rpc.client.retries", method=method).inc()
+                _log.info(
+                    "rpc.call.retry",
+                    method=method,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                    backoff=retry_after,
+                )
+
+    def _plan_retry(
+        self,
+        attempt: int,
+        slept: float,
+        deadline: Optional[float],
+        exc: BaseException,
+    ) -> Optional[float]:
+        """Decide whether to retry after *exc*; sleep and return the delay.
+
+        Returns ``None`` when the attempt budget is exhausted (caller
+        re-raises *exc*); raises :class:`DeadlineExceeded` when the call's
+        deadline has passed. The sleep is clock-aware and never overshoots
+        the deadline or the policy's total sleep budget.
+        """
+        policy = self._retry
+        if policy is None or attempt >= policy.max_attempts:
+            return None
+        if deadline is not None and self._clock.epoch() >= deadline:
+            raise DeadlineExceeded(
+                f"call deadline expired after {attempt} attempt(s)"
+            ) from exc
+        delay = policy.backoff(attempt)
+        if policy.budget is not None:
+            remaining_budget = policy.budget - slept
+            if remaining_budget <= 0:
+                return None
+            delay = min(delay, remaining_budget)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - self._clock.epoch()))
+        if policy.on_retry is not None:
+            policy.on_retry(attempt, exc)
+        sleep_for(self._clock, delay)
+        return delay
+
+    def _call_once(
+        self,
+        method: str,
+        params: dict,
+        request_id: int,
+        idempotency_key: str,
+        deadline: Optional[float],
+    ) -> Any:
+        if deadline is not None and self._clock.epoch() > deadline:
+            raise DeadlineExceeded(f"call deadline expired before sending {method!r}")
         span = obs_trace.child_span(self._trace_rng)
         with obs_trace.activate(span), obs_metrics.timed("rpc.client.call_seconds", method=method):
             sealed = self._context.wrap(
-                make_request(method, params, request_id, trace=obs_trace.to_wire(span))
+                make_request(
+                    method,
+                    params,
+                    request_id,
+                    trace=obs_trace.to_wire(span),
+                    idempotency_key=idempotency_key,
+                    deadline=deadline,
+                )
             )
             raw = self._connection.request(canonical_dumps({"kind": "sealed", "record": sealed}))
             reply = parse_payload(raw)
@@ -252,7 +484,13 @@ class RPCClient:
                 raise ConnectionRefused(reply.get("reason", "connection dropped"))
             if reply["kind"] != "sealed":
                 raise ProtocolError(f"unexpected reply kind {reply['kind']!r}")
-            response = parse_payload(self._context.unwrap(reply["record"]))
+            try:
+                response = parse_payload(self._context.unwrap(reply["record"]))
+            except ChannelError:
+                # the channel lost sync (e.g. a response was lost and the
+                # sequence gap closed the wrong way): unusable from here on
+                self.connected = False
+                raise
             if response["kind"] == "error":
                 obs_metrics.counter("rpc.client.remote_errors", method=method).inc()
                 _log.debug(

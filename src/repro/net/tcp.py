@@ -5,6 +5,11 @@ real sockets here: the server accepts connections, reads length-prefixed
 frames, feeds them to a fresh handler, and writes the response frames back.
 This demonstrates the GridBank server is an actual network service (the
 "easy web service" of the reproduction brief), not only a simulated one.
+
+Shutdown is deterministic: ``close()`` stops accepting, force-closes every
+live connection socket (unblocking workers stuck in ``recv``), then joins
+the workers; any thread that survives the join is logged loudly instead of
+being leaked silently.
 """
 
 from __future__ import annotations
@@ -13,10 +18,13 @@ import socket
 import threading
 from typing import Callable
 
-from repro.errors import ProtocolError, TransportError
+from repro.errors import ProtocolError, TransportError, TransportTimeout
 from repro.net.message import frame, unframe_stream
+from repro.obs.logging import get_logger
 
 __all__ = ["TCPServer", "TCPClientConnection"]
+
+_log = get_logger("net.tcp")
 
 
 class TCPServer:
@@ -34,7 +42,10 @@ class TCPServer:
         self._sock.listen(32)
         self.address: tuple[str, int] = self._sock.getsockname()
         self._stop = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        # live worker threads and their sockets; entries are removed by the
+        # worker itself on exit so close() only deals with true survivors
+        self._workers: dict[threading.Thread, socket.socket] = {}
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
@@ -44,9 +55,13 @@ class TCPServer:
                 conn, _addr = self._sock.accept()
             except OSError:
                 return  # socket closed during shutdown
+            if self._stop.is_set():
+                conn.close()
+                return
             worker = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            with self._lock:
+                self._workers[worker] = conn
             worker.start()
-            self._threads.append(worker)
 
     def _serve(self, conn: socket.socket) -> None:
         handler = self._factory()
@@ -65,16 +80,46 @@ class TCPServer:
             except OSError:
                 pass
             conn.close()
+            with self._lock:
+                self._workers.pop(threading.current_thread(), None)
 
     def close(self) -> None:
+        """Deterministic shutdown: stop accepting, kill live connections,
+        join every worker, and log any thread that refuses to die."""
         self._stop.set()
+        # shutdown() before close(): close() alone does not unblock a
+        # thread already parked in accept() on Linux, shutdown() does
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
             pass
         self._accept_thread.join(timeout=5)
-        for worker in self._threads:
+        if self._accept_thread.is_alive():
+            _log.error("tcp.shutdown.accept_thread_leaked", address=str(self.address))
+        with self._lock:
+            live = list(self._workers.items())
+        # force-close sockets first: this unblocks workers parked in recv()
+        for _worker, conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for worker, _conn in live:
             worker.join(timeout=5)
+            if worker.is_alive():
+                _log.error(
+                    "tcp.shutdown.worker_leaked",
+                    address=str(self.address),
+                    thread=worker.name,
+                )
 
     def __enter__(self) -> "TCPServer":
         return self
@@ -89,17 +134,35 @@ class TCPClientConnection:
 
     def __init__(self, address: tuple[str, int], timeout: float = 10.0) -> None:
         self._sock = socket.create_connection(address, timeout=timeout)
+        self._healthy = True
+
+    @property
+    def healthy(self) -> bool:
+        """False after any socket failure: the stream state is unknown (a
+        late response may still arrive), so a retrying client must open a
+        fresh connection instead of reusing this one."""
+        return self._healthy
 
     def request(self, payload: bytes) -> bytes:
         try:
             self._sock.sendall(frame(payload))
             for response in unframe_stream(self._sock.recv):
                 return response
+        except TimeoutError as exc:
+            # socket.timeout is TimeoutError (an OSError): surface "slow"
+            # distinctly from "dead" so the retry classifier can tell them
+            # apart — both force a reconnect, but timeouts are retryable
+            # against a live server while resets usually mean it is gone.
+            self._healthy = False
+            raise TransportTimeout(f"tcp request timed out: {exc}") from exc
         except OSError as exc:
+            self._healthy = False
             raise TransportError(f"tcp request failed: {exc}") from exc
+        self._healthy = False
         raise TransportError("service closed the connection")
 
     def close(self) -> None:
+        self._healthy = False
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:

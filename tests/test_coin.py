@@ -158,8 +158,10 @@ class TestLayeringClaim:
     def test_no_new_tables_or_account_operations_needed(self, world):
         # the protocol reuses the shared instruments registry and the
         # existing accounts tables — the database schema is unchanged
+        # ("replies" belongs to the exactly-once RPC layer, not GridCoin)
         assert sorted(world["bank"].db.table_names()) == [
-            "accounts", "administrators", "instruments", "transactions", "transfers",
+            "accounts", "administrators", "instruments", "replies",
+            "transactions", "transfers",
         ]
 
     def test_coexists_with_other_instruments(self, world):

@@ -1,9 +1,13 @@
 """Failure injection: dropped messages, retries, and idempotency.
 
 A dropped *request* must leave the bank untouched; a dropped *response*
-means the bank acted but the client errored — the dangerous case. The
-instrument registry's double-spend defence is what makes client retries
-safe: a retried redemption fails loudly instead of paying twice.
+means the bank acted but the client errored — the dangerous case. These
+tests use clients WITHOUT a retry policy: the instrument registry's
+double-spend defence is the backstop that makes even manual re-sends
+safe (a retried redemption fails loudly instead of paying twice). The
+transparent exactly-once path — retrying clients answered from the
+bank's durable reply cache — is covered by test_exactly_once.py and
+test_chaos_property.py.
 """
 
 import random

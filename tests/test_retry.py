@@ -1,0 +1,322 @@
+"""Unit tests for the client retry substrate: policy, classification,
+circuit breaker, TCP timeout surfacing, and deterministic TCP shutdown."""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    ChannelError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    InsufficientFundsError,
+    TransportError,
+    TransportTimeout,
+)
+from repro.gsi.authorization import AllowAllPolicy
+from repro.net.retry import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    is_retryable,
+    sleep_for,
+)
+from repro.net.rpc import ServiceEndpoint
+from repro.net.tcp import TCPClientConnection, TCPServer
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+
+
+class TestClassification:
+    def test_transport_failures_are_retryable(self):
+        assert is_retryable(TransportError("boom"))
+        assert is_retryable(TransportTimeout("slow"))
+        assert is_retryable(ChannelError("desync"))
+
+    def test_terminal_errors_are_not(self):
+        assert not is_retryable(DeadlineExceeded("too late"))
+        assert not is_retryable(CircuitOpenError("open"))
+        assert not is_retryable(InsufficientFundsError("the server answered"))
+        assert not is_retryable(ValueError("not ours at all"))
+
+    def test_timeout_is_a_transport_error(self):
+        # callers catching TransportError keep working unchanged
+        assert issubclass(TransportTimeout, TransportError)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_full_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, rng=random.Random(7)
+        )
+        for attempt in range(1, 10):
+            cap = min(0.5, 0.1 * 2.0 ** (attempt - 1))
+            for _ in range(20):
+                delay = policy.backoff(attempt)
+                assert 0.0 <= delay <= cap
+
+    def test_backoff_grows_with_attempts_on_average(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=100.0, rng=random.Random(3))
+        early = sum(policy.backoff(1) for _ in range(200)) / 200
+        late = sum(policy.backoff(6) for _ in range(200)) / 200
+        assert late > early * 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+    def test_sleep_for_advances_virtual_clock(self):
+        clock = VirtualClock()
+        before = clock.epoch()
+        sleep_for(clock, 12.5)
+        assert clock.epoch() == pytest.approx(before + 12.5)
+
+    def test_sleep_for_ignores_nonpositive(self):
+        clock = VirtualClock()
+        before = clock.epoch()
+        sleep_for(clock, 0.0)
+        sleep_for(clock, -3.0)
+        assert clock.epoch() == before
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            name=kwargs.pop("name", "test"),
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            reset_timeout=kwargs.pop("reset_timeout", 30.0),
+            clock=clock,
+        )
+        return breaker, clock
+
+    def test_opens_after_threshold_and_rejects(self):
+        breaker, _clock = self.make()
+
+        def die():
+            raise TransportError("down")
+
+        for _ in range(3):
+            with pytest.raises(TransportError):
+                breaker.call(die)
+        assert breaker.state == BREAKER_OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker, clock = self.make(reset_timeout=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(10.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make(reset_timeout=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+
+        def die():
+            raise TransportError("still down")
+
+        with pytest.raises(TransportError):
+            breaker.call(die)
+        assert breaker.state == BREAKER_OPEN
+        # and the timer restarted: not yet half-open again
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_library_error_counts_as_success(self):
+        """A library error proves the endpoint is alive: the failure streak
+        resets and the error re-raises unchanged."""
+        breaker, _clock = self.make(failure_threshold=2)
+
+        def overdrawn():
+            raise InsufficientFundsError("no funds")
+
+        breaker.record_failure()
+        with pytest.raises(InsufficientFundsError):
+            breaker.call(overdrawn)
+        breaker.record_failure()  # streak restarted: still closed
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_success_resets_streak(self):
+        breaker, _clock = self.make(failure_threshold=2)
+        breaker.record_failure()
+        breaker.call(lambda: None)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_circuit_open_error_is_terminal_for_retries(self):
+        assert not is_retryable(CircuitOpenError("open"))
+
+
+class TestGBPMBreaker:
+    """The broker's payment module fails fast once its bank is down."""
+
+    class FlakyAPI:
+        def __init__(self):
+            self.down = False
+            self.calls = 0
+
+        def request_cheque(self, account_id, payee_subject, amount):
+            self.calls += 1
+            if self.down:
+                raise TransportError("bank unreachable")
+            return {"cheque": "ok", "amount": amount}
+
+    def make_gbpm(self):
+        from repro.broker.gbpm import GridBankPaymentModule
+        from repro.util.money import Credits
+
+        clock = VirtualClock()
+        api = self.FlakyAPI()
+        breaker = CircuitBreaker(
+            name="gbpm", failure_threshold=2, reset_timeout=10.0, clock=clock
+        )
+        gbpm = GridBankPaymentModule(api, "01-0001-00000001", breaker=breaker)
+        return gbpm, api, breaker, clock, Credits
+
+    def test_open_breaker_fails_fast_without_calling_bank(self):
+        gbpm, api, breaker, clock, Credits = self.make_gbpm()
+        api.down = True
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                gbpm.obtain_cheque("/O=VO-B/CN=gsp", Credits(5))
+        assert breaker.state == BREAKER_OPEN
+        calls_before = api.calls
+        with pytest.raises(CircuitOpenError):
+            gbpm.obtain_cheque("/O=VO-B/CN=gsp", Credits(5))
+        assert api.calls == calls_before  # rejected without touching the bank
+
+    def test_half_open_recovery_through_gbpm(self):
+        gbpm, api, breaker, clock, Credits = self.make_gbpm()
+        api.down = True
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                gbpm.obtain_cheque("/O=VO-B/CN=gsp", Credits(5))
+        api.down = False
+        clock.advance(10.0)
+        assert gbpm.obtain_cheque("/O=VO-B/CN=gsp", Credits(5))["cheque"] == "ok"
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_failed_acquisition_releases_reservation(self):
+        """A cheque that never materialized must not consume budget."""
+        gbpm, api, breaker, clock, Credits = self.make_gbpm()
+        gbpm.set_budget(Credits(10))
+        api.down = True
+        with pytest.raises(TransportError):
+            gbpm.obtain_cheque("/O=VO-B/CN=gsp", Credits(8))
+        api.down = False
+        # the full budget is still available for the next attempt
+        assert gbpm.remaining_budget() == Credits(10)
+        gbpm.obtain_cheque("/O=VO-B/CN=gsp", Credits(8))
+        assert gbpm.remaining_budget() == Credits(2)
+
+
+@pytest.fixture(scope="module")
+def tcp_world(ca_keypair, keypair_a, keypair_b):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+    )
+    return {
+        "clock": clock,
+        "alice": ca.issue_identity(DistinguishedName("VO-A", "alice"), keypair=keypair_a),
+        "server": ca.issue_identity(DistinguishedName("GridBank", "server"), keypair=keypair_b),
+        "store": CertificateStore([ca.root_certificate]),
+    }
+
+
+class TestTCPTimeout:
+    def test_read_timeout_surfaces_as_transport_timeout(self):
+        """A server that accepts but never answers must produce
+        TransportTimeout (not a bare OSError or generic TransportError)."""
+        silent = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        try:
+            conn = TCPClientConnection(silent.getsockname(), timeout=0.2)
+            with pytest.raises(TransportTimeout):
+                conn.request(b"anyone home?")
+            assert not conn.healthy
+            conn.close()
+        finally:
+            silent.close()
+
+
+class TestTCPShutdown:
+    def make_endpoint(self, world) -> ServiceEndpoint:
+        endpoint = ServiceEndpoint(
+            world["server"],
+            world["store"],
+            AllowAllPolicy(),
+            clock=world["clock"],
+            rng=random.Random(5),
+        )
+        endpoint.register("echo", lambda subject, params: params)
+        return endpoint
+
+    def test_close_joins_worker_threads(self, tcp_world):
+        """close() must unblock workers parked in recv() and join them —
+        no silently leaked threads after shutdown."""
+        endpoint = self.make_endpoint(tcp_world)
+        server = TCPServer(endpoint.connection_handler)
+        conns = [TCPClientConnection(server.address, timeout=5.0) for _ in range(3)]
+        # nudge each connection so its worker thread definitely exists and
+        # is parked in recv() waiting for the next frame
+        from repro.net.rpc import RPCClient
+
+        for conn in conns:
+            client = RPCClient(
+                conn,
+                tcp_world["alice"],
+                tcp_world["store"],
+                clock=tcp_world["clock"],
+                rng=random.Random(9),
+            )
+            client.connect()
+        before = threading.active_count()
+        assert before > 1  # accept loop + workers are alive
+        server.close()
+        # every server-side thread is gone: the accept loop and all workers
+        assert not server._accept_thread.is_alive()
+        assert server._workers == {}
+        for conn in conns:
+            conn.close()
+
+    def test_close_is_idempotent_and_refuses_new_connections(self, tcp_world):
+        endpoint = self.make_endpoint(tcp_world)
+        server = TCPServer(endpoint.connection_handler)
+        server.close()
+        server.close()  # second close must not raise
+        with pytest.raises(OSError):
+            socket.create_connection(server.address, timeout=0.5)
+
+    def test_worker_removes_itself_on_clean_disconnect(self, tcp_world):
+        endpoint = self.make_endpoint(tcp_world)
+        with TCPServer(endpoint.connection_handler) as server:
+            conn = TCPClientConnection(server.address, timeout=5.0)
+            conn.close()
+            # the worker notices EOF and deregisters; poll briefly
+            for _ in range(100):
+                with server._lock:
+                    if not server._workers:
+                        break
+                threading.Event().wait(0.01)
+            assert server._workers == {}
