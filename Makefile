@@ -5,7 +5,7 @@ PYTHON ?= python
 # targets work from a fresh checkout without `make install`
 export PYTHONPATH := src
 
-.PHONY: install lint test bench chaos examples all clean
+.PHONY: install lint test bench bench-smoke bench-record bench-gate chaos examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,18 @@ test: lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# every scenario once, no timing storage — catches broken benchmarks fast
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+
+# append a BENCH_TRAJECTORY.json entry (ops/s + sidecar percentiles)
+bench-record:
+	$(PYTHON) benchmarks/trajectory.py
+
+# fail on >20% ops/s regression vs the previous comparable entry
+bench-gate:
+	$(PYTHON) tools/check_bench_regression.py
 
 # seeded fault-injection and exactly-once chaos suites, plus the chaos bench
 chaos:
@@ -38,7 +50,7 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-all: lint test chaos bench
+all: lint test chaos bench-smoke bench-gate
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

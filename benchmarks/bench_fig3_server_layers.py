@@ -39,7 +39,10 @@ def test_fig3_security_layer_handshake(benchmark, world):
         client.close()
 
     benchmark.pedantic(connect_and_close, rounds=15, iterations=1)
-    assert world["bank"].endpoint.accepted_connections >= 15
+    # under --benchmark-disable (bench-smoke) pedantic runs the function
+    # once, so assert against the actual invocation count
+    assert seq[0] >= 1
+    assert world["bank"].endpoint.accepted_connections >= seq[0]
 
 
 def test_fig3_security_layer_refusal_is_cheap(benchmark, world):
@@ -63,7 +66,8 @@ def test_fig3_security_layer_refusal_is_cheap(benchmark, world):
             client.connect()
 
     benchmark.pedantic(refused_connect, rounds=15, iterations=1)
-    assert strict_world["bank"].endpoint.refused_connections >= 15
+    assert seq[0] >= 1
+    assert strict_world["bank"].endpoint.refused_connections >= seq[0]
     assert strict_world["bank"].endpoint.accepted_connections == 0
 
 

@@ -1,0 +1,159 @@
+"""Record the benchmark trajectory — is the system getting faster?
+
+``make bench-record`` (or ``python benchmarks/trajectory.py``) runs every
+``bench_*`` scenario under pytest-benchmark, joins the timing results
+with the per-scenario metric sidecar (``BENCH_METRICS.json``, written by
+``conftest.py``), and APPENDS one schema'd entry to
+``BENCH_TRAJECTORY.json`` at the repo root:
+
+    {
+      "schema": 1,
+      "commit": "<git HEAD, or 'unknown'>",
+      "recorded_at": "<UTC ISO-8601>",
+      "quick": false,
+      "scenarios": {
+        "benchmarks/bench_x.py::test_y": {
+          "ops_per_second": 123.4,
+          "mean_seconds": 0.0081,
+          "rounds": 25,
+          "latency_metric": "rpc.client.call_seconds{method=...}",
+          "p50": 0.0079, "p95": 0.0102, "p99": 0.0121
+        }, ...
+      }
+    }
+
+The file is an append-only JSON list — one entry per recording — so
+``tools/check_bench_regression.py`` can compare the newest entry against
+the previous one of the same mode and fail the build on a >20% ops/s
+regression. ``--quick`` trades statistical quality for wall time
+(min-rounds=1) and is marked in the entry so quick and full runs are
+never compared against each other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_TRAJECTORY.json"
+METRICS_SIDECAR = BENCH_DIR / "BENCH_METRICS.json"
+
+SCHEMA_VERSION = 1
+
+
+def git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def run_benchmarks(quick: bool, keyword: str = "") -> dict:
+    """Run the suite with ``--benchmark-json``; return the parsed report."""
+    with tempfile.TemporaryDirectory(prefix="gridbank-bench-") as tmp:
+        report_path = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable, "-m", "pytest", str(BENCH_DIR),
+            "--benchmark-only", f"--benchmark-json={report_path}", "-q",
+        ]
+        if quick:
+            cmd += ["--benchmark-min-rounds=1", "--benchmark-max-time=0.05"]
+        if keyword:
+            cmd += ["-k", keyword]
+        result = subprocess.run(cmd, cwd=REPO_ROOT)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+        return json.loads(report_path.read_text())
+
+
+def dominant_latency(snapshot: dict) -> tuple[str, dict]:
+    """The scenario's hot-path histogram: the one with the most samples.
+
+    The sidecar snapshot usually holds several histograms (client call,
+    per-op latency, crypto); the highest-count one is the operation the
+    scenario actually hammered, which is the latency distribution worth
+    tracking over time.
+    """
+    best_name, best = "", {}
+    for name, summary in snapshot.get("histograms", {}).items():
+        if summary.get("count", 0) > best.get("count", 0):
+            best_name, best = name, summary
+    return best_name, best
+
+
+def build_entry(report: dict, sidecar: dict, quick: bool) -> dict:
+    scenarios: dict[str, dict] = {}
+    for bench in report.get("benchmarks", []):
+        fullname = bench.get("fullname", bench.get("name", "?"))
+        stats = bench.get("stats", {})
+        mean = stats.get("mean", 0.0)
+        scenario = {
+            "ops_per_second": (1.0 / mean) if mean else 0.0,
+            "mean_seconds": mean,
+            "rounds": stats.get("rounds", 0),
+        }
+        snapshot = sidecar.get(fullname, {})
+        metric_name, summary = dominant_latency(snapshot)
+        if metric_name:
+            scenario["latency_metric"] = metric_name
+            scenario["p50"] = summary.get("p50", 0.0)
+            scenario["p95"] = summary.get("p95", 0.0)
+            scenario["p99"] = summary.get("p99", 0.0)
+        scenarios[fullname] = scenario
+    return {
+        "schema": SCHEMA_VERSION,
+        "commit": git_commit(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "scenarios": scenarios,
+    }
+
+
+def append_entry(entry: dict, path: Path = TRAJECTORY_FILE) -> int:
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"{path} is not a JSON list; refusing to overwrite")
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return len(history)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one fast round per scenario (marked in the entry)")
+    parser.add_argument("-k", "--keyword", default="",
+                        help="pytest -k filter (partial recordings still append)")
+    parser.add_argument("--output", default=str(TRAJECTORY_FILE),
+                        help="trajectory file to append to")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, keyword=args.keyword)
+    sidecar = json.loads(METRICS_SIDECAR.read_text()) if METRICS_SIDECAR.exists() else {}
+    entry = build_entry(report, sidecar, quick=args.quick)
+    if not entry["scenarios"]:
+        raise SystemExit("no benchmark scenarios produced results")
+    total = append_entry(entry, Path(args.output))
+    print(
+        f"recorded {len(entry['scenarios'])} scenario(s) at commit "
+        f"{entry['commit'][:12]} ({'quick' if args.quick else 'full'}); "
+        f"{total} entr{'y' if total == 1 else 'ies'} in {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from typing import Any, Optional
 
 from repro.bank.records import reply_schema
 from repro.db.database import Database
-from repro.errors import ProtocolError, TransactionError
+from repro.errors import ProtocolError
 from repro.obs.logging import get_logger
 from repro.util.gbtime import Clock
 from repro.util.ids import IdGenerator
@@ -95,10 +95,7 @@ class ReplyCache:
         commits atomically (same WAL line) with the ledger effects it
         describes; calling it outside a transaction raises.
         """
-        if not self.db.in_transaction:
-            raise TransactionError(
-                "reply cache writes must share the operation's transaction"
-            )
+        self.db.require_transaction("reply cache writes")
         count = self.db.count("replies")
         if count >= self.max_entries:
             self._evict(count - self.max_entries + 1)

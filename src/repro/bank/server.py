@@ -33,7 +33,9 @@ from repro.errors import AuthorizationError, ReproError, ValidationError
 from repro.gsi.authorization import CallbackPolicy
 from repro.net.rpc import Operation, ServiceEndpoint, current_request
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger
+from repro.obs.store import SpanStore
 from repro.payments.cheque import GridCheque, GridChequeProtocol
 from repro.payments.direct import DirectTransferProtocol
 from repro.payments.hashchain import GridHashCommitment, GridHashProtocol, PaymentTick
@@ -71,6 +73,12 @@ class GridBankServer:
         )
         self.admin = GBAdmin(self.accounts)
         self.replies = ReplyCache(self.db, self.clock)
+        # the durable span store shares the ledger's WAL'd database; the
+        # table must exist before recover() replays the journal. NOT
+        # auto-registered as a trace sink — callers that want durable
+        # spans install it explicitly (the serve CLI does), so several
+        # banks in one process don't capture each other's traces.
+        self.spans = SpanStore(self.db)
         self.registry = InstrumentRegistry(self.db, self.clock)
         subject = identity.subject
         key = identity.private_key
@@ -110,6 +118,8 @@ class GridBankServer:
         self.accounts.rescan_ids()
         self.registry.rescan_ids()
         self.replies.rescan()
+        self.spans.rescan()
+        obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
         return replayed
 
     def connection_handler(self):
@@ -127,16 +137,20 @@ class GridBankServer:
         def dispatch(subject: str, params: dict):
             requests.inc()
             started = time.perf_counter()
-            try:
-                result = operation(subject, params)
-            except Exception as exc:
-                errors.inc()
-                latency.observe(time.perf_counter() - started)
-                _log.warning(
-                    "bank.op.error", op=op_name, subject=subject,
-                    error=type(exc).__name__, reason=str(exc),
-                )
-                raise
+            # the recorded span is a child of the RPC dispatch span (active
+            # in this context) and closes AFTER the operation's database
+            # transaction commits — its SPAN row autocommits on its own
+            with obs_trace.span(f"bank.op.{op_name}", kind="bank", subject=subject):
+                try:
+                    result = operation(subject, params)
+                except Exception as exc:
+                    errors.inc()
+                    latency.observe(time.perf_counter() - started)
+                    _log.warning(
+                        "bank.op.error", op=op_name, subject=subject,
+                        error=type(exc).__name__, reason=str(exc),
+                    )
+                    raise
             elapsed = time.perf_counter() - started
             latency.observe(elapsed)
             _log.debug("bank.op", op=op_name, subject=subject, duration=elapsed)
@@ -166,12 +180,14 @@ class GridBankServer:
             cached = self.replies.lookup(key, subject, method)
             if cached is not None:
                 dedup_hits.inc()
+                obs_trace.add_event("bank.dedup_hit", op=method, key=key)
                 _log.info("bank.dedup_hit", op=method, subject=subject, key=key)
                 return ReplyCache.replay(cached)
             with self.db.transaction():
                 result = operation(subject, params)
                 self.replies.store(key, subject, method, result)
-                return result
+            obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
+            return result
 
         dispatch.__name__ = operation.__name__
         return dispatch

@@ -12,6 +12,10 @@ invocations::
     python -m repro.cli statement --home ./mybank --account 01-0001-00000001
     python -m repro.cli serve --home ./mybank --port 7776   # real TCP service
     python -m repro.cli metrics --home ./mybank [--json]    # observability dump
+    python -m repro.cli metrics export --home ./mybank      # Prometheus text
+    python -m repro.cli trace show <trace-id> --home ./mybank
+    python -m repro.cli trace slowest --home ./mybank -n 10
+    python -m repro.cli trace grep redeem --home ./mybank
 
 Administrative commands (deposit/withdraw/credit-limit/close) act as the
 bank operator — the sec 5.2.1 role of "GridBank's administrators who are
@@ -33,7 +37,10 @@ from repro.crypto.keys import private_key_from_dict, private_key_to_dict
 from repro.db.database import Database
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.export import FileExporter, HTTPExporter, render_prometheus
 from repro.obs.logging import configure_from_env
+from repro.obs.store import JsonlSpanSink, render_waterfall
 from repro.pki.ca import CertificateAuthority, Identity
 from repro.pki.certificate import Certificate, DistinguishedName
 from repro.pki.validation import CertificateStore
@@ -298,16 +305,40 @@ def cmd_serve(args) -> int:
 
     home = Path(args.home)
     bank = _load_bank(home)
-    with TCPServer(bank.connection_handler, host=args.host, port=args.port) as server:
-        host, port = server.address
-        print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
-              f"({bank.subject}) listening on {host}:{port}")
-        try:
-            import threading
+    # spans served by this process become SPAN rows in the bank's WAL'd
+    # database (queryable later with `gridbank trace`), and optionally a
+    # JSONL stream for out-of-process collectors
+    sinks = [bank.spans]
+    if args.span_log:
+        sinks.append(JsonlSpanSink(args.span_log))
+    for sink in sinks:
+        obs_trace.add_sink(sink)
+    exporters = []
+    if args.metrics_port is not None:
+        http_exporter = HTTPExporter(port=args.metrics_port).start()
+        exporters.append(http_exporter)
+        print(f"metrics scrape endpoint: http://{http_exporter.host}:{http_exporter.port}/metrics")
+    if args.metrics_textfile:
+        exporters.append(
+            FileExporter(args.metrics_textfile, interval=args.metrics_interval).start()
+        )
+    try:
+        with TCPServer(bank.connection_handler, host=args.host, port=args.port) as server:
+            host, port = server.address
+            print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
+                  f"({bank.subject}) listening on {host}:{port}")
+            try:
+                import threading
 
-            threading.Event().wait(args.duration if args.duration else None)
-        except KeyboardInterrupt:
-            pass
+                threading.Event().wait(args.duration if args.duration else None)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        for exporter in exporters:
+            exporter.stop()
+        for sink in sinks:
+            obs_trace.remove_sink(sink)
+    bank.spans.flush()
     bank.db.close()
     # persist the run's metrics so `gridbank metrics` can read them later
     (home / _METRICS_FILE).write_text(
@@ -315,6 +346,67 @@ def cmd_serve(args) -> int:
     )
     print("server stopped")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Query the durable SPAN store left behind by a served bank.
+
+    ``show <trace_id>`` renders the waterfall of one trace and joins the
+    ledger rows stamped with its TraceID; ``slowest`` and ``grep`` locate
+    traces worth showing; ``list`` enumerates known trace IDs.
+    """
+    from repro.db.query import eq
+
+    bank = _load_bank(Path(args.home))
+    spans = bank.spans
+    try:
+        if args.verb == "show":
+            if not args.query:
+                print("error: trace show requires a trace id", file=sys.stderr)
+                return 1
+            records = spans.spans_for_trace(args.query)
+            if not records:
+                print(f"no spans recorded for trace {args.query!r}", file=sys.stderr)
+                return 1
+            ledger = []
+            for table in ("transactions", "transfers"):
+                for row in bank.db.select(table, [eq("TraceID", args.query)]):
+                    ledger.append({"_table": table, **row})
+            print(render_waterfall(records, ledger))
+            return 0
+        if args.verb == "slowest":
+            records = spans.slowest(limit=args.limit, name=args.query or "")
+            for record in records:
+                print(
+                    f"{record['duration_seconds'] * 1e3:10.2f}ms  "
+                    f"{record['trace_id']}  {record['name']:<28} "
+                    f"{record['status']}"
+                )
+            if not records:
+                print("(no spans recorded)")
+            return 0
+        if args.verb == "grep":
+            if not args.query:
+                print("error: trace grep requires a pattern", file=sys.stderr)
+                return 1
+            records = spans.grep(args.query, limit=args.limit)
+            for record in records:
+                print(
+                    f"{record['trace_id']}  {record['name']:<28} "
+                    f"{record['duration_seconds'] * 1e3:8.2f}ms  {record['status']}"
+                )
+            if not records:
+                print(f"no spans matching {args.query!r}")
+            return 0
+        # list
+        trace_ids = spans.trace_ids()[: args.limit]
+        for trace_id in trace_ids:
+            print(trace_id)
+        if not trace_ids:
+            print("(no traces recorded)")
+        return 0
+    finally:
+        bank.db.close()
 
 
 def cmd_metrics(args) -> int:
@@ -330,6 +422,16 @@ def cmd_metrics(args) -> int:
         data = json.loads(source.read_text())
     else:
         data = obs_metrics.snapshot()
+    if getattr(args, "action", None) == "export":
+        text = render_prometheus(data)
+        if args.out:
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text, encoding="utf-8")
+            print(f"wrote {out}")
+        else:
+            print(text, end="")
+        return 0
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
@@ -387,11 +489,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--duration", type=float, default=None, help="seconds to run (default: forever)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve Prometheus text on this localhost port (0 = ephemeral)")
+    p.add_argument("--metrics-textfile", default=None,
+                   help="rewrite a Prometheus textfile at this path every interval")
+    p.add_argument("--metrics-interval", type=float, default=5.0,
+                   help="textfile rewrite interval in seconds")
+    p.add_argument("--span-log", default=None,
+                   help="also append finished spans to this JSONL file")
 
-    p = add("metrics", cmd_metrics, help="dump recorded metrics (text or JSON)")
+    p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
+    p.add_argument("action", nargs="?", choices=["export"],
+                   help="'export' renders Prometheus text instead of the human dump")
     p.add_argument("--json", action="store_true", help="machine-readable JSON dump")
     p.add_argument("--live", action="store_true",
                    help="show this process's registry, ignoring metrics.json")
+    p.add_argument("--out", default=None, help="write Prometheus text here instead of stdout")
+
+    p = add("trace", cmd_trace, help="query the durable span store")
+    p.add_argument("verb", choices=["show", "grep", "slowest", "list"])
+    p.add_argument("query", nargs="?", default=None,
+                   help="trace id (show), pattern (grep), or name prefix (slowest)")
+    p.add_argument("-n", "--limit", type=int, default=10, help="result cap for grep/slowest/list")
 
     p = add("issue-identity", cmd_issue_identity, help="enroll a user credential")
     p.add_argument("--organization", required=True)

@@ -21,7 +21,14 @@ from typing import Any, Iterator, Optional, Sequence, Union
 from repro.db.query import Condition
 from repro.db.schema import TableSchema
 from repro.db.table import Table
-from repro.errors import DatabaseError, DuplicateError, NotFoundError, TransactionError, ValidationError
+from repro.errors import (
+    DatabaseError,
+    DuplicateError,
+    NotFoundError,
+    TransactionError,
+    TransactionRequiredError,
+    ValidationError,
+)
 from repro.util.serialize import canonical_dumps, canonical_loads
 
 __all__ = ["Database"]
@@ -79,6 +86,21 @@ class Database:
         """
         with self._lock:
             return bool(self._frames)
+
+    def require_transaction(self, what: str) -> None:
+        """Raise :class:`~repro.errors.TransactionRequiredError` unless a
+        :meth:`transaction` block is open.
+
+        *what* names the guarded effect for the error message. Typed (not
+        a bare ``RuntimeError``) so the failure survives the RPC boundary
+        as itself — the class is in :data:`repro.errors.__all__`, which is
+        exactly the set the client-side envelope decoder re-raises by
+        class.
+        """
+        if not self.in_transaction:
+            raise TransactionRequiredError(
+                f"{what} must run inside a database transaction"
+            )
 
     @contextmanager
     def transaction(self) -> Iterator[None]:

@@ -21,6 +21,7 @@ __all__ = [
     "DatabaseError",
     "SchemaError",
     "TransactionError",
+    "TransactionRequiredError",
     "IntegrityError",
     "NotFoundError",
     "DuplicateError",
@@ -102,6 +103,16 @@ class SchemaError(DatabaseError):
 
 class TransactionError(DatabaseError):
     """Transaction lifecycle misuse (commit without begin, nested, ...)."""
+
+
+class TransactionRequiredError(TransactionError):
+    """An operation that must commit atomically with other effects was
+    invoked outside a :meth:`~repro.db.database.Database.transaction`
+    block (the bank's reply cache is the canonical example: a reply row
+    autocommitted outside the operation's transaction could survive a
+    rollback of the operation itself). Listed in :data:`__all__` so the
+    RPC layer re-raises it by class on the client side like every other
+    library error."""
 
 
 class IntegrityError(DatabaseError):

@@ -39,6 +39,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger
 from repro.util.gbtime import Clock, SystemClock
 
@@ -166,7 +167,16 @@ class CircuitBreaker:
 
     def _transition(self, state: str) -> None:
         if state != self._state:
+            # a structured log line AND a span event: the transition shows
+            # up in log capture and, when it happens under a recorded call
+            # span, interleaved in the `gridbank trace show` waterfall
             _log.info("breaker.transition", name=self.name, from_state=self._state, to_state=state)
+            obs_trace.add_event(
+                "breaker.transition",
+                breaker=self.name,
+                from_state=self._state,
+                to_state=state,
+            )
         self._state = state
         self._gauge.set(_STATE_GAUGE[state])
 

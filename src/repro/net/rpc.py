@@ -206,20 +206,29 @@ class _ServerConnection:
         context = RequestContext(
             method=method, subject=subject, idempotency_key=idempotency_key, deadline=deadline
         )
-        with obs_trace.activate(span), request_scope(context):
+        # the dispatch runs inside a *recorded* span so the hop survives in
+        # the span store; dispatch errors become error responses, so the
+        # recorder is marked failed explicitly before they are swallowed
+        with obs_trace.span(
+            "rpc.server.dispatch", kind="server", context=span,
+            method=method, subject=subject,
+        ) as recorder, request_scope(context):
             if operation is None:
                 obs_metrics.counter("rpc.server.unknown_method").inc()
+                recorder.set_error("ProtocolError", f"no such operation: {method!r}")
                 response = make_error(request_id, "ProtocolError", f"no such operation: {method!r}")
             else:
                 try:
                     result = operation(subject, request.get("params", {}))
                     response = make_response(request_id, result)
                 except ReproError as exc:
+                    recorder.set_error(type(exc).__name__, str(exc))
                     response = make_error(request_id, type(exc).__name__, str(exc))
                 except Exception as exc:  # noqa: BLE001 - a bug in an operation
                     # must not kill the connection thread; the type name still
                     # crosses the wire so the client sees what happened
                     obs_metrics.counter("rpc.server.unexpected_errors").inc()
+                    recorder.set_error(type(exc).__name__, str(exc))
                     _log.error(
                         "rpc.dispatch.unexpected_error",
                         method=method,
@@ -396,30 +405,43 @@ class RPCClient:
             deadline = self._clock.epoch() + self._retry.call_deadline
         attempt = 0
         slept = 0.0
-        while True:
-            attempt += 1
-            try:
-                if not self._connection_usable():
-                    if self._reconnect is None:
-                        raise TransportError("connection is no longer usable and no reconnect factory was given")
-                    self._replace_connection()
-                    self._handshake()
-                return self._call_once(method, params, request_id, idempotency_key, deadline)
-            except ReproError as exc:
-                if not is_retryable(exc):
-                    raise
-                retry_after = self._plan_retry(attempt, slept, deadline, exc)
-                if retry_after is None:
-                    raise
-                slept += retry_after
-                obs_metrics.counter("rpc.client.retries", method=method).inc()
-                _log.info(
-                    "rpc.call.retry",
-                    method=method,
-                    attempt=attempt,
-                    error=type(exc).__name__,
-                    backoff=retry_after,
-                )
+        # ONE recorded span covers the whole logical call, however many
+        # re-sends it takes — its span ID is as stable as the idempotency
+        # key, so every server dispatch span shares this single parent and
+        # retry events land on the span that retried
+        with obs_trace.span(
+            "rpc.call", kind="client", rng=self._trace_rng, method=method
+        ) as recorder:
+            while True:
+                attempt += 1
+                try:
+                    if not self._connection_usable():
+                        if self._reconnect is None:
+                            raise TransportError("connection is no longer usable and no reconnect factory was given")
+                        self._replace_connection()
+                        self._handshake()
+                    return self._call_once(method, params, request_id, idempotency_key, deadline)
+                except ReproError as exc:
+                    if not is_retryable(exc):
+                        raise
+                    retry_after = self._plan_retry(attempt, slept, deadline, exc)
+                    if retry_after is None:
+                        raise
+                    slept += retry_after
+                    obs_metrics.counter("rpc.client.retries", method=method).inc()
+                    recorder.add_event(
+                        "rpc.retry",
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                        backoff=retry_after,
+                    )
+                    _log.info(
+                        "rpc.call.retry",
+                        method=method,
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                        backoff=retry_after,
+                    )
 
     def _plan_retry(
         self,
@@ -465,7 +487,11 @@ class RPCClient:
     ) -> Any:
         if deadline is not None and self._clock.epoch() > deadline:
             raise DeadlineExceeded(f"call deadline expired before sending {method!r}")
-        span = obs_trace.child_span(self._trace_rng)
+        # the recorded rpc.call span in call() is already active; every
+        # re-send travels under its (stable) span ID, like the idempotency key
+        span = obs_trace.current()
+        if span is None:
+            span = obs_trace.child_span(self._trace_rng)
         with obs_trace.activate(span), obs_metrics.timed("rpc.client.call_seconds", method=method):
             sealed = self._context.wrap(
                 make_request(

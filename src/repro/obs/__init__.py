@@ -1,19 +1,26 @@
-"""Observability substrate: structured logs, metrics, trace propagation.
+"""Observability substrate: logs, metrics, traces — now durable.
 
 GridBank's value is an auditable record of who used what and who paid
 whom (GASA sec 3.2, 5.1); this package gives the reproduction the same
-property for its own behaviour. Three pieces:
+property for its own behaviour. Five pieces:
 
 * :mod:`repro.obs.metrics` — thread-safe in-process counters, gauges and
-  fixed-bucket histograms, read out via ``snapshot()`` (the benchmark
-  sidecars and the ``gridbank metrics`` CLI).
+  fixed-bucket histograms (exponential bounds by default), read out via
+  ``snapshot()`` (the benchmark sidecars and the ``gridbank metrics``
+  CLI).
 * :mod:`repro.obs.logging` — structured key=value / JSON-line logging on
   stdlib :mod:`logging`, with a capturing handler for tests.
 * :mod:`repro.obs.trace` — trace/span IDs minted at the RPC client,
   carried in the envelope ``trace`` field, restored around server-side
-  dispatch, and stamped onto ledger TRANSACTION/TRANSFER rows.
+  dispatch, and stamped onto ledger TRANSACTION/TRANSFER rows; spans are
+  *recorded* (timing, events, status) and flushed to sinks on close.
+* :mod:`repro.obs.store` — the sinks that make spans durable: SPAN rows
+  through the WAL'd database (queryable by ``gridbank trace``) and a
+  JSONL file for out-of-process collection.
+* :mod:`repro.obs.export` — Prometheus-text rendering of the metrics
+  snapshot, with file/HTTP polling sidecars.
 """
 
-from repro.obs import logging, metrics, trace
+from repro.obs import export, logging, metrics, store, trace
 
-__all__ = ["logging", "metrics", "trace"]
+__all__ = ["export", "logging", "metrics", "store", "trace"]

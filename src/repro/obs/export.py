@@ -1,0 +1,240 @@
+"""Prometheus-text exporter over the metrics registry.
+
+:func:`render_prometheus` turns a :func:`repro.obs.metrics.snapshot` dict
+into the Prometheus text exposition format (version 0.0.4): counters and
+gauges as their own types, histograms as *summaries* — the registry's
+snapshot carries estimated p50/p95/p99 plus sum/count, which maps onto
+``{quantile="..."}`` series exactly, whereas cumulative ``_bucket``
+series would require re-deriving bounds the snapshot deliberately does
+not expose.
+
+Registry names like ``rpc.breaker.state{breaker=bank}`` are split back
+into a metric name and labels: dots become underscores (Prometheus names
+cannot contain ``.``), label values are quoted and escaped.
+
+Two sidecars poll the registry so external collectors need no hook into
+the serving loop:
+
+* :class:`FileExporter` — atomically rewrites a textfile every interval
+  (the node-exporter "textfile collector" pattern).
+* :class:`HTTPExporter` — a tiny stdlib HTTP server answering ``GET
+  /metrics``; scrape it like any Prometheus target.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "render_prometheus",
+    "FileExporter",
+    "HTTPExporter",
+    "CONTENT_TYPE",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``name{k=v,...}`` (the registry's instrument key) -> (name, labels)."""
+    if "{" not in key or not key.endswith("}"):
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in rest[:-1].split(","):
+        if "=" in pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+def _prom_name(name: str) -> str:
+    cleaned = _NAME_OK.sub("_", name.replace(".", "_"))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(k)}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(data: Optional[dict] = None) -> str:
+    """Render *data* (default: a fresh registry snapshot) as Prometheus
+    text. Series sharing a base name are grouped under one TYPE line."""
+    if data is None:
+        data = obs_metrics.snapshot()
+    lines: list[str] = []
+
+    def section(entries: dict, prom_type: str) -> None:
+        grouped: dict[str, list[tuple[dict, object]]] = {}
+        for key in sorted(entries):
+            name, labels = _split_key(key)
+            grouped.setdefault(_prom_name(name), []).append((labels, entries[key]))
+        for name in sorted(grouped):
+            lines.append(f"# TYPE {name} {prom_type}")
+            for labels, value in grouped[name]:
+                lines.append(f"{name}{_labels_text(labels)} {_format_value(value)}")
+
+    section(data.get("counters", {}), "counter")
+    section(data.get("gauges", {}), "gauge")
+
+    histograms = data.get("histograms", {})
+    grouped: dict[str, list[tuple[dict, dict]]] = {}
+    for key in sorted(histograms):
+        name, labels = _split_key(key)
+        grouped.setdefault(_prom_name(name), []).append((labels, histograms[key]))
+    for name in sorted(grouped):
+        lines.append(f"# TYPE {name} summary")
+        for labels, summary in grouped[name]:
+            for quantile, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                quantile_labels = dict(labels)
+                quantile_labels["quantile"] = quantile
+                lines.append(
+                    f"{name}{_labels_text(quantile_labels)} "
+                    f"{_format_value(summary.get(field, 0.0))}"
+                )
+            suffix = _labels_text(labels)
+            lines.append(f"{name}_sum{suffix} {_format_value(summary.get('sum', 0.0))}")
+            lines.append(f"{name}_count{suffix} {_format_value(summary.get('count', 0))}")
+
+    return "\n".join(lines) + "\n"
+
+
+class FileExporter:
+    """Polling sidecar rewriting a Prometheus textfile every interval.
+
+    The write is atomic (temp file + replace), so a collector reading the
+    path never sees a torn exposition. ``write_once()`` is exposed for
+    one-shot use (the CLI's ``metrics export --out``).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        interval: float = 5.0,
+        snapshot_fn: Callable[[], dict] = obs_metrics.snapshot,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.path = Path(path)
+        self.interval = interval
+        self._snapshot_fn = snapshot_fn
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def write_once(self) -> Path:
+        text = render_prometheus(self._snapshot_fn())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(self.path)
+        return self.path
+
+    def start(self) -> "FileExporter":
+        if self._thread is not None:
+            raise RuntimeError("exporter already started")
+        self.write_once()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval):
+                self.write_once()
+
+        self._thread = threading.Thread(target=loop, name="gridbank-metrics-file", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # final write so the file reflects the last state at shutdown
+        self.write_once()
+
+
+class HTTPExporter:
+    """Scrape endpoint: ``GET /metrics`` renders a fresh snapshot.
+
+    Binds ``127.0.0.1`` by default (operational telemetry is not part of
+    the authenticated GSI surface — do not expose it beyond the host).
+    Pass ``port=0`` to let the OS choose; the bound port is ``self.port``
+    after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        snapshot_fn: Callable[[], dict] = obs_metrics.snapshot,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._snapshot_fn = snapshot_fn
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "HTTPExporter":
+        if self._server is not None:
+            raise RuntimeError("exporter already started")
+        snapshot_fn = self._snapshot_fn
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+                if self.path.split("?", 1)[0].rstrip("/") not in ("", "/metrics"):
+                    self.send_response(404)
+                    self.end_headers()
+                    return
+                body = render_prometheus(snapshot_fn()).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes are not worth a log line each
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="gridbank-metrics-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

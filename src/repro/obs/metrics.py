@@ -35,6 +35,9 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_LATENCY_BUCKETS",
+    "exponential_buckets",
+    "set_default_latency_buckets",
+    "default_latency_buckets",
     "counter",
     "gauge",
     "histogram",
@@ -44,18 +47,49 @@ __all__ = [
     "render_snapshot",
 ]
 
-# Geometric 1-2-5 ladder from 1us to 100s — covers everything from a dict
-# lookup to an RSA keygen. The last bucket is +inf (implicit).
-DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
-    1e-6, 2e-6, 5e-6,
-    1e-5, 2e-5, 5e-5,
-    1e-4, 2e-4, 5e-4,
-    1e-3, 2e-3, 5e-3,
-    1e-2, 2e-2, 5e-2,
-    1e-1, 2e-1, 5e-1,
-    1.0, 2.0, 5.0,
-    10.0, 30.0, 100.0,
-)
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` bucket upper bounds growing geometrically from ``start``.
+
+    Exponential bounds keep *relative* quantile error constant across the
+    whole range — a sub-millisecond crypto op and a multi-second chaos
+    run are both resolved to within one ``factor`` of their true value,
+    where linear buckets would clamp one end's p99 to a bucket edge.
+    """
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+# Powers of two from 1us to ~134s — covers everything from a dict lookup
+# to an RSA keygen to a multi-second chaos run. The last bucket is +inf
+# (implicit), and percentile estimates are clamped to the observed
+# min/max, so the edges never fabricate values.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = exponential_buckets(1e-6, 2.0, 28)
+
+_default_buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+
+
+def default_latency_buckets() -> tuple[float, ...]:
+    """The bucket bounds new unconfigured histograms are created with."""
+    return _default_buckets
+
+
+def set_default_latency_buckets(buckets: Sequence[float]) -> None:
+    """Replace the process-wide default latency buckets.
+
+    Only affects histograms created afterwards; existing instruments keep
+    their bounds (bucket counts cannot be re-binned retroactively).
+    """
+    global _default_buckets
+    bounds = tuple(buckets)
+    if not bounds or list(bounds) != sorted(set(bounds)):
+        raise ValueError("histogram buckets must be sorted, unique and non-empty")
+    _default_buckets = bounds
 
 
 class Counter:
@@ -117,7 +151,7 @@ class Histogram:
     __slots__ = ("name", "buckets", "_lock", "_counts", "_count", "_sum", "_min", "_max")
 
     def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
-        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        bounds = tuple(buckets) if buckets is not None else _default_buckets
         if not bounds or list(bounds) != sorted(set(bounds)):
             raise ValueError("histogram buckets must be sorted, unique and non-empty")
         self.name = name

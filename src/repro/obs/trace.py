@@ -9,6 +9,17 @@ within a thread (each TCP connection is served by one thread) without any
 explicit plumbing; the obs logger and the bank's TRANSACTION/TRANSFER
 writers read it implicitly.
 
+On top of pure context propagation sits *span recording*: the
+:func:`span` context manager times a unit of work, collects point-in-time
+events (:func:`add_event` — retry attempts, breaker transitions), and on
+close flushes a plain-dict record to every registered sink
+(:func:`add_sink`). Sinks are how spans become durable — the bank's
+:class:`~repro.obs.store.SpanStore` persists them as SPAN rows in the
+WAL'd database, and :class:`~repro.obs.store.JsonlSpanSink` appends them
+to a JSON-lines file for out-of-process collection. A sink that raises
+never breaks the traced request: failures are swallowed into the
+``obs.span_sink_errors`` counter.
+
 IDs come from explicitly-seeded :class:`random.Random` generators (the
 library-wide determinism rule — see :mod:`repro.util.ids`); callers that
 do not care pass ``rng=None`` and get a process-local generator.
@@ -19,19 +30,28 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import random
+import threading
+import time
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.util.ids import random_token
 
 __all__ = [
     "SpanContext",
+    "SpanRecorder",
     "new_trace_id",
     "new_span_id",
     "current",
     "current_trace_id",
+    "current_recorder",
     "activate",
     "child_span",
+    "span",
+    "add_event",
+    "add_sink",
+    "remove_sink",
+    "sink_installed",
     "to_wire",
     "from_wire",
 ]
@@ -95,6 +115,172 @@ def child_span(rng: Optional[random.Random] = None) -> SpanContext:
     if parent is not None:
         return parent.child(rng)
     return SpanContext(trace_id=new_trace_id(rng), span_id=new_span_id(rng))
+
+
+# -- span recording ----------------------------------------------------------
+
+_sinks: list[Callable[[dict], None]] = []
+_sinks_lock = threading.Lock()
+
+
+def add_sink(sink: Callable[[dict], None]) -> Callable[[dict], None]:
+    """Register *sink* to receive every finished span record.
+
+    A record is a JSON-serializable dict (see :meth:`SpanRecorder.finish`
+    for the shape). Returns *sink* so callers can keep the handle for
+    :func:`remove_sink`.
+    """
+    with _sinks_lock:
+        if sink not in _sinks:
+            _sinks.append(sink)
+    return sink
+
+
+def remove_sink(sink: Callable[[dict], None]) -> None:
+    with _sinks_lock:
+        if sink in _sinks:
+            _sinks.remove(sink)
+
+
+@contextlib.contextmanager
+def sink_installed(sink: Callable[[dict], None]) -> Iterator[Callable[[dict], None]]:
+    """Register *sink* for the duration of the block (tests, CLI serve)."""
+    add_sink(sink)
+    try:
+        yield sink
+    finally:
+        remove_sink(sink)
+
+
+def _emit(record: dict) -> None:
+    with _sinks_lock:
+        sinks = list(_sinks)
+    for sink in sinks:
+        try:
+            sink(record)
+        except Exception:  # noqa: BLE001 - a broken sink must never break
+            # the traced request; the failure is still visible as a counter
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.counter("obs.span_sink_errors").inc()
+
+
+class SpanRecorder:
+    """One in-flight recorded span: timing, attributes, events, status.
+
+    Created by :func:`span`; user code usually only touches it through
+    :func:`add_event` / :meth:`set_attr` / :meth:`set_error`. On close the
+    recorder flushes a plain-dict record to every registered sink.
+    """
+
+    __slots__ = (
+        "context", "name", "kind", "attrs", "events",
+        "status", "error_type", "_start_epoch", "_start_perf", "duration",
+    )
+
+    def __init__(self, context: SpanContext, name: str, kind: str, attrs: dict) -> None:
+        self.context = context
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs
+        self.events: list[dict] = []
+        self.status = "ok"
+        self.error_type = ""
+        self._start_epoch = time.time()
+        self._start_perf = time.perf_counter()
+        self.duration = 0.0
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def set_error(self, error_type: str, reason: str = "") -> None:
+        """Mark the span failed (server dispatch converts exceptions to
+        error *responses*, so the ``with`` block never sees them raise)."""
+        self.status = "error"
+        self.error_type = error_type
+        if reason:
+            self.attrs.setdefault("error_reason", reason)
+
+    def add_event(self, name: str, **fields: object) -> None:
+        """Attach a timestamped point event (retry, breaker transition)."""
+        self.events.append(
+            {
+                "offset_seconds": time.perf_counter() - self._start_perf,
+                "name": name,
+                "fields": fields,
+            }
+        )
+
+    def finish(self) -> dict:
+        self.duration = time.perf_counter() - self._start_perf
+        return {
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.context.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_epoch": self._start_epoch,
+            "duration_seconds": self.duration,
+            "status": self.status,
+            "error_type": self.error_type,
+            "attrs": dict(self.attrs),
+            "events": list(self.events),
+        }
+
+
+_recorder: contextvars.ContextVar[Optional[SpanRecorder]] = contextvars.ContextVar(
+    "gridbank_active_recorder", default=None
+)
+
+
+def current_recorder() -> Optional[SpanRecorder]:
+    """The recorded span active in this execution context, if any."""
+    return _recorder.get()
+
+
+def add_event(name: str, **fields: object) -> bool:
+    """Attach an event to the active recorded span, if there is one.
+
+    Returns whether an event was recorded — callers outside any recorded
+    span lose nothing but the event (they usually also emit a structured
+    log line, which stands on its own).
+    """
+    recorder = _recorder.get()
+    if recorder is None:
+        return False
+    recorder.add_event(name, **fields)
+    return True
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    kind: str = "internal",
+    rng: Optional[random.Random] = None,
+    context: Optional[SpanContext] = None,
+    **attrs: object,
+) -> Iterator[SpanRecorder]:
+    """Record one unit of work as a span and flush it to the sinks.
+
+    Without *context* a child of the active span is minted (or a fresh
+    trace rooted); servers pass the context they reconstructed from the
+    wire so the recorded span carries the caller's trace/parent IDs. An
+    exception escaping the block marks the span ``status=error`` with the
+    exception's type name and re-raises; flushing happens either way.
+    """
+    ctx = context if context is not None else child_span(rng)
+    recorder = SpanRecorder(ctx, name, kind, dict(attrs))
+    span_token = _current.set(ctx)
+    recorder_token = _recorder.set(recorder)
+    try:
+        yield recorder
+    except BaseException as exc:
+        recorder.set_error(type(exc).__name__, str(exc))
+        raise
+    finally:
+        _recorder.reset(recorder_token)
+        _current.reset(span_token)
+        _emit(recorder.finish())
 
 
 # -- wire form (the RPC envelope's ``trace`` field) --------------------------

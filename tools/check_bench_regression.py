@@ -1,0 +1,104 @@
+"""Benchmark-trajectory regression gate.
+
+Compares the newest ``BENCH_TRAJECTORY.json`` entry against the most
+recent *prior* entry of the same mode (quick entries only against quick,
+full against full — their statistics are not comparable) and fails when
+any scenario's ops/s dropped more than the threshold (default 20%).
+
+Trivially passes when there are fewer than two comparable entries — the
+first recording IS the baseline — and for scenarios that only exist in
+one of the two entries (new or retired benchmarks are not regressions).
+
+Usage::
+
+    python tools/check_bench_regression.py [--threshold 0.20] [--file PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_TRAJECTORY.json"
+
+
+def load_history(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if not isinstance(data, list):
+        raise SystemExit(f"{path} is not a JSON list")
+    return [entry for entry in data if isinstance(entry, dict) and entry.get("scenarios")]
+
+
+def pick_pair(history: list[dict]) -> tuple[dict, dict] | None:
+    """(baseline, latest): latest entry + newest prior entry of same mode."""
+    if len(history) < 2:
+        return None
+    latest = history[-1]
+    for candidate in reversed(history[:-1]):
+        if bool(candidate.get("quick")) == bool(latest.get("quick")):
+            return candidate, latest
+    return None
+
+
+def compare(baseline: dict, latest: dict, threshold: float) -> list[str]:
+    failures = []
+    base_scenarios = baseline["scenarios"]
+    for name, current in sorted(latest["scenarios"].items()):
+        reference = base_scenarios.get(name)
+        if reference is None:
+            continue
+        base_ops = reference.get("ops_per_second", 0.0)
+        now_ops = current.get("ops_per_second", 0.0)
+        if base_ops <= 0.0:
+            continue
+        drop = (base_ops - now_ops) / base_ops
+        if drop > threshold:
+            failures.append(
+                f"{name}: {base_ops:.1f} -> {now_ops:.1f} ops/s "
+                f"({drop * 100.0:.1f}% regression, limit {threshold * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated fractional ops/s drop (default 0.20)")
+    parser.add_argument("--file", default=str(TRAJECTORY_FILE),
+                        help="trajectory file to check")
+    args = parser.parse_args(argv)
+
+    history = load_history(Path(args.file))
+    pair = pick_pair(history)
+    if pair is None:
+        print(
+            f"bench regression gate: nothing to compare "
+            f"({len(history)} comparable entr{'y' if len(history) == 1 else 'ies'}) — pass"
+        )
+        return 0
+    baseline, latest = pair
+    failures = compare(baseline, latest, args.threshold)
+    compared = sum(1 for name in latest["scenarios"] if name in baseline["scenarios"])
+    if failures:
+        print(
+            f"bench regression gate: {len(failures)} of {compared} scenario(s) "
+            f"regressed vs commit {baseline.get('commit', '?')[:12]}:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"bench regression gate: {compared} scenario(s) within "
+        f"{args.threshold * 100.0:.0f}% of commit {baseline.get('commit', '?')[:12]} — pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

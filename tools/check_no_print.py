@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Lint: library modules must use the obs logger, not bare ``print()``.
 
-Walks every module under ``src/`` and fails (exit 1) if any calls the
-builtin ``print``. Debug output through ``print`` is invisible to the
-structured logging/metrics pipeline (no level, no trace ID, no capture in
-tests), so the observability layer would silently lose it.
+Walks every module under ``src/``, ``benchmarks/`` and ``tools/`` and
+fails (exit 1) if any calls the builtin ``print``. Debug output through
+``print`` is invisible to the structured logging/metrics pipeline (no
+level, no trace ID, no capture in tests), so the observability layer
+would silently lose it.
 
-Allowlisted: ``repro/cli.py`` — its stdout *is* the user interface of the
-``gridbank`` command, not diagnostics.
+Allowlisted (their stdout IS their contract, not diagnostics):
+``repro/cli.py`` (the ``gridbank`` command), the trajectory recorder,
+the regression gate, and this checker itself.
 
 Run via ``make lint`` (also: ``python tools/check_no_print.py``).
 """
@@ -19,12 +21,13 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC_ROOT = REPO_ROOT / "src"
 
-# paths (relative to src/) whose stdout is their contract
-ALLOWLIST = {
-    Path("repro/cli.py"),
-}
+# (root directory, allowlisted paths relative to it)
+SCAN_ROOTS = [
+    (REPO_ROOT / "src", {Path("repro/cli.py")}),
+    (REPO_ROOT / "benchmarks", {Path("trajectory.py")}),
+    (REPO_ROOT / "tools", {Path("check_no_print.py"), Path("check_bench_regression.py")}),
+]
 
 
 def find_print_calls(path: Path) -> list[int]:
@@ -43,22 +46,27 @@ def find_print_calls(path: Path) -> list[int]:
 
 def main() -> int:
     offenders: list[tuple[Path, int]] = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        relative = path.relative_to(SRC_ROOT)
-        if relative in ALLOWLIST:
+    scanned = 0
+    for root, allowlist in SCAN_ROOTS:
+        if not root.is_dir():
             continue
-        try:
-            for line in find_print_calls(path):
-                offenders.append((relative, line))
-        except SyntaxError as exc:
-            print(f"check_no_print: cannot parse {relative}: {exc}", file=sys.stderr)
-            return 1
+        for path in sorted(root.rglob("*.py")):
+            relative = path.relative_to(root)
+            if relative in allowlist:
+                continue
+            scanned += 1
+            try:
+                for line in find_print_calls(path):
+                    offenders.append((path.relative_to(REPO_ROOT), line))
+            except SyntaxError as exc:
+                print(f"check_no_print: cannot parse {path}: {exc}", file=sys.stderr)
+                return 1
     if offenders:
         print("bare print() in library code — use repro.obs.logging instead:", file=sys.stderr)
         for relative, line in offenders:
-            print(f"  src/{relative}:{line}", file=sys.stderr)
+            print(f"  {relative}:{line}", file=sys.stderr)
         return 1
-    print(f"check_no_print: OK ({len(list(SRC_ROOT.rglob('*.py')))} modules clean)")
+    print(f"check_no_print: OK ({scanned} modules clean)")
     return 0
 
 
