@@ -5,7 +5,7 @@ PYTHON ?= python
 # targets work from a fresh checkout without `make install`
 export PYTHONPATH := src
 
-.PHONY: install lint test bench bench-smoke bench-record bench-gate chaos examples all clean
+.PHONY: install lint test bench bench-smoke bench-record bench-gate profile chaos examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,9 +28,19 @@ bench-smoke:
 bench-record:
 	$(PYTHON) benchmarks/trajectory.py
 
-# fail on >20% ops/s regression vs the previous comparable entry
+# fail on >20% ops/s regression or >25% p95 growth vs the previous comparable entry
 bench-gate:
 	$(PYTHON) tools/check_bench_regression.py
+
+# cProfile the single-threaded hot path (Fig.1 use case); top of the
+# cumulative-time table lands in BENCH_PROFILE.txt for before/after diffing.
+# --benchmark-disable: one untimed pass per scenario — pytest-benchmark's
+# timing instrumentation cannot run under an active profiler
+profile:
+	$(PYTHON) -m cProfile -o .bench_profile.pstats -m pytest benchmarks/bench_fig1_use_case.py --benchmark-disable -q
+	$(PYTHON) -c "import pstats; pstats.Stats('.bench_profile.pstats', stream=open('BENCH_PROFILE.txt', 'w')).sort_stats('cumtime').print_stats(80)"
+	rm -f .bench_profile.pstats
+	@echo "wrote BENCH_PROFILE.txt"
 
 # seeded fault-injection and exactly-once chaos suites, plus the chaos bench
 chaos:

@@ -1,0 +1,187 @@
+"""CONC — aggregate throughput of the concurrent bank core.
+
+Eight GSP/GSC clients hammer the sec 2 use-case hot path (connect,
+settle a pay-before-use transfer) against one bank over real TCP, with
+every concurrency feature of the bank enabled: group-commit WAL,
+striped account locks, session resumption on reconnect, the
+verified-signature cache, and worker-pool request dispatch. The
+yardstick is the *serialized* configuration — one client, one
+connection per job with a full GSI handshake each time, per-commit
+``fsync`` with no group commit, verify cache off — i.e. the seed's
+behavior before the concurrency work.
+
+Each "job" mirrors a grid engagement's bank interaction: a (re)connect
+(jobs arrive on fresh connections; the concurrent bank turns these into
+ticket resumptions) followed by a settlement transfer. Reported:
+aggregate jobs/s at 8 clients, asserted to be at least 2x the
+serialized baseline measured in the same process right before it.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.bank.server import GridBankServer
+from repro.crypto.signature import configure_verify_cache
+from repro.db.database import Database
+from repro.net.rpc import RPCClient
+from repro.net.tcp import TCPClientConnection, TCPServer
+from repro.obs import metrics as obs_metrics
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+CLIENTS = 8
+JOBS_PER_CLIENT = 40
+BASELINE_JOBS = 40
+REQUIRED_SPEEDUP = 2.0
+# grid user credentials are 1024-bit in deployment; the bank/CA keys stay at
+# the suite-wide 512 so per-op signing cost matches the rest of the harness
+USER_KEY_BITS = 1024
+
+
+def build_bank(tmp_path, name, group_commit, workers, linger=0.0):
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock,
+        rng=random.Random(1), key_bits=512,
+    )
+    store = CertificateStore([ca.root_certificate])
+    ident = ca.issue_identity(DistinguishedName("GridBank", "server"), key_bits=512)
+    db = Database(
+        path=tmp_path / name, durability="fsync",
+        group_commit=group_commit, commit_linger=linger,
+    )
+    bank = GridBankServer(
+        ident, store, db=db, clock=clock, rng=random.Random(5), open_enrollment=True
+    )
+    bank.recover()
+    server = TCPServer(bank.connection_handler, workers=workers)
+    return clock, ca, store, bank, server
+
+
+def settle_job(client, src, dst):
+    client.call(
+        "RequestDirectTransfer",
+        from_account=src, to_account=dst,
+        amount=Credits(1), recipient_address="", rur_blob=b"",
+    )
+
+
+def measure_serialized_baseline(tmp_path) -> float:
+    """Jobs/s of the seed configuration: one client, full handshake per
+    job, per-commit fsync, no group commit, no verify cache, no workers."""
+    configure_verify_cache(enabled=False)
+    clock, ca, store, bank, server = build_bank(
+        tmp_path, "baseline", group_commit=False, workers=0
+    )
+    try:
+        ident = ca.issue_identity(DistinguishedName("VO-A", "solo"), key_bits=USER_KEY_BITS)
+        boot = RPCClient(
+            TCPClientConnection(server.address), ident, store,
+            clock=clock, rng=random.Random(7),
+        )
+        boot.connect()
+        src = boot.call("CreateAccount", organization_name="VO-A")["account_id"]
+        dst = boot.call("CreateAccount", organization_name="VO-A")["account_id"]
+        boot.close()
+        bank.accounts.deposit(src, Credits(1_000_000))
+        best = 0.0
+        for attempt in range(2):  # best-of-2 smooths scheduler noise
+            start = time.perf_counter()
+            for i in range(BASELINE_JOBS):
+                client = RPCClient(
+                    TCPClientConnection(server.address), ident, store,
+                    clock=clock, rng=random.Random(1000 + attempt * 1000 + i),
+                )
+                client.connect()
+                settle_job(client, src, dst)
+                client.close()
+            best = max(best, BASELINE_JOBS / (time.perf_counter() - start))
+        return best
+    finally:
+        server.close()
+        bank.db.close()
+        configure_verify_cache(enabled=True)
+
+
+@pytest.fixture(scope="module")
+def concurrent_world(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("conc")
+    configure_verify_cache(enabled=True)
+    clock, ca, store, bank, server = build_bank(
+        tmp, "concurrent", group_commit=True, workers=4, linger=0.001
+    )
+    clients = []
+    for i in range(CLIENTS):
+        ident = ca.issue_identity(DistinguishedName("VO-A", f"gsp{i}"), key_bits=USER_KEY_BITS)
+        client = RPCClient(
+            TCPClientConnection(server.address), ident, store,
+            clock=clock, rng=random.Random(100 + i),
+            reconnect=lambda: TCPClientConnection(server.address),
+        )
+        client.connect()
+        src = client.call("CreateAccount", organization_name="VO-A")["account_id"]
+        dst = client.call("CreateAccount", organization_name="VO-A")["account_id"]
+        bank.accounts.deposit(src, Credits(1_000_000))
+        clients.append((client, src, dst))
+    yield {"bank": bank, "server": server, "clients": clients, "tmp": tmp}
+    for client, _src, _dst in clients:
+        client.close()
+    server.close()
+    bank.db.close()
+
+
+def run_concurrent_storm(world, durations):
+    """8 threads, each: drop the connection (job boundary), resume the
+    session on the next call, settle. Appends the wall time to *durations*
+    so the speedup assertion works even under --benchmark-disable."""
+
+    def work(client, src, dst):
+        for _ in range(JOBS_PER_CLIENT):
+            client._connection.close()
+            settle_job(client, src, dst)
+
+    threads = [
+        threading.Thread(target=work, args=entry) for entry in world["clients"]
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    durations.append(time.perf_counter() - start)
+
+
+def test_conc_8_clients_vs_serialized(benchmark, concurrent_world, tmp_path):
+    baseline_ops = measure_serialized_baseline(tmp_path)
+    durations: list[float] = []
+    benchmark.pedantic(
+        run_concurrent_storm, args=(concurrent_world, durations),
+        rounds=2, iterations=1,
+    )
+    total_jobs = CLIENTS * JOBS_PER_CLIENT
+    concurrent_ops = total_jobs / min(durations)
+    # the headline claim: >= 2x aggregate ops/s over the serialized seed
+    assert concurrent_ops >= REQUIRED_SPEEDUP * baseline_ops, (
+        f"concurrent {concurrent_ops:.1f} jobs/s < "
+        f"{REQUIRED_SPEEDUP}x baseline {baseline_ops:.1f} jobs/s"
+    )
+    # every reconnect resumed instead of re-handshaking
+    assert obs_metrics.counter("rpc.client.resumes").value >= total_jobs
+    # the crypto fast path is observable: a full handshake with the warm
+    # cache re-verifies the same certificates and hits instead of paying RSA
+    client0 = concurrent_world["clients"][0][0]
+    for _ in range(2):  # first handshake refills the cleared cache, second hits
+        client0._session = None
+        client0._connection.close()
+        client0.call("BankInfo")
+    assert obs_metrics.counter("crypto.verify_cache.hits").value > 0
+    # and the storm conserved funds exactly
+    bank = concurrent_world["bank"]
+    expected = Credits(1_000_000) * CLIENTS
+    assert bank.accounts.total_bank_funds() == expected

@@ -11,6 +11,7 @@ with the per-scenario metric sidecar (``BENCH_METRICS.json``, written by
       "commit": "<git HEAD, or 'unknown'>",
       "recorded_at": "<UTC ISO-8601>",
       "quick": false,
+      "calibration_ops_per_second": 1234567.8,
       "scenarios": {
         "benchmarks/bench_x.py::test_y": {
           "ops_per_second": 123.4,
@@ -28,6 +29,14 @@ the previous one of the same mode and fail the build on a >20% ops/s
 regression. ``--quick`` trades statistical quality for wall time
 (min-rounds=1) and is marked in the entry so quick and full runs are
 never compared against each other.
+
+Every entry also records a **machine calibration**: the ops/s of a
+fixed pure-Python workload measured immediately before the suite runs.
+Two recordings of the *same commit* days apart can differ by 40% on a
+shared box (scheduler pressure, frequency scaling, noisy neighbours);
+the calibration number moves with the machine, not the code, so the
+regression gate can normalise by the ratio and compare code against
+code instead of machine against machine.
 """
 
 from __future__ import annotations
@@ -57,6 +66,35 @@ def git_commit() -> str:
     except OSError:
         return "unknown"
     return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def measure_calibration(repeats: int = 5, inner: int = 20000) -> float:
+    """Machine-speed probe: ops/s of a fixed pure-Python workload.
+
+    The workload mixes the things the benchmark suite is actually made
+    of — dict allocation, string formatting, attribute-free function
+    calls, float arithmetic — because machine drift is not uniform:
+    allocation-heavy scenarios degrade far more under memory pressure
+    than CPU-bound ones (RSA keygen barely moves while record-building
+    benches lose 40%). Best-of-N so a single scheduler hiccup does not
+    poison the number.
+    """
+
+    def workload() -> int:
+        acc = 0
+        store: dict = {}
+        for i in range(inner):
+            row = {"id": i, "value": float(i), "tag": "x%d" % (i % 17)}
+            store[row["id"] % 512] = row
+            acc += len(row["tag"])
+        return acc
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return inner / best
 
 
 def run_benchmarks(quick: bool, keyword: str = "") -> dict:
@@ -92,7 +130,7 @@ def dominant_latency(snapshot: dict) -> tuple[str, dict]:
     return best_name, best
 
 
-def build_entry(report: dict, sidecar: dict, quick: bool) -> dict:
+def build_entry(report: dict, sidecar: dict, quick: bool, calibration: float = 0.0) -> dict:
     scenarios: dict[str, dict] = {}
     for bench in report.get("benchmarks", []):
         fullname = bench.get("fullname", bench.get("name", "?"))
@@ -111,13 +149,16 @@ def build_entry(report: dict, sidecar: dict, quick: bool) -> dict:
             scenario["p95"] = summary.get("p95", 0.0)
             scenario["p99"] = summary.get("p99", 0.0)
         scenarios[fullname] = scenario
-    return {
+    entry = {
         "schema": SCHEMA_VERSION,
         "commit": git_commit(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": quick,
         "scenarios": scenarios,
     }
+    if calibration > 0.0:
+        entry["calibration_ops_per_second"] = round(calibration, 1)
+    return entry
 
 
 def append_entry(entry: dict, path: Path = TRAJECTORY_FILE) -> int:
@@ -141,15 +182,17 @@ def main(argv=None) -> int:
                         help="trajectory file to append to")
     args = parser.parse_args(argv)
 
+    calibration = measure_calibration()
     report = run_benchmarks(quick=args.quick, keyword=args.keyword)
     sidecar = json.loads(METRICS_SIDECAR.read_text()) if METRICS_SIDECAR.exists() else {}
-    entry = build_entry(report, sidecar, quick=args.quick)
+    entry = build_entry(report, sidecar, quick=args.quick, calibration=calibration)
     if not entry["scenarios"]:
         raise SystemExit("no benchmark scenarios produced results")
     total = append_entry(entry, Path(args.output))
     print(
         f"recorded {len(entry['scenarios'])} scenario(s) at commit "
-        f"{entry['commit'][:12]} ({'quick' if args.quick else 'full'}); "
+        f"{entry['commit'][:12]} ({'quick' if args.quick else 'full'}, "
+        f"calibration {calibration:,.0f} ops/s); "
         f"{total} entr{'y' if total == 1 else 'ies'} in {args.output}"
     )
     return 0

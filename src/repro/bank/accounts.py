@@ -9,10 +9,17 @@ underlying security model." (paper sec 3.2)
 Every mutating operation runs inside a database transaction, keeping the
 conservation-of-funds invariant exact: transfers never create or destroy
 credits; only Deposit/Withdrawal (admin operations) change the bank total.
+
+Concurrency: each mutator holds its accounts' striped locks (exclusive,
+canonical order — see :mod:`repro.bank.locks`) across the transaction
+*and its commit*, so conflicting writers serialize and the WAL records
+them in execution order. The locks are re-entrant, so the server layer
+may pre-acquire an operation's full lock set around a wider transaction.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.bank.records import (
@@ -29,6 +36,7 @@ from repro.bank.records import (
     transaction_schema,
     transfer_schema,
 )
+from repro.bank.locks import AccountLocks
 from repro.db.database import Database
 from repro.db.query import between, eq
 from repro.errors import (
@@ -60,6 +68,8 @@ class GBAccounts:
         self.clock = clock if clock is not None else SystemClock()
         self.bank_number = bank_number
         self.branch_number = branch_number
+        self.locks = AccountLocks()
+        self._counter_lock = threading.Lock()
         for schema_fn in (account_schema, transaction_schema, transfer_schema, admin_schema, instrument_schema):
             schema = schema_fn()
             if schema.name not in db.table_names():
@@ -108,8 +118,9 @@ class GBAccounts:
             raise ValidationError("certificate name must be non-empty")
         if credit_limit < ZERO:
             raise ValidationError("credit limit must be >= 0")
-        account_id = str(AccountID(self.bank_number, self.branch_number, self._next_account))
-        self._next_account += 1
+        with self._counter_lock:
+            account_id = str(AccountID(self.bank_number, self.branch_number, self._next_account))
+            self._next_account += 1
         self.db.insert(
             "accounts",
             {
@@ -225,7 +236,7 @@ class GBAccounts:
     def deposit(self, account_id: str, amount: Credits) -> int:
         """Credit external funds (admin path); returns the TransactionID."""
         amount = Credits(amount).require_positive("deposit amount")
-        with self.db.transaction():
+        with self.locks.exclusive(account_id), self.db.transaction():
             row = self.require_open(account_id)
             txn_id = self._txn_ids.next_int()
             when = self.clock.now()
@@ -236,7 +247,7 @@ class GBAccounts:
     def withdraw(self, account_id: str, amount: Credits) -> int:
         """Debit funds out of the bank (admin path); no credit-limit use."""
         amount = Credits(amount).require_positive("withdrawal amount")
-        with self.db.transaction():
+        with self.locks.exclusive(account_id), self.db.transaction():
             row = self.require_open(account_id)
             available = db_to_credits(row["AvailableBalance"])
             if available < amount:
@@ -263,7 +274,7 @@ class GBAccounts:
         amount = Credits(amount).require_positive("transfer amount")
         if from_account == to_account:
             raise AccountError("cannot transfer to the same account")
-        with self.db.transaction():
+        with self.locks.exclusive(from_account, to_account), self.db.transaction():
             drawer = self.require_open(from_account)
             recipient = self.require_open(to_account)
             self._require_same_currency(drawer, recipient)
@@ -298,7 +309,7 @@ class GBAccounts:
         the available balance may go negative only down to -CreditLimit.
         """
         amount = Credits(amount).require_positive("lock amount")
-        with self.db.transaction():
+        with self.locks.exclusive(account_id), self.db.transaction():
             row = self.require_open(account_id)
             self._require_covered(row, amount)
             self._set_balances(
@@ -310,7 +321,7 @@ class GBAccounts:
     def unlock_funds(self, account_id: str, amount: Credits) -> None:
         """Return *amount* from locked to available."""
         amount = Credits(amount).require_positive("unlock amount")
-        with self.db.transaction():
+        with self.locks.exclusive(account_id), self.db.transaction():
             row = self.get_account(account_id)
             locked = db_to_credits(row["LockedBalance"])
             if locked < amount:
@@ -332,7 +343,7 @@ class GBAccounts:
         amount = Credits(amount).require_positive("transfer amount")
         if from_account == to_account:
             raise AccountError("cannot transfer to the same account")
-        with self.db.transaction():
+        with self.locks.exclusive(from_account, to_account), self.db.transaction():
             drawer = self.get_account(from_account)
             recipient = self.require_open(to_account)
             self._require_same_currency(drawer, recipient)

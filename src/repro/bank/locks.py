@@ -1,0 +1,145 @@
+"""Striped account locks — the bank's row-level concurrency control.
+
+The database serializes individual table operations but deliberately has
+no row locks (see :mod:`repro.db.database`); transactions touching the
+same rows must be serialized by the caller. For the bank that caller is
+this module: every account maps onto one of N lock stripes, mutating
+operations hold their accounts' stripes in **exclusive** mode for the
+whole operation *through commit acknowledgement* (so the WAL line order
+matches the in-memory mutation order for any two conflicting writers),
+and read-only operations take the stripe in **shared** mode so they
+never observe a transfer half-applied while still running in parallel
+with each other.
+
+Deadlock freedom is by canonical ordering: a multi-account operation
+sorts its stripe indexes and acquires ascending, releases descending —
+two transfers A→B and B→A therefore contend on the first stripe instead
+of deadlocking. Exclusive holds are re-entrant per thread, which lets
+the server layer take the operation's full lock set up front while the
+accounts layer independently locks each primitive it executes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AccountLocks"]
+
+
+class _StripeLock:
+    """Shared/exclusive lock, re-entrant for the thread holding exclusive.
+
+    No upgrade path: a thread holding only shared mode must not request
+    exclusive (the bank's read-only operations never call mutators).
+    A thread holding exclusive may take either mode again (counted as
+    nested exclusive depth).
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_depth")
+
+    def __init__(self) -> None:
+        # a plain Lock under the Condition: the mutex is never re-entered
+        # (re-entrancy is tracked by _writer/_depth), and Lock is cheaper
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer: int | None = None
+        self._depth = 0
+
+    def acquire_shared(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._depth += 1
+                return
+            while self._writer is not None:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._depth -= 1
+                if self._depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._depth += 1
+                return
+            while self._writer is not None or self._readers:
+                self._cond.wait()
+            self._writer = me
+            self._depth = 1
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._depth -= 1
+            if self._depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+
+class _HeldStripes:
+    """Plain (non-generator) context manager for a canonical lock set.
+
+    This sits on every bank operation, so it avoids the ``@contextmanager``
+    generator machinery — measurably cheaper on hot single-account ops.
+    """
+
+    __slots__ = ("_locks", "_shared")
+
+    def __init__(self, locks: list, shared: bool) -> None:
+        self._locks = locks
+        self._shared = shared
+
+    def __enter__(self) -> None:
+        if self._shared:
+            for lock in self._locks:
+                lock.acquire_shared()
+        else:
+            for lock in self._locks:
+                lock.acquire_exclusive()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._shared:
+            for lock in reversed(self._locks):
+                lock.release_shared()
+        else:
+            for lock in reversed(self._locks):
+                lock.release_exclusive()
+
+
+class AccountLocks:
+    """Fixed pool of stripe locks keyed by account id hash."""
+
+    def __init__(self, stripes: int = 64) -> None:
+        if stripes < 1:
+            raise ValueError("need at least one stripe")
+        self._stripes = tuple(_StripeLock() for _ in range(stripes))
+
+    def stripe_of(self, account_id: str) -> int:
+        return hash(account_id) % len(self._stripes)
+
+    def _ordered(self, account_ids: tuple) -> list[_StripeLock]:
+        if len(account_ids) == 1:  # the common case: one account, one stripe
+            if account_ids[0]:
+                return [self._stripes[self.stripe_of(account_ids[0])]]
+            return []
+        indexes = sorted({self.stripe_of(a) for a in account_ids if a})
+        return [self._stripes[i] for i in indexes]
+
+    def exclusive(self, *account_ids: str) -> _HeldStripes:
+        """Hold every named account's stripe exclusively (canonical order)."""
+        return _HeldStripes(self._ordered(account_ids), shared=False)
+
+    def shared(self, *account_ids: str) -> _HeldStripes:
+        """Hold every named account's stripe in shared (read) mode."""
+        return _HeldStripes(self._ordered(account_ids), shared=True)

@@ -96,7 +96,7 @@ class ReplyCache:
         describes; calling it outside a transaction raises.
         """
         self.db.require_transaction("reply cache writes")
-        count = self.db.count("replies")
+        count = len(self.db.table("replies"))  # O(1), vs count()'s full scan
         if count >= self.max_entries:
             self._evict(count - self.max_entries + 1)
         self.db.insert(
@@ -120,4 +120,4 @@ class ReplyCache:
         _log.debug("replies.evicted", count=len(victims))
 
     def __len__(self) -> int:
-        return self.db.count("replies")
+        return len(self.db.table("replies"))

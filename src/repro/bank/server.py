@@ -20,8 +20,9 @@ subjects may connect and call ``CreateAccount`` only.
 from __future__ import annotations
 
 import random
+import threading
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.bank.accounts import GBAccounts
 from repro.bank.admin import GBAdmin
@@ -88,6 +89,15 @@ class GridBankServer:
         self.pricing = PriceEstimator()
         # pay-before-use confirmations awaiting pickup, keyed by GSP URL
         self._confirmation_inboxes: dict[str, list[dict]] = {}
+        self._inbox_lock = threading.Lock()
+        # the bank shares the accounts layer's striped locks so both
+        # layers' holds are re-entrant within one operation
+        self.locks = self.accounts.locks
+        # per-idempotency-key in-flight locks: two concurrent requests
+        # carrying the SAME key (a client retry racing its original over
+        # another connection, or two pipelined duplicates) must not both
+        # miss the reply cache and double-execute
+        self._key_locks = tuple(threading.Lock() for _ in range(64))
 
         base_policy = bank_authorization_policy(self.accounts, self.admin)
         if open_enrollment:
@@ -159,7 +169,12 @@ class GridBankServer:
         dispatch.__name__ = operation.__name__
         return dispatch
 
-    def _exactly_once(self, method: str, operation: Operation) -> Operation:
+    def _exactly_once(
+        self,
+        method: str,
+        operation: Operation,
+        accounts_of: Optional[Callable[[dict], tuple]] = None,
+    ) -> Operation:
         """Route a mutating operation through the durable reply cache.
 
         A request whose idempotency key already has a cached reply (a
@@ -169,25 +184,53 @@ class GridBankServer:
         row, so "the op happened" and "its reply is cached" commit as a
         single WAL line — exactly-once across crashes. Requests without a
         key (legacy clients, direct in-process calls) execute normally.
+
+        Locking (canonical order, deadlock-free): the key's in-flight
+        lock first — so a duplicate blocks until the original's reply is
+        cached rather than racing it — then the operation's account
+        stripes (exclusive, sorted), held through the transaction's
+        commit acknowledgement so conflicting writers reach the WAL in
+        execution order.
         """
         dedup_hits = obs_metrics.counter("bank.dedup_hits")
 
         def dispatch(subject: str, params: dict):
             context = current_request()
             key = context.idempotency_key if context is not None else ""
+            touched = accounts_of(params) if accounts_of is not None else ()
             if not key:
-                return operation(subject, params)
-            cached = self.replies.lookup(key, subject, method)
-            if cached is not None:
-                dedup_hits.inc()
-                obs_trace.add_event("bank.dedup_hit", op=method, key=key)
-                _log.info("bank.dedup_hit", op=method, subject=subject, key=key)
-                return ReplyCache.replay(cached)
-            with self.db.transaction():
-                result = operation(subject, params)
-                self.replies.store(key, subject, method, result)
+                with self.locks.exclusive(*touched):
+                    return operation(subject, params)
+            key_lock = self._key_locks[hash(key) % len(self._key_locks)]
+            with key_lock:
+                cached = self.replies.lookup(key, subject, method)
+                if cached is not None:
+                    dedup_hits.inc()
+                    obs_trace.add_event("bank.dedup_hit", op=method, key=key)
+                    _log.info("bank.dedup_hit", op=method, subject=subject, key=key)
+                    return ReplyCache.replay(cached)
+                with self.locks.exclusive(*touched):
+                    with self.db.transaction():
+                        result = operation(subject, params)
+                        self.replies.store(key, subject, method, result)
             obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
             return result
+
+        dispatch.__name__ = operation.__name__
+        return dispatch
+
+    def _read_only(
+        self, operation: Operation, accounts_of: Optional[Callable[[dict], tuple]]
+    ) -> Operation:
+        """Shared fast path: read-only operations take their accounts'
+        stripes in shared mode — many reads proceed in parallel, but none
+        overlaps a mutator mid-flight on the same account."""
+        if accounts_of is None:
+            return operation
+
+        def dispatch(subject: str, params: dict):
+            with self.locks.shared(*accounts_of(params)):
+                return operation(subject, params)
 
         dispatch.__name__ = operation.__name__
         return dispatch
@@ -217,32 +260,120 @@ class GridBankServer:
         }
     )
 
+    # -- lock-set extraction ------------------------------------------------------
+
+    @staticmethod
+    def _param_accounts(*keys: str) -> Callable[[dict], tuple]:
+        """Extractor for account ids carried directly in request params.
+
+        Extraction is best-effort on malformed input: a missing or
+        mistyped field yields no lock, and the operation itself raises
+        the proper validation error while holding whatever was found.
+        """
+
+        def extract(params: dict) -> tuple:
+            out = []
+            for key in keys:
+                value = params.get(key)
+                if isinstance(value, str) and value:
+                    out.append(value)
+            return tuple(out)
+
+        return extract
+
+    @staticmethod
+    def _drawer_of(signed: object) -> str:
+        """Drawer account inside a cheque/commitment wire dict, or ''."""
+        if isinstance(signed, dict):
+            payload = signed.get("payload")
+            if isinstance(payload, dict):
+                account = payload.get("drawer_account")
+                if isinstance(account, str):
+                    return account
+        return ""
+
+    def _instrument_accounts(self, field: str) -> Callable[[dict], tuple]:
+        """Extractor for redeem/cancel ops: the instrument's drawer
+        account plus the payee account (when present)."""
+
+        def extract(params: dict) -> tuple:
+            out = [self._drawer_of(params.get(field))]
+            payee = params.get("payee_account")
+            if isinstance(payee, str):
+                out.append(payee)
+            return tuple(a for a in out if a)
+
+        return extract
+
+    @staticmethod
+    def _batch_accounts(params: dict) -> tuple:
+        out = []
+        items = params.get("items")
+        if isinstance(items, list):
+            for item in items:
+                if not isinstance(item, dict):
+                    continue
+                drawer = GridBankServer._drawer_of(item.get("cheque"))
+                if drawer:
+                    out.append(drawer)
+                payee = item.get("payee_account")
+                if isinstance(payee, str) and payee:
+                    out.append(payee)
+        return tuple(out)
+
+    def _cancel_transfer_accounts(self, params: dict) -> tuple:
+        """Resolve the transfer's two accounts before locking. Transfer
+        rows are immutable, so the unlocked pre-read cannot go stale."""
+        try:
+            row = self.accounts.transfer_record(params.get("transaction_id"))
+        except ReproError:
+            return ()
+        return (row["DrawerAccountID"], row["RecipientAccountID"])
+
     def _register_operations(self) -> None:
-        def register(method: str, operation: Operation) -> None:
+        def register(
+            method: str,
+            operation: Operation,
+            accounts_of: Optional[Callable[[dict], tuple]] = None,
+        ) -> None:
             if method in self.MUTATING_OPS:
-                operation = self._exactly_once(method, operation)
+                operation = self._exactly_once(method, operation, accounts_of)
+            else:
+                operation = self._read_only(operation, accounts_of)
             self.endpoint.register(method, self._instrumented(operation))
+
+        account = self._param_accounts("account_id")
         register("BankInfo", self.op_bank_info)
         register("CreateAccount", self.op_create_account)
-        register("RequestAccountDetails", self.op_account_details)
-        register("UpdateAccountDetails", self.op_update_account)
-        register("RequestAccountStatement", self.op_statement)
-        register("FundsAvailabilityCheck", self.op_funds_availability_check)
-        register("ReleaseFunds", self.op_release_funds)
-        register("RequestDirectTransfer", self.op_direct_transfer)
+        register("RequestAccountDetails", self.op_account_details, account)
+        register("UpdateAccountDetails", self.op_update_account, account)
+        register("RequestAccountStatement", self.op_statement, account)
+        register("FundsAvailabilityCheck", self.op_funds_availability_check, account)
+        register("ReleaseFunds", self.op_release_funds, account)
+        register(
+            "RequestDirectTransfer",
+            self.op_direct_transfer,
+            self._param_accounts("from_account", "to_account"),
+        )
         register("FetchConfirmations", self.op_fetch_confirmations)
-        register("RequestGridCheque", self.op_request_cheque)
-        register("RedeemGridCheque", self.op_redeem_cheque)
-        register("RedeemGridChequeBatch", self.op_redeem_cheque_batch)
-        register("CancelGridCheque", self.op_cancel_cheque)
-        register("RequestGridHash", self.op_request_hashchain)
-        register("RedeemGridHash", self.op_redeem_hashchain)
+        register("RequestGridCheque", self.op_request_cheque, account)
+        register("RedeemGridCheque", self.op_redeem_cheque, self._instrument_accounts("cheque"))
+        register("RedeemGridChequeBatch", self.op_redeem_cheque_batch, self._batch_accounts)
+        register("CancelGridCheque", self.op_cancel_cheque, self._instrument_accounts("cheque"))
+        register("RequestGridHash", self.op_request_hashchain, account)
+        register(
+            "RedeemGridHash", self.op_redeem_hashchain, self._instrument_accounts("commitment")
+        )
         register("EstimatePrice", self.op_estimate_price)
-        register("Admin.Deposit", self.op_admin_deposit)
-        register("Admin.Withdraw", self.op_admin_withdraw)
-        register("Admin.ChangeCreditLimit", self.op_admin_change_credit_limit)
-        register("Admin.CancelTransfer", self.op_admin_cancel_transfer)
-        register("Admin.CloseAccount", self.op_admin_close_account)
+        register("Admin.Deposit", self.op_admin_deposit, account)
+        register("Admin.Withdraw", self.op_admin_withdraw, account)
+        register("Admin.ChangeCreditLimit", self.op_admin_change_credit_limit, account)
+        register("Admin.CancelTransfer", self.op_admin_cancel_transfer, self._cancel_transfer_accounts)
+        register(
+            "Admin.CloseAccount",
+            self.op_admin_close_account,
+            self._param_accounts("account_id", "transfer_to"),
+        )
         register("Admin.AddAdministrator", self.op_admin_add_administrator)
 
     # -- per-call checks ----------------------------------------------------------
@@ -369,9 +500,12 @@ class GridBankServer:
         if address:
             # inbox entries are owned by the recipient account's subject;
             # only that principal may pick them up
-            self._confirmation_inboxes.setdefault(address, []).append(
-                {"owner": self.accounts.owner_of(to_account), "confirmation": confirmation.to_dict()}
-            )
+            entry = {
+                "owner": self.accounts.owner_of(to_account),
+                "confirmation": confirmation.to_dict(),
+            }
+            with self._inbox_lock:
+                self._confirmation_inboxes.setdefault(address, []).append(entry)
         return {"confirmation": confirmation.to_dict()}
 
     def op_fetch_confirmations(self, subject: str, params: dict) -> list:
@@ -381,13 +515,14 @@ class GridBankServer:
         (and drained); other principals' confirmations stay queued.
         """
         self._require_standing(subject)
-        inbox = self._confirmation_inboxes.get(params["address"], [])
-        mine = [entry["confirmation"] for entry in inbox if entry["owner"] == subject]
-        remaining = [entry for entry in inbox if entry["owner"] != subject]
-        if remaining:
-            self._confirmation_inboxes[params["address"]] = remaining
-        else:
-            self._confirmation_inboxes.pop(params["address"], None)
+        with self._inbox_lock:
+            inbox = self._confirmation_inboxes.get(params["address"], [])
+            mine = [entry["confirmation"] for entry in inbox if entry["owner"] == subject]
+            remaining = [entry for entry in inbox if entry["owner"] != subject]
+            if remaining:
+                self._confirmation_inboxes[params["address"]] = remaining
+            else:
+                self._confirmation_inboxes.pop(params["address"], None)
         return mine
 
     def op_request_cheque(self, subject: str, params: dict) -> dict:

@@ -43,20 +43,27 @@ def derive_keys(master_secret: bytes) -> tuple[bytes, bytes]:
 
 
 def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+    prefix = enc_key + nonce
     blocks = []
     for counter in range((length + _BLOCK - 1) // _BLOCK):
-        blocks.append(hashlib.sha256(enc_key + nonce + counter.to_bytes(8, "big")).digest())
+        blocks.append(hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest())
     return b"".join(blocks)[:length]
 
 
 def _xor(data: bytes, stream: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, stream))
+    # single big-int XOR: ~10x faster than a byte-wise generator for
+    # kilobyte-sized records on the hot protect/unprotect path
+    n = len(data)
+    if len(stream) > n:
+        stream = stream[:n]
+    x = int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    return x.to_bytes(n, "big")
 
 
 def seal(enc_key: bytes, mac_key: bytes, seq: int, plaintext: bytes, rng: Optional[random.Random] = None) -> bytes:
     """Encrypt-then-MAC one record: ``nonce || ciphertext || tag``."""
     r = rng if rng is not None else random.Random()
-    nonce = bytes(r.getrandbits(8) for _ in range(_NONCE_LEN))
+    nonce = r.getrandbits(8 * _NONCE_LEN).to_bytes(_NONCE_LEN, "big")
     ciphertext = _xor(plaintext, _keystream(enc_key, nonce, len(plaintext)))
     tag = hmac.new(mac_key, nonce + seq.to_bytes(8, "big") + ciphertext, hashlib.sha256).digest()
     return nonce + ciphertext + tag

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional
 
 from repro.crypto.primes import generate_prime
@@ -78,13 +79,17 @@ class RSAPrivateKey:
     def public_key(self) -> RSAPublicKey:
         return RSAPublicKey(n=self.n, e=self.e)
 
+    @cached_property
+    def _crt(self) -> tuple[int, int, int]:
+        # (dp, dq, q_inv) are pure functions of the key; cached_property
+        # writes to __dict__ directly, which frozen dataclasses permit
+        return self.d % (self.p - 1), self.d % (self.q - 1), pow(self.q, -1, self.p)
+
     def decrypt_int(self, c: int) -> int:
         """Raw private operation c^d mod n via CRT (also signing)."""
         if not 0 <= c < self.n:
             raise ValidationError("ciphertext representative out of range")
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        q_inv = pow(self.q, -1, self.p)
+        dp, dq, q_inv = self._crt
         m1 = pow(c, dp, self.p)
         m2 = pow(c, dq, self.q)
         h = (q_inv * (m1 - m2)) % self.p

@@ -12,27 +12,104 @@ structure with PKCS#1 v1.5 signing, implemented directly over our RSA.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
 from repro.crypto.hashes import sha256
 from repro.errors import SignatureError, ValidationError
+from repro.obs import metrics
 from repro.util.serialize import to_bytes
 
-__all__ = ["sign", "verify", "require_valid", "Signed"]
+__all__ = [
+    "sign",
+    "verify",
+    "require_valid",
+    "Signed",
+    "VerifyCache",
+    "VERIFY_CACHE",
+    "configure_verify_cache",
+]
 
 # ASN.1 DER prefix for a SHA-256 DigestInfo (RFC 8017 section 9.2 note 1).
 _SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
 
 
-def _emsa_encode(message: Any, em_len: int) -> int:
-    digest_info = _SHA256_PREFIX + sha256(to_bytes(message))
+class VerifyCache:
+    """LRU cache of signatures that have already verified successfully.
+
+    The same certificates, cheques and hash-chain commitments are
+    re-verified on every request (cert chains on each handshake, the
+    bank's signature on every instrument a GSP redeems), and each
+    verification is a full RSA public-key exponentiation plus EMSA
+    encoding. Caching is sound because a signature either verifies under
+    a key or it does not — the result is a pure function of
+    ``(n, e, digest(message), signature)``. Only *positive* results are
+    cached so an attacker cannot pin a forgery, and the key includes the
+    message digest so a cached signature never validates a different
+    message. Hit/miss counters land in the metrics registry as
+    ``crypto.verify_cache.{hits,misses}``.
+    """
+
+    def __init__(self, capacity: int = 4096, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValidationError("verify cache capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, None] = OrderedDict()
+
+    def check(self, key: tuple) -> bool:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return True
+            return False
+
+    def store(self, key: tuple) -> None:
+        with self._lock:
+            self._entries[key] = None
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide cache used by :func:`verify`.
+VERIFY_CACHE = VerifyCache()
+
+
+def configure_verify_cache(enabled: bool = True, capacity: int | None = None) -> None:
+    """Toggle or resize the process-wide verified-signature cache."""
+    VERIFY_CACHE.enabled = enabled
+    if capacity is not None:
+        if capacity < 1:
+            raise ValidationError("verify cache capacity must be >= 1")
+        VERIFY_CACHE.capacity = capacity
+    if not enabled:
+        VERIFY_CACHE.clear()
+
+
+def _emsa_encode_digest(digest: bytes, em_len: int) -> int:
+    digest_info = _SHA256_PREFIX + digest
     if em_len < len(digest_info) + 11:
         raise ValidationError("RSA modulus too small for SHA-256 signature")
     padding = b"\xff" * (em_len - len(digest_info) - 3)
     em = b"\x00\x01" + padding + b"\x00" + digest_info
     return int.from_bytes(em, "big")
+
+
+def _emsa_encode(message: Any, em_len: int) -> int:
+    return _emsa_encode_digest(sha256(to_bytes(message)), em_len)
 
 
 def sign(private: RSAPrivateKey, message: Any) -> bytes:
@@ -50,10 +127,26 @@ def verify(public: RSAPublicKey, message: Any, signature: bytes) -> bool:
     if s >= public.n:
         return False
     try:
-        expected = _emsa_encode(message, public.byte_length)
+        digest = sha256(to_bytes(message))
     except ValidationError:
         return False
-    return public.encrypt_int(s) == expected
+    cache = VERIFY_CACHE
+    cache_key: tuple = ()
+    if cache.enabled:
+        # (n, e) identify the key without paying fingerprint()'s hash
+        cache_key = (public.n, public.e, digest, signature)
+        if cache.check(cache_key):
+            metrics.counter("crypto.verify_cache.hits").inc()
+            return True
+        metrics.counter("crypto.verify_cache.misses").inc()
+    try:
+        expected = _emsa_encode_digest(digest, public.byte_length)
+    except ValidationError:
+        return False
+    ok = public.encrypt_int(s) == expected
+    if ok and cache.enabled and cache_key:
+        cache.store(cache_key)
+    return ok
 
 
 def require_valid(public: RSAPublicKey, message: Any, signature: bytes, what: str = "signature") -> None:

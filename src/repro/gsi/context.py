@@ -85,11 +85,13 @@ class SecurityContext:
         self._rng = rng if rng is not None else random.Random()
         self.peer_subject: Optional[str] = None
         self.established = False
+        self.resumed = False
         self._nonce_i: Optional[bytes] = None
         self._nonce_a: Optional[bytes] = None
         self._peer_leaf: Optional[Certificate] = None
         self._send: Optional[ChannelCipher] = None
         self._recv: Optional[ChannelCipher] = None
+        self._master: Optional[bytes] = None
         self._state = "new"
 
     # -- handshake ---------------------------------------------------------
@@ -121,7 +123,7 @@ class SecurityContext:
         raise ProtocolError(f"unexpected step in state {self._state!r}")
 
     def _nonce(self) -> bytes:
-        return bytes(self._rng.getrandbits(8) for _ in range(_NONCE_LEN))
+        return self._rng.getrandbits(8 * _NONCE_LEN).to_bytes(_NONCE_LEN, "big")
 
     def _make_hello(self) -> dict:
         self._nonce_i = self._nonce()
@@ -202,6 +204,10 @@ class SecurityContext:
     def _derive(self, pre_master: bytes) -> None:
         assert self._nonce_i is not None and self._nonce_a is not None
         master = sha256(pre_master + self._nonce_i + self._nonce_a)
+        self._install_keys(master)
+
+    def _install_keys(self, master: bytes) -> None:
+        self._master = master
         c2s = sha256(master + b"c2s")
         s2c = sha256(master + b"s2c")
         if self.role is Role.INITIATE:
@@ -210,6 +216,38 @@ class SecurityContext:
         else:
             self._send = ChannelCipher(s2c, rng=self._rng)
             self._recv = ChannelCipher(c2s, rng=self._rng)
+
+    # -- session resumption ---------------------------------------------------
+
+    @property
+    def master_secret(self) -> bytes:
+        """The established session's master secret (resumption material)."""
+        if not self.established or self._master is None:
+            raise ProtocolError("context not established")
+        return self._master
+
+    def resume(self, master_secret: bytes, nonce_i: bytes, nonce_a: bytes, peer_subject: str) -> None:
+        """Establish this context from a prior session's master secret.
+
+        Both sides mix the stored secret with a fresh nonce pair so each
+        resumed session gets its own channel keys (no cross-session
+        replay), skipping the certificate-chain validation and RSA key
+        exchange of the full handshake. The caller is responsible for
+        having authenticated the peer via the resumption exchange's MACs
+        (see :class:`repro.net.rpc.SessionTicketStore` and the
+        ``gsi_resume`` message) — possession of the master secret is the
+        proof of identity here, exactly as in TLS session tickets.
+        """
+        if self.established or self._state != "new":
+            raise ProtocolError("cannot resume a used context")
+        if len(nonce_i) != _NONCE_LEN or len(nonce_a) != _NONCE_LEN:
+            raise ProtocolError("bad resumption nonces")
+        self._nonce_i, self._nonce_a = nonce_i, nonce_a
+        self.peer_subject = peer_subject
+        self._install_keys(sha256(master_secret + nonce_i + nonce_a))
+        self._state = "established"
+        self.established = True
+        self.resumed = True
 
     # -- record protection ---------------------------------------------------
 

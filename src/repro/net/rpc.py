@@ -13,6 +13,22 @@ Remote exceptions propagate by name: the server maps a raised library
 exception to its class name, and the client re-raises the matching class
 from :mod:`repro.errors` (falling back to :class:`RPCError`).
 
+Concurrency layer: a server connection's work is split into three phases —
+:meth:`_ServerConnection.prepare` (unwrap, must run serially in the
+transport's read thread because the channel cipher enforces strictly
+increasing record sequence numbers), :meth:`_ServerConnection.complete`
+(the dispatch itself, safe to run on a worker pool), and
+:meth:`_ServerConnection.seal` (wrap the response; the transport must seal
+and transmit under one per-connection lock so wire order equals cipher
+sequence order). ``handle()`` composes all three for synchronous
+transports. On the client, :meth:`RPCClient.pipeline` keeps a window of
+requests in flight on one connection, matching responses to calls by
+envelope id. Session resumption: the server returns a bearer ticket with
+the ``established`` reply; a client holding the ticket and the session's
+master secret can skip the three-token handshake on reconnect via a
+``gsi_resume`` exchange authenticated by HMACs in both directions, with
+fresh nonces mixed into the resumed channel keys.
+
 Exactly-once layer: every request envelope carries a stable idempotency
 key (``client_nonce:seq``) and an optional absolute deadline. The server
 rejects expired requests with :class:`~repro.errors.DeadlineExceeded`
@@ -30,10 +46,14 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import random
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
+from repro.crypto.hashes import sha256
 from repro.errors import (
+    AuthenticationError,
     ChannelError,
     DeadlineExceeded,
     ProtocolError,
@@ -63,7 +83,9 @@ __all__ = [
     "RPCClient",
     "ConnectionRefused",
     "Operation",
+    "PendingCall",
     "RequestContext",
+    "SessionTicketStore",
     "current_request",
     "request_scope",
 ]
@@ -75,6 +97,80 @@ _log = get_logger("net.rpc")
 
 class ConnectionRefused(TransportError):
     """The service refused the connection at authorization time."""
+
+
+_RESUME_NONCE_LEN = 32
+
+
+def _resume_mac(master: bytes, label: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA256 (RFC 2104 construction over our own sha256)."""
+    key = master.ljust(64, b"\x00")
+    inner = sha256(bytes(b ^ 0x36 for b in key) + label + b"".join(parts))
+    return sha256(bytes(b ^ 0x5C for b in key) + inner)
+
+
+def _mac_equal(a: Any, b: bytes) -> bool:
+    """Constant-time-ish MAC comparison (no early exit on first mismatch)."""
+    if not isinstance(a, bytes) or len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0
+
+
+class SessionTicketStore:
+    """Bearer tickets for GSI session resumption (TLS-session-ticket style).
+
+    The endpoint issues a ticket with every ``established`` reply, mapping
+    an opaque token to ``(subject, master_secret)``. A later connection
+    presenting the ticket plus an HMAC keyed by the master secret skips
+    the full handshake. Tickets are reusable until they age out (TTL) or
+    are evicted (LRU capacity) — a miss simply falls back to the full
+    handshake, so eviction is a performance event, not a failure.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        rng: random.Random,
+        capacity: int = 1024,
+        ttl: float = 900.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._clock = clock
+        self._rng = rng
+        self.capacity = capacity
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[str, bytes, float]] = OrderedDict()
+
+    def issue(self, subject: str, master_secret: bytes) -> str:
+        token = random_token(self._rng, nbytes=16)
+        expires = self._clock.epoch() + self.ttl
+        with self._lock:
+            self._entries[token] = (subject, master_secret, expires)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return token
+
+    def redeem(self, token: str) -> Optional[tuple[str, bytes]]:
+        """Look a ticket up; ``None`` on miss or expiry (ticket survives)."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                return None
+            subject, master, expires = entry
+            if self._clock.epoch() > expires:
+                del self._entries[token]
+                return None
+            self._entries.move_to_end(token)
+            return subject, master
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 @dataclass(frozen=True)
@@ -117,7 +213,15 @@ def request_scope(context: Optional[RequestContext]) -> Iterator[Optional[Reques
 
 
 class _ServerConnection:
-    """Per-connection state machine: handshake, then dispatch loop."""
+    """Per-connection state machine: handshake, then dispatch loop.
+
+    Pipelining transports drive the three-phase interface directly:
+    ``prepare`` (serial, read thread — unwrap consumes cipher sequence
+    numbers in wire order), ``complete`` (worker pool), ``seal`` (under
+    the transport's per-connection send lock — wrap assigns the response
+    sequence number, so seal order must equal transmit order).
+    ``handle`` composes the phases for synchronous transports.
+    """
 
     def __init__(self, endpoint: "ServiceEndpoint") -> None:
         self._endpoint = endpoint
@@ -129,19 +233,48 @@ class _ServerConnection:
             rng=random.Random(endpoint._rng.getrandbits(64)),
         )
         self._trace_rng = random.Random(endpoint._rng.getrandbits(64))
+        self._rng = random.Random(endpoint._rng.getrandbits(64))
         self._open = False
         self._closed = False
 
     def handle(self, payload: bytes) -> Optional[bytes]:
+        kind, value = self.prepare(payload)
+        if kind != "call":
+            return value
+        return self.seal(self.complete(value))
+
+    def prepare(self, payload: bytes) -> tuple[str, Any]:
+        """Phase 1 (serial): parse, handshake, or unwrap a sealed request.
+
+        Returns ``("inline", response_bytes_or_None)`` for traffic that is
+        already fully answered (handshake tokens, refusals, closed
+        connections) or ``("call", request_dict)`` for a request the
+        transport should run through :meth:`complete` + :meth:`seal`.
+        """
         if self._closed:
-            return None
+            return ("inline", None)
         message = parse_payload(payload)
         if not self._open:
-            return self._handle_handshake(message)
-        return self._handle_request(message)
+            return ("inline", self._handle_handshake(message))
+        if message.get("kind") != "sealed":
+            self._closed = True
+            return ("inline", canonical_dumps({"kind": "refused", "reason": "expected sealed record"}))
+        try:
+            request = parse_payload(self._context.unwrap(message["record"]))
+        except (ChannelError, ProtocolError) as exc:
+            self._closed = True
+            return ("inline", canonical_dumps({"kind": "refused", "reason": str(exc)}))
+        return ("call", request)
+
+    def seal(self, response: bytes) -> bytes:
+        """Phase 3: wrap a response envelope for the wire (order-sensitive)."""
+        return canonical_dumps({"kind": "sealed", "record": self._context.wrap(response)})
 
     def _handle_handshake(self, message: dict) -> Optional[bytes]:
-        if message.get("kind") != "gsi":
+        kind = message.get("kind")
+        if kind == "gsi_resume":
+            return self._handle_resume(message)
+        if kind != "gsi":
             self._closed = True
             return canonical_dumps({"kind": "refused", "reason": "handshake required"})
         try:
@@ -159,17 +292,53 @@ class _ServerConnection:
             return canonical_dumps({"kind": "refused", "reason": "subject not authorized"})
         self._open = True
         self._endpoint.accepted_connections += 1
-        return canonical_dumps({"kind": "established", "subject": subject})
+        ticket = self._endpoint.session_tickets.issue(subject, self._context.master_secret)
+        return canonical_dumps({"kind": "established", "subject": subject, "ticket": ticket})
 
-    def _handle_request(self, message: dict) -> Optional[bytes]:
-        if message.get("kind") != "sealed":
+    def _handle_resume(self, message: dict) -> bytes:
+        ticket = message.get("ticket")
+        nonce_i = message.get("nonce")
+        entry = (
+            self._endpoint.session_tickets.redeem(ticket)
+            if isinstance(ticket, str)
+            else None
+        )
+        valid = (
+            entry is not None
+            and isinstance(nonce_i, bytes)
+            and len(nonce_i) == _RESUME_NONCE_LEN
+        )
+        if valid:
+            subject, master = entry  # type: ignore[misc]
+            expected = _resume_mac(master, b"gsi-resume-client", ticket.encode("ascii"), nonce_i)
+            valid = _mac_equal(message.get("mac"), expected)
+        if not valid:
+            # not a refusal: the connection stays pre-handshake, and the
+            # client falls back to the full three-token exchange on it
+            obs_metrics.counter("gsi.resume.missed").inc()
+            return canonical_dumps({"kind": "resume_miss"})
+        if not self._endpoint.policy.is_authorized(subject):
+            # re-check at resume time: a revocation after ticket issue
+            # must not be laundered through the resumption fast path
             self._closed = True
-            return canonical_dumps({"kind": "refused", "reason": "expected sealed record"})
-        try:
-            request = parse_payload(self._context.unwrap(message["record"]))
-        except (ChannelError, ProtocolError) as exc:
-            self._closed = True
-            return canonical_dumps({"kind": "refused", "reason": str(exc)})
+            self._endpoint.refused_connections += 1
+            return canonical_dumps({"kind": "refused", "reason": "subject not authorized"})
+        nonce_a = self._rng.getrandbits(8 * _RESUME_NONCE_LEN).to_bytes(_RESUME_NONCE_LEN, "big")
+        self._context.resume(master, nonce_i, nonce_a, subject)
+        self._open = True
+        self._endpoint.accepted_connections += 1
+        obs_metrics.counter("gsi.resume.accepted").inc()
+        return canonical_dumps(
+            {
+                "kind": "resumed",
+                "subject": subject,
+                "nonce": nonce_a,
+                "mac": _resume_mac(master, b"gsi-resume-server", nonce_i, nonce_a),
+            }
+        )
+
+    def complete(self, request: dict) -> bytes:
+        """Phase 2 (worker-pool safe): dispatch one unwrapped request."""
         request_id = request.get("id", 0)
         method = request.get("method", "")
         subject = self._context.peer_subject
@@ -183,12 +352,11 @@ class _ServerConnection:
         if deadline is not None and self._endpoint.clock.epoch() > deadline:
             obs_metrics.counter("rpc.server.deadline_rejected").inc()
             _log.warning("rpc.deadline_rejected", method=method, subject=subject)
-            response = make_error(
+            return make_error(
                 request_id,
                 "DeadlineExceeded",
                 f"request deadline expired before dispatch of {method!r}",
             )
-            return canonical_dumps({"kind": "sealed", "record": self._context.wrap(response)})
         idempotency_key = request.get("idempotency_key", "")
         if not isinstance(idempotency_key, str):
             idempotency_key = ""
@@ -236,7 +404,7 @@ class _ServerConnection:
                         reason=str(exc),
                     )
                     response = make_error(request_id, type(exc).__name__, str(exc))
-        return canonical_dumps({"kind": "sealed", "record": self._context.wrap(response)})
+        return response
 
     def close(self) -> None:
         self._closed = True
@@ -258,7 +426,14 @@ class ServiceEndpoint:
         self.policy = policy
         self.clock = clock if clock is not None else SystemClock()
         self._rng = rng if rng is not None else random.Random()
+        # handler construction draws from the endpoint RNG; a threaded
+        # transport (TCPServer) builds handlers concurrently, and Random
+        # instances are not safe to share across threads unguarded
+        self._rng_lock = threading.Lock()
         self.operations: dict[str, Operation] = {}
+        self.session_tickets = SessionTicketStore(
+            self.clock, random.Random(self._rng.getrandbits(64))
+        )
         self.accepted_connections = 0
         self.refused_connections = 0
 
@@ -270,7 +445,8 @@ class ServiceEndpoint:
 
     def connection_handler(self) -> _ServerConnection:
         """Factory for per-connection handlers (plug into a transport)."""
-        return _ServerConnection(self)
+        with self._rng_lock:
+            return _ServerConnection(self)
 
 
 class RPCClient:
@@ -309,6 +485,9 @@ class RPCClient:
         self._reconnect = reconnect
         self._context = self._new_context()
         self._next_id = 1
+        # (ticket, master_secret, server_subject) from the last full
+        # handshake — lets reconnects skip the handshake via gsi_resume
+        self._session: Optional[tuple[str, bytes, str]] = None
         self.server_subject: Optional[str] = None
         self.connected = False
 
@@ -350,6 +529,12 @@ class RPCClient:
                 self._replace_connection()
 
     def _handshake(self) -> str:
+        if self._session is not None:
+            subject = self._try_resume()
+            if subject is not None:
+                return subject
+            # resume miss: the connection is still pre-handshake on the
+            # server side, so fall through to the full exchange on it
         token = self._context.step()
         while True:
             reply = parse_payload(self._connection.request(canonical_dumps({"kind": "gsi", "token": token})))
@@ -361,12 +546,51 @@ class RPCClient:
                 self.connected = True
                 self.server_subject = self._context.peer_subject
                 assert self.server_subject is not None
+                ticket = reply.get("ticket")
+                if isinstance(ticket, str) and ticket:
+                    self._session = (ticket, self._context.master_secret, self.server_subject)
                 return self.server_subject
             if reply["kind"] != "gsi":
                 raise ProtocolError(f"unexpected handshake reply kind {reply['kind']!r}")
             token = self._context.step(reply["token"])
             if token is None:
                 raise ProtocolError("handshake ended without establishment")
+
+    def _try_resume(self) -> Optional[str]:
+        """Attempt ticket resumption; ``None`` means fall back to the full
+        handshake (the only non-error outcome besides success)."""
+        assert self._session is not None
+        ticket, master, subject = self._session
+        nonce_i = self._rng.getrandbits(8 * _RESUME_NONCE_LEN).to_bytes(_RESUME_NONCE_LEN, "big")
+        payload = canonical_dumps(
+            {
+                "kind": "gsi_resume",
+                "ticket": ticket,
+                "nonce": nonce_i,
+                "mac": _resume_mac(master, b"gsi-resume-client", ticket.encode("ascii"), nonce_i),
+            }
+        )
+        reply = parse_payload(self._connection.request(payload))
+        kind = reply.get("kind")
+        if kind == "resume_miss":
+            self._session = None
+            obs_metrics.counter("rpc.client.resume_misses").inc()
+            return None
+        if kind == "refused":
+            raise ConnectionRefused(reply.get("reason", "connection refused"))
+        if kind != "resumed":
+            raise ProtocolError(f"unexpected resume reply kind {kind!r}")
+        nonce_a = reply.get("nonce")
+        if not isinstance(nonce_a, bytes) or len(nonce_a) != _RESUME_NONCE_LEN:
+            raise ProtocolError("bad resumption nonce from server")
+        if not _mac_equal(reply.get("mac"), _resume_mac(master, b"gsi-resume-server", nonce_i, nonce_a)):
+            # whoever answered does not hold the master secret
+            raise AuthenticationError("server failed resumption proof")
+        self._context.resume(master, nonce_i, nonce_a, subject)
+        self.connected = True
+        self.server_subject = subject
+        obs_metrics.counter("rpc.client.resumes").inc()
+        return subject
 
     def _replace_connection(self) -> None:
         """Swap in a fresh connection + security context (pre-handshake)."""
@@ -530,6 +754,43 @@ class RPCClient:
             _log.debug("rpc.call", method=method)
             return response.get("result")
 
+    # -- pipelining -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def pipeline(self, window: int = 32) -> Iterator["_Pipeline"]:
+        """Keep up to *window* requests in flight on this connection.
+
+        ``submit()`` seals and transmits immediately and returns a
+        :class:`PendingCall`; ``result()`` blocks until that call's
+        response has been read off the wire. Responses may complete out
+        of submission order on a worker-pool server — matching is by
+        envelope id. Unlike :meth:`call` there is **no transparent
+        retry** inside a pipeline: a transport or channel failure breaks
+        every outstanding call (their idempotency keys remain valid, so
+        re-issuing them through ``call()`` after a reconnect is safe and
+        dedupes server-side). On exit the pipeline drains all pending
+        responses so the channel cipher stays in sequence for subsequent
+        plain calls.
+        """
+        if not self.connected:
+            raise ProtocolError("pipeline before connect()")
+        if not hasattr(self._connection, "send_frame"):
+            raise ProtocolError("connection does not support pipelining")
+        if window < 1:
+            raise ValueError("pipeline window must be >= 1")
+        pl = _Pipeline(self, window)
+        try:
+            yield pl
+            pl.drain()
+        finally:
+            # an exception path must still drain: unread responses would
+            # desynchronize the channel cipher for the next call()
+            if pl.pending and pl.broken is None:
+                try:
+                    pl.drain()
+                except ReproError:
+                    pass
+
     def close(self) -> None:
         self.connected = False
         self._connection.close()
@@ -539,3 +800,130 @@ class RPCClient:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+class PendingCall:
+    """Handle for one in-flight pipelined request."""
+
+    __slots__ = ("method", "request_id", "idempotency_key", "_pipeline", "_done", "_result", "_error")
+
+    def __init__(self, pipeline: "_Pipeline", method: str, request_id: int, idempotency_key: str) -> None:
+        self.method = method
+        self.request_id = request_id
+        self.idempotency_key = idempotency_key
+        self._pipeline = pipeline
+        self._done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        """Block until this call's response arrives; raise remote errors."""
+        self._pipeline.wait_for(self)
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _Pipeline:
+    """Sliding window of sealed requests on one client connection.
+
+    Single-threaded by design (one submitter/consumer); the concurrency
+    it buys comes from the *server* overlapping the dispatches while
+    requests and responses stream past each other on the wire.
+    """
+
+    def __init__(self, client: RPCClient, window: int) -> None:
+        self._client = client
+        self._window = window
+        self._pending: dict[int, PendingCall] = {}
+        self.broken: Optional[BaseException] = None
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit(self, method: str, **params: Any) -> PendingCall:
+        """Seal and transmit one request; never blocks on the response
+        unless the window is full (then it reads one response first)."""
+        if self.broken is not None:
+            raise TransportError(f"pipeline broken: {self.broken}") from self.broken
+        while len(self._pending) >= self._window:
+            self._receive_one()
+        client = self._client
+        request_id = client._next_id
+        client._next_id += 1
+        idempotency_key = f"{client._nonce}:{request_id}"
+        span = obs_trace.current()
+        sealed = client._context.wrap(
+            make_request(
+                method,
+                params,
+                request_id,
+                trace=obs_trace.to_wire(span) if span is not None else None,
+                idempotency_key=idempotency_key,
+            )
+        )
+        call = PendingCall(self, method, request_id, idempotency_key)
+        self._pending[request_id] = call
+        try:
+            client._connection.send_frame(canonical_dumps({"kind": "sealed", "record": sealed}))
+        except ReproError as exc:
+            self._break(exc)
+            raise
+        obs_metrics.counter("rpc.client.pipeline.submitted", method=method).inc()
+        return call
+
+    def wait_for(self, call: PendingCall) -> None:
+        while not call._done:
+            if self.broken is not None:
+                raise TransportError(f"pipeline broken: {self.broken}") from self.broken
+            self._receive_one()
+
+    def drain(self) -> None:
+        """Read responses until nothing is outstanding."""
+        while self._pending:
+            self._receive_one()
+
+    def _break(self, exc: BaseException) -> None:
+        self.broken = exc
+        self._client.connected = False
+        for pending in self._pending.values():
+            if not pending._done:
+                pending._error = TransportError(f"pipeline broken: {exc}")
+                pending._done = True
+        self._pending.clear()
+
+    def _receive_one(self) -> None:
+        client = self._client
+        try:
+            reply = parse_payload(client._connection.recv_frame())
+            if reply["kind"] == "refused":
+                raise ConnectionRefused(reply.get("reason", "connection dropped"))
+            if reply["kind"] != "sealed":
+                raise ProtocolError(f"unexpected reply kind {reply['kind']!r}")
+            response = parse_payload(client._context.unwrap(reply["record"]))
+        except ReproError as exc:
+            self._break(exc)
+            raise
+        call = self._pending.pop(response.get("id"), None)
+        if call is None:
+            exc = ProtocolError(f"response for unknown request id {response.get('id')!r}")
+            self._break(exc)
+            raise exc
+        if response["kind"] == "error":
+            obs_metrics.counter("rpc.client.remote_errors", method=call.method).inc()
+            try:
+                raise_remote_error(response)
+            except ReproError as remote:
+                call._error = remote
+        elif response["kind"] == "response":
+            call._result = response.get("result")
+        else:
+            exc = ProtocolError(f"unexpected response kind {response['kind']!r}")
+            self._break(exc)
+            raise exc
+        call._done = True

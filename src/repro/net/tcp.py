@@ -6,6 +6,16 @@ frames, feeds them to a fresh handler, and writes the response frames back.
 This demonstrates the GridBank server is an actual network service (the
 "easy web service" of the reproduction brief), not only a simulated one.
 
+Pipelining: handlers exposing the three-phase interface (``prepare`` /
+``complete`` / ``seal``, see :mod:`repro.net.rpc`) get their requests
+dispatched on a small shared worker pool — ``prepare`` runs serially in
+the connection's read thread (the secure channel unwraps records in wire
+order), ``complete`` runs on the pool, and ``seal`` + transmit happen
+under a per-connection send lock so response sequence numbers match wire
+order. Handlers with only ``handle`` are served serially as before. An
+in-flight semaphore bounds per-connection queued work, and connection
+teardown drains it so no dispatch outlives its socket silently.
+
 Shutdown is deterministic: ``close()`` stops accepting, force-closes every
 live connection socket (unblocking workers stuck in ``recv``), then joins
 the workers; any thread that survives the join is logged loudly instead of
@@ -16,6 +26,7 @@ from __future__ import annotations
 
 import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from repro.errors import ProtocolError, TransportError, TransportTimeout
@@ -32,10 +43,28 @@ class TCPServer:
 
     ``with TCPServer(endpoint.connection_handler) as server: ...`` listens
     on an ephemeral loopback port; :attr:`address` is ``(host, port)``.
+    *workers* sizes the shared dispatch pool used for pipelined handlers
+    (0 disables pipelined dispatch entirely); *max_inflight* bounds the
+    number of unanswered requests a single connection may queue.
     """
 
-    def __init__(self, handler_factory: Callable[[], object], host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        handler_factory: Callable[[], object],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        max_inflight: int = 32,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self._factory = handler_factory
+        self._max_inflight = max_inflight
+        self._pool = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="gridbank-tcp-dispatch")
+            if workers > 0
+            else None
+        )
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -65,15 +94,39 @@ class TCPServer:
 
     def _serve(self, conn: socket.socket) -> None:
         handler = self._factory()
+        send_lock = threading.Lock()
+        inflight = threading.BoundedSemaphore(self._max_inflight)
+        prepare = getattr(handler, "prepare", None) if self._pool is not None else None
         try:
             for payload in unframe_stream(conn.recv):
-                response = handler.handle(payload)
-                if response is None:
+                if prepare is None:
+                    response = handler.handle(payload)
+                    if response is None:
+                        break
+                    with send_lock:
+                        conn.sendall(frame(response))
+                    continue
+                kind, value = prepare(payload)
+                if kind != "call":
+                    if value is None:
+                        break
+                    with send_lock:
+                        conn.sendall(frame(value))
+                    continue
+                inflight.acquire()
+                try:
+                    self._pool.submit(self._dispatch, handler, value, conn, send_lock, inflight)
+                except RuntimeError:  # pool shut down mid-serve
+                    inflight.release()
                     break
-                conn.sendall(frame(response))
         except (ProtocolError, OSError):
             pass
         finally:
+            # drain in-flight dispatches before tearing the socket down so
+            # every accepted request gets its response written (or fails
+            # loudly against a peer-closed socket, never silently dropped)
+            for _ in range(self._max_inflight):
+                inflight.acquire()
             handler.close()
             try:
                 conn.shutdown(socket.SHUT_RDWR)
@@ -82,6 +135,20 @@ class TCPServer:
             conn.close()
             with self._lock:
                 self._workers.pop(threading.current_thread(), None)
+
+    def _dispatch(self, handler, request: dict, conn: socket.socket, send_lock: threading.Lock, inflight: threading.BoundedSemaphore) -> None:
+        try:
+            response = handler.complete(request)
+            # seal under the send lock: wrapping assigns the response's
+            # cipher sequence number, which must match transmit order
+            with send_lock:
+                conn.sendall(frame(handler.seal(response)))
+        except (ProtocolError, OSError):
+            pass  # connection is gone; the serve loop owns cleanup
+        except Exception as exc:  # noqa: BLE001 - never kill a pool thread
+            _log.error("tcp.dispatch.unexpected_error", error=type(exc).__name__, reason=str(exc))
+        finally:
+            inflight.release()
 
     def close(self) -> None:
         """Deterministic shutdown: stop accepting, kill live connections,
@@ -120,6 +187,8 @@ class TCPServer:
                     address=str(self.address),
                     thread=worker.name,
                 )
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "TCPServer":
         return self
@@ -130,11 +199,19 @@ class TCPServer:
 
 class TCPClientConnection:
     """Client connection satisfying the same interface as the in-process one
-    (``request(bytes) -> bytes``), usable directly by :class:`RPCClient`."""
+    (``request(bytes) -> bytes`` plus the ``send_frame``/``recv_frame``
+    pipelining split), usable directly by :class:`RPCClient`.
+
+    One persistent unframing iterator spans the connection's lifetime, so
+    a frame delivered across several TCP segments is reassembled
+    correctly even when reads interleave with new requests — the old
+    per-request iterator silently discarded reader state, which under
+    pipelining turned a partial read into a truncated-frame crash."""
 
     def __init__(self, address: tuple[str, int], timeout: float = 10.0) -> None:
         self._sock = socket.create_connection(address, timeout=timeout)
         self._healthy = True
+        self._frames = unframe_stream(self._sock.recv)
 
     @property
     def healthy(self) -> bool:
@@ -144,22 +221,42 @@ class TCPClientConnection:
         return self._healthy
 
     def request(self, payload: bytes) -> bytes:
+        self.send_frame(payload)
+        return self.recv_frame()
+
+    def send_frame(self, payload: bytes) -> None:
+        """Transmit one framed payload without waiting for a response."""
         try:
             self._sock.sendall(frame(payload))
-            for response in unframe_stream(self._sock.recv):
-                return response
+        except TimeoutError as exc:
+            self._healthy = False
+            raise TransportTimeout(f"tcp send timed out: {exc}") from exc
+        except OSError as exc:
+            self._healthy = False
+            raise TransportError(f"tcp send failed: {exc}") from exc
+
+    def recv_frame(self) -> bytes:
+        """Block for the next response frame off the shared reader."""
+        try:
+            return next(self._frames)
+        except StopIteration:
+            self._healthy = False
+            raise TransportError("service closed the connection") from None
         except TimeoutError as exc:
             # socket.timeout is TimeoutError (an OSError): surface "slow"
             # distinctly from "dead" so the retry classifier can tell them
             # apart — both force a reconnect, but timeouts are retryable
             # against a live server while resets usually mean it is gone.
+            # A timeout mid-frame also poisons the reader (bytes already
+            # consumed), which `healthy = False` accounts for.
             self._healthy = False
             raise TransportTimeout(f"tcp request timed out: {exc}") from exc
+        except ProtocolError:
+            self._healthy = False
+            raise
         except OSError as exc:
             self._healthy = False
             raise TransportError(f"tcp request failed: {exc}") from exc
-        self._healthy = False
-        raise TransportError("service closed the connection")
 
     def close(self) -> None:
         self._healthy = False

@@ -274,30 +274,42 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
+    # Lookups use double-checked locking: the lock-free first read is safe
+    # because dict reads are atomic under the GIL and instruments are only
+    # ever added (reset() swaps in fresh dicts rather than mutating).
+    # Every RPC touches several instruments, so the registry-wide lock was
+    # a measurable convoy point under concurrent dispatch.
+
     def counter(self, name: str, **labels: object) -> Counter:
         key = _key(name, labels)
-        with self._lock:
-            instrument = self._counters.get(key)
-            if instrument is None:
-                instrument = self._counters[key] = Counter(key)
-            return instrument
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = self._counters[key] = Counter(key)
+        return instrument
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         key = _key(name, labels)
-        with self._lock:
-            instrument = self._gauges.get(key)
-            if instrument is None:
-                instrument = self._gauges[key] = Gauge(key)
-            return instrument
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = self._gauges[key] = Gauge(key)
+        return instrument
 
     def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
                   **labels: object) -> Histogram:
         key = _key(name, labels)
-        with self._lock:
-            instrument = self._histograms.get(key)
-            if instrument is None:
-                instrument = self._histograms[key] = Histogram(key, buckets=buckets)
-            return instrument
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = self._histograms[key] = Histogram(key, buckets=buckets)
+        return instrument
 
     def timed(self, name: str, buckets: Optional[Sequence[float]] = None,
               **labels: object) -> _Timer:
@@ -319,9 +331,11 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop every instrument (per-scenario isolation in benchmarks)."""
         with self._lock:
-            self._counters.clear()
-            self._gauges.clear()
-            self._histograms.clear()
+            # swap rather than clear: racing lock-free readers keep a
+            # consistent (stale) view instead of observing a half-empty dict
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
 
 
 def render_snapshot(data: dict) -> str:

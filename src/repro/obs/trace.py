@@ -228,6 +228,37 @@ class SpanRecorder:
         }
 
 
+class _NullRecorder:
+    """Recorder stand-in used on the no-sink fast path.
+
+    When nothing is registered to receive span records, the work of a
+    real :class:`SpanRecorder` (two clock reads, attr/event accumulation,
+    record assembly) is pure overhead on every RPC — this keeps the full
+    recorder API and the context propagation while doing nothing. A sink
+    installed *while* such a span is open will not receive that span;
+    sinks are installed at process setup, so this is a non-case outside
+    pathological tests.
+    """
+
+    __slots__ = ("context",)
+
+    status = "ok"
+    error_type = ""
+    duration = 0.0
+
+    def __init__(self, context: SpanContext) -> None:
+        self.context = context
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+    def set_error(self, error_type: str, reason: str = "") -> None:
+        pass
+
+    def add_event(self, name: str, **fields: object) -> None:
+        pass
+
+
 _recorder: contextvars.ContextVar[Optional[SpanRecorder]] = contextvars.ContextVar(
     "gridbank_active_recorder", default=None
 )
@@ -269,6 +300,19 @@ def span(
     exception's type name and re-raises; flushing happens either way.
     """
     ctx = context if context is not None else child_span(rng)
+    if not _sinks:
+        # fast path: nobody is listening, so skip recorder bookkeeping
+        # entirely — context propagation (logging, WAL trace columns)
+        # still works because the span context is activated as usual
+        null = _NullRecorder(ctx)
+        span_token = _current.set(ctx)
+        recorder_token = _recorder.set(null)  # type: ignore[arg-type]
+        try:
+            yield null  # type: ignore[misc]
+        finally:
+            _recorder.reset(recorder_token)
+            _current.reset(span_token)
+        return
     recorder = SpanRecorder(ctx, name, kind, dict(attrs))
     span_token = _current.set(ctx)
     recorder_token = _recorder.set(recorder)

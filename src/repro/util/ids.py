@@ -9,6 +9,7 @@ explicitly-seeded generators so simulations replay exactly.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Optional
 
 __all__ = ["IdGenerator", "random_token"]
@@ -16,6 +17,10 @@ __all__ = ["IdGenerator", "random_token"]
 
 class IdGenerator:
     """Monotonic integer ids with an optional string prefix.
+
+    Thread-safe: concurrent server threads allocate transaction/entry ids
+    from shared generators, and a duplicated id would violate ledger
+    primary keys.
 
     >>> gen = IdGenerator(prefix="txn")
     >>> gen.next_str()
@@ -28,11 +33,13 @@ class IdGenerator:
         self._prefix = prefix
         self._next = start
         self._width = width
+        self._lock = threading.Lock()
 
     def next_int(self) -> int:
-        value = self._next
-        self._next += 1
-        return value
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
 
     def next_str(self) -> str:
         return f"{self._prefix}-{self.next_int():0{self._width}d}"
@@ -44,4 +51,4 @@ class IdGenerator:
 def random_token(rng: Optional[random.Random] = None, nbytes: int = 16) -> str:
     """Hex token from the given RNG (seeded for reproducibility in tests)."""
     r = rng if rng is not None else random.Random()
-    return bytes(r.getrandbits(8) for _ in range(nbytes)).hex()
+    return r.getrandbits(8 * nbytes).to_bytes(nbytes, "big").hex()

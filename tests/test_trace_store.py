@@ -468,6 +468,68 @@ class TestTrajectory:
         )
         assert gate.main(["--file", str(out)]) == 1
 
+    def _sidecar_p95(self, p95):
+        return {
+            "benchmarks/bench_x.py::test_y": {
+                "histograms": {
+                    "rpc.client.call_seconds": {
+                        "count": 50, "p50": p95 / 2, "p95": p95, "p99": p95 * 1.5,
+                    },
+                }
+            }
+        }
+
+    def test_gate_fails_on_p95_growth_even_with_steady_ops(self, tmp_path):
+        out = tmp_path / "BENCH_TRAJECTORY.json"
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.01), self._sidecar_p95(0.020), quick=False), out
+        )
+        # same throughput, p95 +20%: within the 25% tail budget
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.01), self._sidecar_p95(0.024), quick=False), out
+        )
+        assert gate.main(["--file", str(out)]) == 0
+        # same throughput again, but p95 +150% vs prior entry: gate trips
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.01), self._sidecar_p95(0.060), quick=False), out
+        )
+        assert gate.main(["--file", str(out)]) == 1
+        # a tighter ops threshold does not excuse the tail, a looser p95 one does
+        assert gate.main(["--file", str(out), "--p95-threshold", "2.0"]) == 0
+
+    def test_gate_normalizes_by_machine_calibration(self, tmp_path):
+        out = tmp_path / "BENCH_TRAJECTORY.json"
+        # baseline on a fast machine: 100 ops/s at calibration 2M
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.01), {}, quick=False, calibration=2e6), out
+        )
+        # the box slowed to half speed and the scenario slowed with it:
+        # raw drop is 40% (gate limit 20%) but calibrated it's a wash
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(1 / 60.0), {}, quick=False, calibration=1e6), out
+        )
+        assert gate.main(["--file", str(out)]) == 0
+        # same half-speed machine, but the scenario lost 50% even after
+        # scaling: a real code regression the calibration must NOT excuse
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.04), {}, quick=False, calibration=1e6), out
+        )
+        assert gate.main(["--file", str(out)]) == 1
+
+    def test_gate_rebaselines_when_only_one_entry_is_calibrated(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_TRAJECTORY.json"
+        # uncalibrated baseline (recorded before the probe existed),
+        # calibrated latest with a catastrophic raw drop: no comparison
+        # is possible, the gate must re-baseline loudly instead of failing
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.01), {}, quick=False), out
+        )
+        trajectory.append_entry(
+            trajectory.build_entry(self._report(0.05), {}, quick=False, calibration=1e6), out
+        )
+        assert gate.main(["--file", str(out)]) == 0
+        assert "RE-BASELINING" in capsys.readouterr().out
+
     def test_gate_never_compares_quick_against_full(self, tmp_path):
         out = tmp_path / "BENCH_TRAJECTORY.json"
         trajectory.append_entry(

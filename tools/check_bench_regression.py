@@ -3,7 +3,20 @@
 Compares the newest ``BENCH_TRAJECTORY.json`` entry against the most
 recent *prior* entry of the same mode (quick entries only against quick,
 full against full — their statistics are not comparable) and fails when
-any scenario's ops/s dropped more than the threshold (default 20%).
+any scenario's ops/s dropped more than the threshold (default 20%) or
+its sidecar p95 latency grew more than the p95 threshold (default 25%;
+scenarios without latency percentiles skip the latency check).
+
+Entries carry a machine-calibration number (ops/s of a fixed workload,
+see ``benchmarks/trajectory.py``). When both entries have one, the
+baseline is scaled by ``now_cal / base_cal`` before comparing, so a
+recording taken on a box that has slowed 40% since the baseline is not
+misread as 110 code regressions. When neither has one (two legacy
+entries) the comparison stays raw. When exactly one has one — typically
+a baseline that predates calibration — there is no way to separate
+machine drift from code regressions: the gate prints a loud re-baseline
+notice and passes, making the newest entry the baseline for the next
+run.
 
 Trivially passes when there are fewer than two comparable entries — the
 first recording IS the baseline — and for scenarios that only exist in
@@ -11,7 +24,8 @@ one of the two entries (new or retired benchmarks are not regressions).
 
 Usage::
 
-    python tools/check_bench_regression.py [--threshold 0.20] [--file PATH]
+    python tools/check_bench_regression.py [--threshold 0.20]
+        [--p95-threshold 0.25] [--file PATH]
 """
 
 from __future__ import annotations
@@ -45,23 +59,60 @@ def pick_pair(history: list[dict]) -> tuple[dict, dict] | None:
     return None
 
 
-def compare(baseline: dict, latest: dict, threshold: float) -> list[str]:
+def machine_factor(baseline: dict, latest: dict) -> float | None:
+    """now/base machine-speed ratio.
+
+    Both calibrated: the measured ratio. Neither calibrated: 1.0 — two
+    legacy entries still compare raw, which is all they ever supported.
+    Exactly one calibrated: None — no way to place the uncalibrated
+    entry's machine, the caller should re-baseline instead of comparing.
+    """
+    base_cal = baseline.get("calibration_ops_per_second") or 0.0
+    now_cal = latest.get("calibration_ops_per_second") or 0.0
+    if base_cal > 0.0 and now_cal > 0.0:
+        return now_cal / base_cal
+    if base_cal == 0.0 and now_cal == 0.0:
+        return 1.0
+    return None
+
+
+def compare(
+    baseline: dict,
+    latest: dict,
+    threshold: float,
+    p95_threshold: float,
+    factor: float = 1.0,
+) -> list[str]:
+    """*factor* is the machine-speed ratio (now/base); the baseline's
+    numbers are scaled by it so a scenario is only flagged when it lost
+    ground relative to what this machine, today, should deliver."""
     failures = []
     base_scenarios = baseline["scenarios"]
     for name, current in sorted(latest["scenarios"].items()):
         reference = base_scenarios.get(name)
         if reference is None:
             continue
-        base_ops = reference.get("ops_per_second", 0.0)
+        base_ops = reference.get("ops_per_second", 0.0) * factor
         now_ops = current.get("ops_per_second", 0.0)
-        if base_ops <= 0.0:
-            continue
-        drop = (base_ops - now_ops) / base_ops
-        if drop > threshold:
-            failures.append(
-                f"{name}: {base_ops:.1f} -> {now_ops:.1f} ops/s "
-                f"({drop * 100.0:.1f}% regression, limit {threshold * 100.0:.0f}%)"
-            )
+        if base_ops > 0.0:
+            drop = (base_ops - now_ops) / base_ops
+            if drop > threshold:
+                failures.append(
+                    f"{name}: {base_ops:.1f} -> {now_ops:.1f} ops/s "
+                    f"({drop * 100.0:.1f}% regression, limit {threshold * 100.0:.0f}%)"
+                )
+        # tail-latency gate: throughput can hold steady while the p95
+        # balloons (e.g. a new lock convoy) — gate it independently.
+        # latency scales inversely with machine speed
+        base_p95 = (reference.get("p95") or 0.0) / factor
+        now_p95 = current.get("p95") or 0.0
+        if base_p95 > 0.0 and now_p95 > 0.0:
+            growth = (now_p95 - base_p95) / base_p95
+            if growth > p95_threshold:
+                failures.append(
+                    f"{name}: p95 {base_p95 * 1000.0:.3f} -> {now_p95 * 1000.0:.3f} ms "
+                    f"(+{growth * 100.0:.1f}%, limit {p95_threshold * 100.0:.0f}%)"
+                )
     return failures
 
 
@@ -69,6 +120,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max tolerated fractional ops/s drop (default 0.20)")
+    parser.add_argument("--p95-threshold", type=float, default=0.25,
+                        help="max tolerated fractional p95 latency growth (default 0.25)")
     parser.add_argument("--file", default=str(TRAJECTORY_FILE),
                         help="trajectory file to check")
     args = parser.parse_args(argv)
@@ -82,12 +135,25 @@ def main(argv=None) -> int:
         )
         return 0
     baseline, latest = pair
-    failures = compare(baseline, latest, args.threshold)
+    factor = machine_factor(baseline, latest)
+    if factor is None:
+        print(
+            "bench regression gate: only one of the entries "
+            f"({baseline.get('commit', '?')[:12]} vs "
+            f"{latest.get('commit', '?')[:12]}) carries a machine "
+            "calibration — machine drift cannot be separated from code "
+            "regressions, so this comparison would be meaningless. "
+            "RE-BASELINING: the newest entry becomes the baseline for the "
+            "next gate run — pass"
+        )
+        return 0
+    failures = compare(baseline, latest, args.threshold, args.p95_threshold, factor)
     compared = sum(1 for name in latest["scenarios"] if name in baseline["scenarios"])
     if failures:
         print(
             f"bench regression gate: {len(failures)} of {compared} scenario(s) "
-            f"regressed vs commit {baseline.get('commit', '?')[:12]}:",
+            f"regressed vs commit {baseline.get('commit', '?')[:12]} "
+            f"(machine factor {factor:.2f}x):",
             file=sys.stderr,
         )
         for line in failures:
@@ -95,7 +161,9 @@ def main(argv=None) -> int:
         return 1
     print(
         f"bench regression gate: {compared} scenario(s) within "
-        f"{args.threshold * 100.0:.0f}% of commit {baseline.get('commit', '?')[:12]} — pass"
+        f"{args.threshold * 100.0:.0f}% ops/s and {args.p95_threshold * 100.0:.0f}% p95 "
+        f"of commit {baseline.get('commit', '?')[:12]} "
+        f"(machine factor {factor:.2f}x) — pass"
     )
     return 0
 
