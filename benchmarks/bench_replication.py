@@ -1,0 +1,198 @@
+"""REPL — cost of WAL shipping and the price of a failover.
+
+Two scenarios against the :mod:`repro.bank.cluster` pair. The first
+drives a stream of settled direct transfers at a lone primary and then
+at the same primary with one hot standby pulling the replication
+stream, and asserts the standby costs less than 30% ops/s: shipping is
+an in-memory log append on the commit path, and the standby pulls over
+its own connection. The second measures controlled failover end to end
+— primary crashes mid-stream, standby is promoted, and the clock stops
+at the first write the promoted node accepts through a rerouting
+cluster client. Both numbers land in the metrics sidecar
+(``bench.replication.standby_overhead``,
+``bench.replication.failover_seconds``).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bank.cluster import ClusterNode, cluster_client
+from repro.bank.server import GridBankServer
+from repro.db.database import Database
+from repro.net.rpc import RPCClient
+from repro.net.transport import InProcessNetwork
+from repro.obs import metrics as obs_metrics
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+TRANSFERS = 120
+FUNDS = 1_000_000.0
+OVERHEAD_LIMIT = 0.30
+FAILOVER_LIMIT_SECONDS = 5.0
+
+
+def build_pair(tmp, seed: int, with_standby: bool):
+    """A one- or two-node cluster over an in-process network, with a
+    funded account pair and a connected user client against the primary."""
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock,
+        rng=random.Random(seed), key_bits=512,
+    )
+    store = CertificateStore([ca.root_certificate])
+    # one logical bank: both nodes share the signing identity
+    bank_ident = ca.issue_identity(DistinguishedName("GridBank", "server"), key_bits=512)
+    network = InProcessNetwork()
+
+    def boot(address, node_seed):
+        bank = GridBankServer(
+            bank_ident, store, db=Database(path=tmp / address), clock=clock,
+            rng=random.Random(node_seed), open_enrollment=True,
+        )
+        bank.recover()
+        network.listen(address, bank.connection_handler)
+        return bank
+
+    primary = boot("primary", seed + 1)
+    node_p = ClusterNode(primary, "primary", network.connect)
+    nodes = [node_p]
+    standby = None
+    if with_standby:
+        standby = boot("standby", seed + 2)
+        node_s = ClusterNode(standby, "standby", network.connect)
+        node_s.follow("primary")
+        nodes.append(node_s)
+
+    user = ca.issue_identity(DistinguishedName("VO-A", "payer"), key_bits=512)
+    client = RPCClient(
+        network.connect("primary"), user, store,
+        clock=clock, rng=random.Random(seed + 7),
+    )
+    client.connect()
+    src = client.call("CreateAccount", organization_name="VO-A")["account_id"]
+    dst = client.call("CreateAccount", organization_name="VO-A")["account_id"]
+    primary.accounts.deposit(src, Credits(FUNDS))
+    return {
+        "clock": clock, "ca": ca, "store": store, "network": network,
+        "primary": primary, "standby": standby, "nodes": nodes,
+        "client": client, "user": user, "src": src, "dst": dst,
+    }
+
+
+def teardown_pair(world):
+    world["client"].close()
+    for node in world["nodes"]:
+        node._stop_replicator()
+
+
+def wait_caught_up(world, timeout: float = 8.0):
+    deadline = time.monotonic() + timeout
+    primary, standby = world["primary"], world["standby"]
+    while time.monotonic() < deadline:
+        if primary.db.replication_position() == standby.db.replication_position():
+            return
+        time.sleep(0.002)
+    raise AssertionError("standby never caught up with the primary")
+
+
+def transfer_storm(world) -> float:
+    """ops/s of TRANSFERS settled transfers against the primary."""
+    client, src, dst = world["client"], world["src"], world["dst"]
+    start = time.perf_counter()
+    for _ in range(TRANSFERS):
+        client.call(
+            "RequestDirectTransfer",
+            from_account=src, to_account=dst,
+            amount=Credits(1), recipient_address="", rur_blob=b"",
+        )
+    return TRANSFERS / (time.perf_counter() - start)
+
+
+def test_repl_standby_overhead(benchmark, tmp_path):
+    """One hot standby pulling the stream costs < 30% primary ops/s."""
+
+    rounds = iter(range(100))
+
+    def compare():
+        tmp = tmp_path / f"round-{next(rounds)}"
+        solo_world = build_pair(tmp / "solo", seed=401, with_standby=False)
+        try:
+            solo = max(transfer_storm(solo_world) for _ in range(2))
+        finally:
+            teardown_pair(solo_world)
+        pair_world = build_pair(tmp / "pair", seed=401, with_standby=True)
+        try:
+            shipped = max(transfer_storm(pair_world) for _ in range(2))
+            wait_caught_up(pair_world)
+            # the standby really replayed the storm, byte for byte of state
+            replica = pair_world["standby"]
+            assert replica.db.count("transfers") == 2 * TRANSFERS
+            assert replica.accounts.total_bank_funds() == Credits(FUNDS)
+        finally:
+            teardown_pair(pair_world)
+        return solo, shipped
+
+    solo, shipped = benchmark.pedantic(compare, rounds=2, iterations=1)
+    overhead = (solo - shipped) / solo if solo > 0 else 0.0
+    obs_metrics.gauge("bench.replication.standby_overhead").set(overhead)
+    obs_metrics.gauge("bench.replication.solo_ops").set(solo)
+    obs_metrics.gauge("bench.replication.shipped_ops").set(shipped)
+    assert overhead < OVERHEAD_LIMIT, (
+        f"standby costs {overhead * 100.0:.1f}% ops/s "
+        f"({solo:.1f} -> {shipped:.1f}), limit {OVERHEAD_LIMIT * 100.0:.0f}%"
+    )
+
+
+def test_repl_failover_time(benchmark, tmp_path):
+    """Wall time from primary crash to the first write the promoted
+    standby accepts through a rerouting cluster client."""
+
+    rounds = iter(range(100))
+
+    def failover() -> float:
+        world = build_pair(tmp_path / f"round-{next(rounds)}", seed=409, with_standby=True)
+        try:
+            node_p, node_s = world["nodes"]
+            # a caught-up pair mid-stream is the realistic starting point
+            for _ in range(20):
+                world["client"].call(
+                    "RequestDirectTransfer",
+                    from_account=world["src"], to_account=world["dst"],
+                    amount=Credits(1), recipient_address="", rur_blob=b"",
+                )
+            wait_caught_up(world)
+            api = cluster_client(
+                world["user"], world["store"], world["network"].connect,
+                ("primary", "standby"), clock=world["clock"],
+                rng=random.Random(11),
+            )
+            try:
+                start = time.perf_counter()
+                node_p.crash()
+                node_s.promote(reason="bench")
+                api.call(
+                    "RequestDirectTransfer",
+                    from_account=world["src"], to_account=world["dst"],
+                    amount=Credits(1), recipient_address="", rur_blob=b"",
+                )
+                elapsed = time.perf_counter() - start
+            finally:
+                api.close()
+            survivor = world["standby"]
+            assert survivor.db.count("transfers") == 21
+            assert survivor.accounts.total_bank_funds() == Credits(FUNDS)
+            assert survivor.role == "primary"
+            return elapsed
+        finally:
+            teardown_pair(world)
+
+    elapsed = benchmark.pedantic(failover, rounds=2, iterations=1)
+    obs_metrics.gauge("bench.replication.failover_seconds").set(elapsed)
+    assert elapsed < FAILOVER_LIMIT_SECONDS, (
+        f"failover took {elapsed:.2f}s, limit {FAILOVER_LIMIT_SECONDS:.0f}s"
+    )

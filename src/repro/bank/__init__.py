@@ -8,6 +8,8 @@ Payment Protocol Layer (:mod:`repro.payments`), and the Security Layer
 :class:`repro.bank.server.GridBankServer`. :mod:`repro.bank.branch`
 implements the sec 6 future-work multi-branch settlement, and
 :mod:`repro.bank.pricing` the sec 4.2 market-value estimation.
+:mod:`repro.bank.cluster` replicates a bank across nodes (WAL shipping,
+hot-standby failover, read replicas).
 """
 
 from repro.bank.records import (
@@ -30,6 +32,11 @@ _LAZY = {
     "GridBankServer": ("repro.bank.server", "GridBankServer"),
     "BranchNetwork": ("repro.bank.branch", "BranchNetwork"),
     "SettlementBatch": ("repro.bank.branch", "SettlementBatch"),
+    "ClusterNode": ("repro.bank.cluster", "ClusterNode"),
+    "StandbyReplicator": ("repro.bank.cluster", "StandbyReplicator"),
+    "PrimaryRouter": ("repro.bank.cluster", "PrimaryRouter"),
+    "ReplicatedBranch": ("repro.bank.cluster", "ReplicatedBranch"),
+    "cluster_client": ("repro.bank.cluster", "cluster_client"),
 }
 
 
@@ -55,4 +62,9 @@ __all__ = [
     "PriceEstimator",
     "BranchNetwork",
     "SettlementBatch",
+    "ClusterNode",
+    "StandbyReplicator",
+    "PrimaryRouter",
+    "ReplicatedBranch",
+    "cluster_client",
 ]

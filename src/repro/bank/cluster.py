@@ -1,0 +1,695 @@
+"""Primary/standby GridBank cluster — WAL shipping over the RPC layer.
+
+The paper's sec 6 anticipates "multiple servers/branches across the
+Grid"; PR 4 made one bank fast, this module keeps it *available*. A
+:class:`ClusterNode` wraps a :class:`~repro.bank.server.GridBankServer`
+and exposes the replication stream as ordinary authenticated RPC
+operations on the bank's own endpoint:
+
+``Replication.Status``
+    position + role + fencing epoch (peers and admins only).
+``Replication.Snapshot``
+    full :meth:`~repro.db.database.Database.state_dump` bootstrap.
+``Replication.Fetch``
+    long-poll the :class:`~repro.db.replication.ReplicationLog` for
+    committed journal lines after ``(epoch, seq)``. Refuses with
+    :class:`~repro.errors.NotPrimaryError` on a non-primary, so a
+    standby whose upstream was demoted re-routes automatically.
+``Cluster.Promote`` / ``Cluster.Demote``
+    controlled failover (admin-only promote; demote carries the new
+    fencing epoch and is refused unless it is strictly newer).
+
+A standby pulls the stream on a background :class:`StandbyReplicator`
+thread and replays each line through
+:meth:`~repro.db.database.Database.apply_replicated` — the exact
+recovery path a crashed primary would take — so replica state, *reply
+cache included*, is byte-identical by construction. That last point is
+the availability half of exactly-once: the reply cache commits in the
+same WAL line as each operation's ledger effects, ships in the same
+stream, and therefore a client retrying an in-flight call against the
+promoted standby gets the original reply instead of a double-apply.
+
+Fencing: every node carries a ``cluster_epoch``. Promotion bumps it;
+the new primary best-effort demotes the old one with the bumped epoch,
+and a node only ever accepts a demotion carrying a *strictly newer*
+epoch — a stale ex-primary cannot fence the node that replaced it. A
+demoted ex-primary does NOT rejoin the stream automatically: its WAL
+may have committed lines the new primary never saw (the shipping window
+is asynchronous), so rejoining requires an explicit
+:meth:`ClusterNode.follow` with ``resync=True``, which discards local
+state for a fresh snapshot bootstrap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.bank.server import GridBankServer
+from repro.db.replication import FETCH_OK, FETCH_RESYNC
+from repro.errors import AuthorizationError, NotPrimaryError, ReproError, TransportError
+from repro.net.rpc import RPCClient
+from repro.net.retry import RetryPolicy
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
+
+__all__ = ["ClusterNode", "StandbyReplicator", "PrimaryRouter", "ReplicatedBranch", "cluster_client"]
+
+_log = get_logger("bank.cluster")
+
+
+class ClusterNode:
+    """One bank process in a replicated cluster.
+
+    *connect* is the transport dialer (``address -> connection``), e.g.
+    ``network.connect`` for the in-process transport or a
+    ``TCPClientConnection`` lambda. Nodes of one logical bank normally
+    share the bank's identity — a cheque signed by the primary must
+    still verify on the promoted standby — and a caller presenting that
+    shared credential is automatically a cluster peer; *peer_subjects*
+    adds further subjects (split-identity topologies), and the bank's
+    administrators always qualify.
+    """
+
+    def __init__(
+        self,
+        bank: GridBankServer,
+        address: str,
+        connect: Callable[[str], object],
+        peer_subjects: Iterable[str] = (),
+        lease_timeout: Optional[float] = None,
+        auto_promote: bool = False,
+        staleness_bound: Optional[float] = None,
+        poll_interval: float = 0.02,
+        fetch_batch: int = 256,
+        long_poll: float = 0.5,
+    ) -> None:
+        self.bank = bank
+        self.address = address
+        self.connect = connect
+        self.peer_subjects = set(peer_subjects)
+        self.lease_timeout = lease_timeout
+        self.auto_promote = auto_promote
+        self.staleness_bound = staleness_bound
+        self.poll_interval = poll_interval
+        self.fetch_batch = fetch_batch
+        #: server-side wait when the stream is dry — the fetch parks on
+        #: the log's condition and wakes the instant a line commits, so a
+        #: longer value means FEWER round-trips AND lower shipping latency
+        self.long_poll = long_poll
+        #: fencing token — promotion bumps it, demotion only ever accepts
+        #: a strictly newer one
+        self.cluster_epoch = 1
+        self.log = bank.db.enable_replication()
+        self.replicator: Optional[StandbyReplicator] = None
+        self._last_caught_up = bank.clock.epoch()
+        self._role_lock = threading.RLock()
+        bank.primary_address = address if bank.role == "primary" else bank.primary_address
+        self._register_operations()
+
+    # -- roles ---------------------------------------------------------------
+
+    def follow(self, primary_address: str, resync: bool = False) -> "StandbyReplicator":
+        """Become (or re-point) a standby of *primary_address*.
+
+        ``resync=True`` discards local position and bootstraps from a
+        fresh snapshot — required when this node's WAL may have diverged
+        (an ex-primary rejoining after failover).
+        """
+        with self._role_lock:
+            self._stop_replicator()
+            bank = self.bank
+            bank.role = "standby"
+            bank.primary_address = primary_address
+            bank.read_staleness_bound = self.staleness_bound
+            bank.replica_lag = self.lag_seconds
+            replicator = StandbyReplicator(self, primary_address, resync=resync)
+            self.replicator = replicator
+            replicator.start()
+            _log.info(
+                "cluster.follow", node=self.address, primary=primary_address, resync=resync
+            )
+            return replicator
+
+    def promote(self, reason: str = "manual") -> dict:
+        """Make this node the primary: drain whatever tail of the stream
+        is still reachable, rescan in-memory state from the replicated
+        tables, bump the fencing epoch, accept writes, and best-effort
+        demote the old primary. Idempotent on an existing primary."""
+        with self._role_lock:
+            bank = self.bank
+            if bank.role == "primary":
+                return self.status()
+            replicator = self.replicator
+            old_primary = bank.primary_address
+            with obs_trace.span(
+                "replication.promote", kind="cluster", node=self.address, reason=reason
+            ):
+                # stop the poll thread first so the drain below is the
+                # only writer replaying the stream
+                self._stop_replicator()
+                if replicator is not None:
+                    replicator.drain_tail()
+                # the replicated WAL repopulated tables underneath the
+                # layers; counters/caches must resync before any write
+                bank.rescan_state()
+                self.cluster_epoch += 1
+                bank.role = "primary"
+                bank.primary_address = self.address
+                bank.read_staleness_bound = None
+                bank.replica_lag = None
+            obs_metrics.counter("replication.failovers").inc()
+            epoch, seq = bank.db.replication_position()
+            _log.info(
+                "cluster.promoted",
+                node=self.address,
+                reason=reason,
+                cluster_epoch=self.cluster_epoch,
+                epoch=epoch,
+                seq=seq,
+            )
+            if old_primary and old_primary != self.address:
+                self._demote_peer(old_primary)
+            return self.status()
+
+    def demote(self, cluster_epoch: int, primary_address: str) -> None:
+        """Fence this node out in favour of *primary_address*.
+
+        Only a strictly newer fencing epoch is honoured — a stale
+        ex-primary replaying an old demotion cannot fence the node that
+        superseded it. The demoted node stops accepting writes but does
+        NOT auto-rejoin the stream (see module docstring)."""
+        with self._role_lock:
+            if cluster_epoch <= self.cluster_epoch:
+                raise AuthorizationError(
+                    f"stale demotion: epoch {cluster_epoch} <= current {self.cluster_epoch}"
+                )
+            self._stop_replicator()
+            self.cluster_epoch = cluster_epoch
+            self.bank.role = "standby"
+            self.bank.primary_address = primary_address
+            self.bank.read_staleness_bound = self.staleness_bound
+            # no replicator: the lag is unknown/unbounded until an
+            # explicit resync, so reads past the bound must refuse
+            self.bank.replica_lag = self.lag_seconds
+            _log.info(
+                "cluster.demoted",
+                node=self.address,
+                new_primary=primary_address,
+                cluster_epoch=cluster_epoch,
+            )
+
+    def crash(self) -> None:
+        """Simulate process death: the endpoint stops answering anything
+        (clients see connection-closed transport errors) and the
+        replicator, if any, halts. Database state stays on disk exactly
+        as a real crash would leave it."""
+        self.bank.endpoint.crashed = True
+        self._stop_replicator()
+        _log.warning("cluster.crashed", node=self.address)
+
+    def _stop_replicator(self) -> None:
+        replicator = self.replicator
+        self.replicator = None
+        if replicator is not None:
+            replicator.stop()
+
+    def _demote_peer(self, address: str) -> None:
+        try:
+            client = self._peer_client(address)
+            try:
+                client.call(
+                    "Cluster.Demote",
+                    cluster_epoch=self.cluster_epoch,
+                    primary_address=self.address,
+                )
+            finally:
+                client.close()
+        except (ReproError, OSError) as exc:
+            # best-effort: a dead old primary is fenced by construction
+            # (it cannot demote us back without a newer epoch)
+            _log.info(
+                "cluster.demote_unreachable",
+                peer=address,
+                error=type(exc).__name__,
+                reason=str(exc),
+            )
+
+    def _peer_client(self, address: str) -> RPCClient:
+        client = RPCClient(
+            self.connect(address),
+            self.bank.identity,
+            self.bank.endpoint.trust_store,
+            clock=self.bank.clock,
+        )
+        client.connect()
+        return client
+
+    # -- observability -------------------------------------------------------
+
+    def lag_records(self) -> int:
+        replicator = self.replicator
+        if replicator is None:
+            return 0
+        return replicator.lag_records
+
+    def lag_seconds(self) -> float:
+        """Seconds since this node last knew it matched the primary.
+
+        With no running replicator (a fenced ex-primary, or a standby
+        whose thread died) the lag grows without bound from the last
+        caught-up instant — which is exactly what the staleness guard
+        should see. A primary is its own source of truth: zero."""
+        if self.bank.role == "primary":
+            return 0.0
+        replicator = self.replicator
+        marker = replicator.caught_up_at if replicator is not None else self._last_caught_up
+        return max(0.0, self.bank.clock.epoch() - marker)
+
+    def status(self) -> dict:
+        epoch, seq = self.bank.db.replication_position()
+        return {
+            "node": self.address,
+            "role": self.bank.role,
+            "primary_address": self.bank.primary_address or "",
+            "cluster_epoch": self.cluster_epoch,
+            "epoch": epoch,
+            "seq": seq,
+            "lag_records": self.lag_records(),
+            "lag_seconds": self.lag_seconds(),
+        }
+
+    # -- replication RPC operations -----------------------------------------
+
+    def _require_peer(self, subject: str) -> None:
+        # nodes of one logical bank share the bank's identity (payment
+        # instruments signed by the primary must verify on the promoted
+        # standby), so a caller holding the bank's own credential IS the
+        # cluster; peer_subjects covers split-identity topologies
+        if (
+            subject == self.bank.subject
+            or subject in self.peer_subjects
+            or self.bank.admin.is_administrator(subject)
+        ):
+            return
+        raise AuthorizationError(
+            f"subject {subject!r} is neither a cluster peer nor an administrator"
+        )
+
+    def _register_operations(self) -> None:
+        endpoint = self.bank.endpoint
+        instrument = self.bank._instrumented
+        endpoint.register("Replication.Status", instrument(self.op_replication_status))
+        endpoint.register("Replication.Snapshot", instrument(self.op_replication_snapshot))
+        endpoint.register("Replication.Fetch", instrument(self.op_replication_fetch))
+        endpoint.register("Cluster.Promote", instrument(self.op_cluster_promote))
+        endpoint.register("Cluster.Demote", instrument(self.op_cluster_demote))
+
+    def op_replication_status(self, subject: str, params: dict) -> dict:
+        self._require_peer(subject)
+        return self.status()
+
+    def op_replication_snapshot(self, subject: str, params: dict) -> dict:
+        self._require_peer(subject)
+        if self.bank.role != "primary":
+            raise NotPrimaryError.for_primary(
+                self.bank.primary_address, "snapshot bootstrap requires the primary"
+            )
+        state = self.bank.db.state_dump()
+        obs_metrics.counter("replication.snapshots_served").inc()
+        return {"state": state, "cluster_epoch": self.cluster_epoch}
+
+    def op_replication_fetch(self, subject: str, params: dict) -> dict:
+        self._require_peer(subject)
+        if self.bank.role != "primary":
+            raise NotPrimaryError.for_primary(
+                self.bank.primary_address, "the replication stream requires the primary"
+            )
+        status, epoch, last_seq, records = self.log.fetch(
+            int(params.get("epoch", 0)),
+            int(params.get("from_seq", 0)),
+            max_records=int(params.get("max_records", self.fetch_batch)),
+            timeout=min(float(params.get("timeout", 0.0)), 1.0),
+        )
+        if records:
+            obs_metrics.counter("replication.records_shipped").inc(len(records))
+            obs_trace.add_event(
+                "replication.ship", peer=subject, count=len(records), last_seq=last_seq
+            )
+        return {
+            "status": status,
+            "epoch": epoch,
+            "last_seq": last_seq,
+            "records": records,
+            "cluster_epoch": self.cluster_epoch,
+        }
+
+    def op_cluster_promote(self, subject: str, params: dict) -> dict:
+        if not self.bank.admin.is_administrator(subject):
+            raise AuthorizationError(f"subject {subject!r} is not an administrator")
+        return self.promote(reason=str(params.get("reason", "operator")))
+
+    def op_cluster_demote(self, subject: str, params: dict) -> dict:
+        self._require_peer(subject)
+        self.demote(int(params["cluster_epoch"]), str(params.get("primary_address", "")))
+        return self.status()
+
+
+class StandbyReplicator(threading.Thread):
+    """Pull loop: stream committed WAL lines from the primary and replay
+    them locally. Tracks lag for the staleness guard and, when the node
+    is configured with ``auto_promote`` + ``lease_timeout``, promotes
+    the node once the primary has been silent past the lease."""
+
+    def __init__(self, node: ClusterNode, primary_address: str, resync: bool = False) -> None:
+        super().__init__(name=f"replicator-{node.address}", daemon=True)
+        self.node = node
+        self.primary_address = primary_address
+        self._need_bootstrap = resync
+        self._stop_event = threading.Event()
+        self._client: Optional[RPCClient] = None
+        clock = node.bank.clock
+        #: last successful exchange with the primary (lease basis)
+        self.last_contact = clock.epoch()
+        #: last instant this node knew it matched the primary's position
+        self.caught_up_at = clock.epoch()
+        self.lag_records = 0
+        self._lag_records_gauge = obs_metrics.gauge("replication.lag_records")
+        self._lag_seconds_gauge = obs_metrics.gauge("replication.lag_seconds")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        client = self._client
+        self._client = None
+        if client is not None:
+            try:
+                client.close()
+            except ReproError:
+                pass
+        if self.is_alive() and threading.current_thread() is not self:
+            self.join(timeout=5.0)
+        self.node._last_caught_up = self.caught_up_at
+
+    def run(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                self._ensure_client()
+                if self._need_bootstrap:
+                    self._bootstrap_snapshot()
+                advanced = self._poll_once()
+                if not advanced or self.lag_records == 0:
+                    # group shipping: once caught up, pause one poll
+                    # interval so the next fetch carries a batch instead
+                    # of answering every primary commit with its own
+                    # signed RPC round-trip. A backlog (lag > 0) drains
+                    # at full speed with no pause.
+                    self._idle()
+            except NotPrimaryError as exc:
+                self._reroute(exc)
+            except (ReproError, OSError) as exc:
+                self._disconnect()
+                _log.debug(
+                    "replication.poll_failed",
+                    node=self.node.address,
+                    primary=self.primary_address,
+                    error=type(exc).__name__,
+                )
+                self._maybe_auto_promote()
+                self._idle()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _ensure_client(self) -> None:
+        if self._client is None:
+            self._client = self.node._peer_client(self.primary_address)
+
+    def _disconnect(self) -> None:
+        client = self._client
+        self._client = None
+        if client is not None:
+            try:
+                client.close()
+            except ReproError:
+                pass
+
+    def _idle(self) -> None:
+        # real-time pacing, independent of the bank's (possibly virtual)
+        # clock: the poll loop must keep breathing even when nothing
+        # advances simulated time
+        self._stop_event.wait(self.node.poll_interval)
+
+    def _reroute(self, exc: NotPrimaryError) -> None:
+        address = exc.primary_address
+        if address and address not in (self.primary_address, self.node.address):
+            _log.info(
+                "replication.reroute",
+                node=self.node.address,
+                old=self.primary_address,
+                new=address,
+            )
+            self.primary_address = address
+            self.node.bank.primary_address = address
+            self._disconnect()
+        else:
+            self._maybe_auto_promote()
+            self._idle()
+
+    def _bootstrap_snapshot(self) -> None:
+        assert self._client is not None
+        reply = self._client.call("Replication.Snapshot")
+        node = self.node
+        with obs_trace.span("replication.bootstrap", kind="cluster", node=node.address):
+            node.bank.db.load_state(reply["state"])
+            node.bank.rescan_state()
+        node.cluster_epoch = max(node.cluster_epoch, int(reply["cluster_epoch"]))
+        self._need_bootstrap = False
+        self._mark_contact(caught_up=False)
+        obs_metrics.counter("replication.bootstraps").inc()
+        epoch, seq = node.bank.db.replication_position()
+        _log.info("replication.bootstrapped", node=node.address, epoch=epoch, seq=seq)
+
+    def _poll_once(self) -> bool:
+        """One fetch+replay round; returns True when records advanced."""
+        assert self._client is not None
+        node = self.node
+        db = node.bank.db
+        epoch, seq = db.replication_position()
+        reply = self._client.call(
+            "Replication.Fetch",
+            epoch=epoch,
+            from_seq=seq,
+            max_records=node.fetch_batch,
+            timeout=node.long_poll,
+        )
+        node.cluster_epoch = max(node.cluster_epoch, int(reply.get("cluster_epoch", 0)))
+        if reply["status"] == FETCH_RESYNC:
+            self._need_bootstrap = True
+            self._mark_contact(caught_up=False)
+            return True
+        if seq > int(reply["last_seq"]):
+            # the replica is AHEAD of the primary within the same epoch:
+            # something wrote to this database locally (not through the
+            # stream), so its contents have silently diverged. A plain
+            # fetch would return empty forever; force a snapshot resync.
+            obs_metrics.counter("replication.divergence_resyncs").inc()
+            _log.warning(
+                "replication.diverged",
+                node=node.address,
+                local_seq=seq,
+                primary_seq=int(reply["last_seq"]),
+            )
+            self._need_bootstrap = True
+            self._mark_contact(caught_up=False)
+            return True
+        records = reply["records"]
+        if records:
+            with obs_trace.span(
+                "replication.replay", kind="cluster", node=node.address, count=len(records)
+            ):
+                for record_seq, payload in records:
+                    db.apply_replicated(int(record_seq), payload)
+            obs_metrics.counter("replication.records_applied").inc(len(records))
+        _, seq_after = db.replication_position()
+        self.lag_records = max(0, int(reply["last_seq"]) - seq_after)
+        self._mark_contact(caught_up=self.lag_records == 0)
+        return bool(records)
+
+    def drain_tail(self) -> int:
+        """Best-effort synchronous catch-up before promotion: pull
+        whatever the (possibly dead) upstream can still serve until the
+        stream runs dry. Errors are swallowed — a dead primary simply
+        means the tail is whatever already shipped, which is the
+        documented RPO window of asynchronous shipping."""
+        applied = 0
+        try:
+            client = self.node._peer_client(self.primary_address)
+        except (ReproError, OSError):
+            return applied
+        try:
+            db = self.node.bank.db
+            while True:
+                epoch, seq = db.replication_position()
+                reply = client.call(
+                    "Replication.Fetch",
+                    epoch=epoch,
+                    from_seq=seq,
+                    max_records=self.node.fetch_batch,
+                    timeout=0.0,
+                )
+                if reply["status"] != FETCH_OK or not reply["records"]:
+                    break
+                for record_seq, payload in reply["records"]:
+                    db.apply_replicated(int(record_seq), payload)
+                    applied += 1
+        except (ReproError, OSError):
+            pass
+        finally:
+            try:
+                client.close()
+            except ReproError:
+                pass
+        if applied:
+            obs_metrics.counter("replication.records_applied").inc(applied)
+            _log.info(
+                "replication.tail_drained", node=self.node.address, records=applied
+            )
+        return applied
+
+    def _mark_contact(self, caught_up: bool) -> None:
+        now = self.node.bank.clock.epoch()
+        self.last_contact = now
+        if caught_up:
+            self.caught_up_at = now
+        self._lag_records_gauge.set(float(self.lag_records))
+        self._lag_seconds_gauge.set(max(0.0, now - self.caught_up_at))
+
+    def _maybe_auto_promote(self) -> None:
+        node = self.node
+        if not node.auto_promote or node.lease_timeout is None:
+            return
+        if node.bank.role != "standby":
+            return
+        silent = node.bank.clock.epoch() - self.last_contact
+        if silent > node.lease_timeout:
+            _log.warning(
+                "replication.lease_expired",
+                node=node.address,
+                silent=silent,
+                lease=node.lease_timeout,
+            )
+            node.promote(reason="lease-timeout")
+            self._stop_event.set()
+
+
+class PrimaryRouter:
+    """Reconnect factory that walks a cluster's addresses.
+
+    Plugs into :class:`~repro.net.rpc.RPCClient` as its *reconnect*
+    callable. Each invocation dials the head of the rotation and then
+    advances it, so a client that keeps reconnecting (dead node, fenced
+    ex-primary) probes the whole ring instead of hammering one member;
+    :meth:`hint` — fed by the client from a
+    :class:`~repro.errors.NotPrimaryError` redirect — moves the
+    advertised primary to the front so the very next attempt lands
+    there. One router serves one client: the client's nonce (and with it
+    every idempotency key) survives the re-route, which is what makes a
+    retried in-flight call exactly-once across failover.
+    """
+
+    def __init__(self, connect: Callable[[str], object], addresses: Iterable[str]) -> None:
+        self._connect = connect
+        self._order = deque(dict.fromkeys(addresses))
+        if not self._order:
+            raise ValueError("PrimaryRouter needs at least one address")
+        self.current: Optional[str] = None
+
+    def hint(self, address: Optional[str]) -> None:
+        if not address:
+            return
+        try:
+            self._order.remove(address)
+        except ValueError:
+            pass
+        self._order.appendleft(address)
+
+    def __call__(self):
+        last_error: Optional[Exception] = None
+        for _ in range(len(self._order)):
+            address = self._order[0]
+            self._order.rotate(-1)
+            try:
+                connection = self._connect(address)
+            except (TransportError, OSError) as exc:
+                last_error = exc
+                continue
+            self.current = address
+            return connection
+        if isinstance(last_error, TransportError):
+            raise last_error
+        raise TransportError(
+            f"no cluster member reachable: {last_error}"
+        ) from last_error
+
+
+def cluster_client(
+    credential,
+    trust_store,
+    connect: Callable[[str], object],
+    addresses: Iterable[str],
+    clock=None,
+    rng=None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> RPCClient:
+    """A connected, failover-aware :class:`RPCClient`: routes through a
+    :class:`PrimaryRouter` and retries under *retry_policy* (a default
+    policy is supplied — routing requires one, since redirects consume
+    retry attempts)."""
+    router = PrimaryRouter(connect, addresses)
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_attempts=8, base_delay=0.02, max_delay=0.5)
+    client = RPCClient(
+        router(),
+        credential,
+        trust_store,
+        clock=clock,
+        rng=rng,
+        retry_policy=retry_policy,
+        reconnect=router,
+    )
+    client.connect()
+    return client
+
+
+class ReplicatedBranch:
+    """Duck-typed :class:`~repro.bank.server.GridBankServer` facade over a
+    replicated pair (or larger group) for
+    :class:`~repro.bank.branch.BranchNetwork`: account/admin access
+    always resolves to the group's current live primary, so branch
+    settlement keeps working across a failover."""
+
+    def __init__(self, *nodes: ClusterNode) -> None:
+        if not nodes:
+            raise ValueError("ReplicatedBranch needs at least one node")
+        self._nodes = nodes
+        self.bank_number = nodes[0].bank.bank_number
+        self.branch_number = nodes[0].bank.branch_number
+
+    @property
+    def primary_node(self) -> ClusterNode:
+        for node in self._nodes:
+            if node.bank.role == "primary" and not node.bank.endpoint.crashed:
+                return node
+        raise NotPrimaryError("no live primary in the replicated group")
+
+    @property
+    def accounts(self):
+        return self.primary_node.bank.accounts
+
+    @property
+    def admin(self):
+        return self.primary_node.bank.admin

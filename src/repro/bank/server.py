@@ -30,7 +30,13 @@ from repro.bank.pricing import PriceEstimator, ResourceDescription
 from repro.bank.replies import ReplyCache
 from repro.bank.security import bank_authorization_policy
 from repro.db.database import Database
-from repro.errors import AuthorizationError, ReproError, ValidationError
+from repro.errors import (
+    AuthorizationError,
+    NotPrimaryError,
+    ReplicaStaleError,
+    ReproError,
+    ValidationError,
+)
 from repro.gsi.authorization import CallbackPolicy
 from repro.net.rpc import Operation, ServiceEndpoint, current_request
 from repro.obs import metrics as obs_metrics
@@ -99,6 +105,15 @@ class GridBankServer:
         # miss the reply cache and double-execute
         self._key_locks = tuple(threading.Lock() for _ in range(64))
 
+        # replication role, managed by repro.bank.cluster.ClusterNode: a
+        # "standby" rejects mutating ops with NotPrimaryError (carrying
+        # primary_address when known) and guards reads behind the
+        # staleness bound; promotion flips role back to "primary"
+        self.role = "primary"
+        self.primary_address: Optional[str] = None
+        self.read_staleness_bound: Optional[float] = None
+        self.replica_lag: Optional[Callable[[], float]] = None
+
         base_policy = bank_authorization_policy(self.accounts, self.admin)
         if open_enrollment:
             policy = CallbackPolicy(lambda s: True, description="open enrollment")
@@ -125,12 +140,22 @@ class GridBankServer:
         transactions.
         """
         replayed = self.db.recover()
+        self.rescan_state()
+        return replayed
+
+    def rescan_state(self) -> None:
+        """Re-derive every in-memory counter/cache from database state.
+
+        Used after :meth:`recover`, and again when a standby is promoted:
+        the replicated WAL repopulated the tables underneath the layers,
+        so id counters, the reply cache index and the span store must
+        resync before the node accepts writes.
+        """
         self.accounts.rescan_ids()
         self.registry.rescan_ids()
         self.replies.rescan()
         self.spans.rescan()
         obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
-        return replayed
 
     def connection_handler(self):
         return self.endpoint.connection_handler()
@@ -215,6 +240,53 @@ class GridBankServer:
                         self.replies.store(key, subject, method, result)
             obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
             return result
+
+        dispatch.__name__ = operation.__name__
+        return dispatch
+
+    def _primary_only(self, method: str, operation: Operation) -> Operation:
+        """Reject mutating dispatch on any node not currently primary.
+
+        The check sits *outside* the exactly-once wrapper: a standby must
+        refuse before consulting the reply cache, because its cache only
+        reflects what has replicated so far — answering from it could
+        serve a stale reply for a call the primary has since superseded.
+        The raised :class:`~repro.errors.NotPrimaryError` carries the
+        primary's address (when this node knows it) so routing clients
+        redirect without a topology lookup.
+        """
+        rejections = obs_metrics.counter("bank.not_primary_rejections")
+
+        def dispatch(subject: str, params: dict):
+            if self.role != "primary":
+                rejections.inc()
+                raise NotPrimaryError.for_primary(
+                    self.primary_address,
+                    f"{method} requires the primary; this node is a {self.role}",
+                )
+            return operation(subject, params)
+
+        dispatch.__name__ = operation.__name__
+        return dispatch
+
+    def _staleness_guarded(self, operation: Operation) -> Operation:
+        """Bounded-staleness reads on standbys: when the replica's lag
+        (seconds since it last matched the primary's position) exceeds
+        the configured bound, refuse with a typed error instead of
+        silently serving arbitrarily old state. Primaries — and standbys
+        without a configured bound — serve reads unconditionally."""
+
+        def dispatch(subject: str, params: dict):
+            if self.role != "primary":
+                bound = self.read_staleness_bound
+                lag_of = self.replica_lag
+                if bound is not None and lag_of is not None:
+                    lag = lag_of()
+                    if lag > bound:
+                        raise ReplicaStaleError(
+                            f"replica lag {lag:.3f}s exceeds the staleness bound {bound:.3f}s"
+                        )
+            return operation(subject, params)
 
         dispatch.__name__ = operation.__name__
         return dispatch
@@ -338,8 +410,13 @@ class GridBankServer:
         ) -> None:
             if method in self.MUTATING_OPS:
                 operation = self._exactly_once(method, operation, accounts_of)
+                operation = self._primary_only(method, operation)
             else:
                 operation = self._read_only(operation, accounts_of)
+                # BankInfo stays serveable on any node at any lag — it is
+                # how clients discover roles/addresses in the first place
+                if method != "BankInfo":
+                    operation = self._staleness_guarded(operation)
             self.endpoint.register(method, self._instrumented(operation))
 
         account = self._param_accounts("account_id")
@@ -412,6 +489,8 @@ class GridBankServer:
             "bank_number": self.bank_number,
             "branch_number": self.branch_number,
             "public_key": public_key_to_dict(self.identity.private_key.public_key()),
+            "role": self.role,
+            "primary_address": self.primary_address or "",
         }
 
     def op_create_account(self, subject: str, params: dict) -> dict:

@@ -11,6 +11,9 @@ invocations::
     python -m repro.cli balance --home ./mybank --account 01-0001-00000001
     python -m repro.cli statement --home ./mybank --account 01-0001-00000001
     python -m repro.cli serve --home ./mybank --port 7776   # real TCP service
+    python -m repro.cli serve --home ./standby --port 7777 --standby-of 127.0.0.1:7776
+    python -m repro.cli promote --credential admin.gbk --address 127.0.0.1:7777
+    python -m repro.cli cluster-status --credential admin.gbk --address 127.0.0.1:7777
     python -m repro.cli metrics --home ./mybank [--json]    # observability dump
     python -m repro.cli metrics export --home ./mybank      # Prometheus text
     python -m repro.cli trace show <trace-id> --home ./mybank
@@ -117,6 +120,33 @@ def cmd_init(args) -> int:
     db.close()
     print(f"initialized GridBank {args.bank_number:02d}-{args.branch_number:04d} at {home}")
     print(f"bank subject: {identity.subject}")
+    return 0
+
+
+def cmd_init_standby(args) -> int:
+    """Create a standby home for an existing bank.
+
+    The standby is the same logical bank running as a second process, so
+    it shares the primary home's identity and trust root — a cheque or
+    confirmation the primary signed must still verify after a failover.
+    Holding the bank's credential is also what authorizes the standby to
+    pull the replication stream.
+    """
+    home = Path(args.home)
+    primary_home = Path(args.primary_home)
+    if (home / _IDENTITY_FILE).exists():
+        print(f"error: {home} already holds a bank", file=sys.stderr)
+        return 1
+    if not (primary_home / _IDENTITY_FILE).exists():
+        print(f"error: {primary_home} holds no bank identity", file=sys.stderr)
+        return 1
+    home.mkdir(parents=True, exist_ok=True)
+    (home / _IDENTITY_FILE).write_bytes((primary_home / _IDENTITY_FILE).read_bytes())
+    (home / _ROOT_FILE).write_bytes((primary_home / _ROOT_FILE).read_bytes())
+    # no database: the standby's first `serve --standby-of` creates one
+    # and bootstraps its contents from the primary's snapshot
+    print(f"initialized standby home at {home} (shares {primary_home}'s bank identity)")
+    print("start it with: serve --standby-of <primary host:port>")
     return 0
 
 
@@ -300,15 +330,38 @@ def cmd_remote_transfer(args) -> int:
     return 0
 
 
+def _tcp_connect(address: str):
+    from repro.net.tcp import TCPClientConnection
+
+    host, _, port = address.partition(":")
+    return TCPClientConnection((host, int(port)))
+
+
 def cmd_serve(args) -> int:
+    from repro.bank.cluster import ClusterNode
     from repro.net.tcp import TCPServer
 
     home = Path(args.home)
     bank = _load_bank(home)
     # spans served by this process become SPAN rows in the bank's WAL'd
     # database (queryable later with `gridbank trace`), and optionally a
-    # JSONL stream for out-of-process collectors
-    sinks = [bank.spans]
+    # JSONL stream for out-of-process collectors. A standby must not
+    # write its own rows into the replicated database (every local line
+    # desynchronizes the stream), so the db sink only records while this
+    # node is the primary — the standby's SPAN rows arrive replicated.
+    def _primary_only_spans(record):
+        if bank.role != "primary":
+            return
+        # replication polling is continuous; persisting a span row per
+        # poll would grow the WAL at the poll rate forever. Those spans
+        # still reach the JSONL sink and the metrics registry.
+        name = str(record.get("name", ""))
+        method = str(record.get("attrs", {}).get("method", ""))
+        if name.startswith("bank.op.replication_") or method.startswith("Replication."):
+            return
+        bank.spans(record)
+
+    sinks = [_primary_only_spans]
     if args.span_log:
         sinks.append(JsonlSpanSink(args.span_log))
     for sink in sinks:
@@ -322,11 +375,34 @@ def cmd_serve(args) -> int:
         exporters.append(
             FileExporter(args.metrics_textfile, interval=args.metrics_interval).start()
         )
+    node = None
     try:
         with TCPServer(bank.connection_handler, host=args.host, port=args.port) as server:
             host, port = server.address
+            advertise = args.advertise or f"{host}:{port}"
+            # every served bank is a cluster node: the replication
+            # operations are registered, and `gridbank promote` /
+            # `--standby-of` turn single nodes into a replicated pair
+            node = ClusterNode(
+                bank,
+                advertise,
+                _tcp_connect,
+                peer_subjects=args.peer or (),
+                lease_timeout=args.lease_timeout,
+                auto_promote=args.auto_promote,
+                staleness_bound=args.staleness_bound,
+            )
             print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
                   f"({bank.subject}) listening on {host}:{port}")
+            if args.standby_of:
+                node.follow(args.standby_of, resync=True)
+                promote_note = (
+                    f"auto-promote after {args.lease_timeout}s silence"
+                    if args.auto_promote and args.lease_timeout is not None
+                    else "promote with `gridbank promote`"
+                )
+                print(f"standby of {args.standby_of} (advertised as {advertise}; "
+                      f"{promote_note})")
             try:
                 import threading
 
@@ -334,6 +410,8 @@ def cmd_serve(args) -> int:
             except KeyboardInterrupt:
                 pass
     finally:
+        if node is not None:
+            node._stop_replicator()
         for exporter in exporters:
             exporter.stop()
         for sink in sinks:
@@ -345,6 +423,42 @@ def cmd_serve(args) -> int:
         json.dumps(obs_metrics.snapshot(), indent=2, sort_keys=True) + "\n"
     )
     print("server stopped")
+    return 0
+
+
+def _remote_client(args):
+    from repro.net.rpc import RPCClient
+
+    identity, store = _load_credential(args.credential)
+    client = RPCClient(_tcp_connect(args.address), identity, store)
+    client.connect()
+    return client
+
+
+def cmd_promote(args) -> int:
+    """Controlled failover: tell a standby to become the primary.
+
+    The standby drains whatever tail of the stream is still reachable,
+    fences the old primary behind a bumped cluster epoch, and starts
+    accepting writes. Requires an administrator credential.
+    """
+    client = _remote_client(args)
+    try:
+        status = client.call("Cluster.Promote", reason=args.reason)
+    finally:
+        client.close()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cluster_status(args) -> int:
+    """Show a node's replication position, role, and lag."""
+    client = _remote_client(args)
+    try:
+        status = client.call("Replication.Status")
+    finally:
+        client.close()
+    print(json.dumps(status, indent=2, sort_keys=True))
     return 0
 
 
@@ -455,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key-bits", type=int, default=1024)
     p.add_argument("--seed", type=int, default=None, help="deterministic keys (testing)")
 
+    p = add("init-standby", cmd_init_standby,
+            help="create a standby home sharing an existing bank's identity")
+    p.add_argument("--primary-home", required=True, help="home of the bank to replicate")
+
     p = add("create-account", cmd_create_account, help="open an account")
     p.add_argument("--subject", required=True, help="certificate name of the owner")
     p.add_argument("--organization", default="")
@@ -497,6 +615,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="textfile rewrite interval in seconds")
     p.add_argument("--span-log", default=None,
                    help="also append finished spans to this JSONL file")
+    p.add_argument("--standby-of", default=None, metavar="HOST:PORT",
+                   help="serve as a hot standby replicating from this primary")
+    p.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                   help="address other nodes/clients should use to reach this node "
+                        "(default: the bound host:port)")
+    p.add_argument("--peer", action="append", default=None, metavar="SUBJECT",
+                   help="certificate subject allowed to use the replication stream "
+                        "(repeatable; administrators are always allowed)")
+    p.add_argument("--auto-promote", action="store_true",
+                   help="standby promotes itself when the primary lease expires")
+    p.add_argument("--lease-timeout", type=float, default=None,
+                   help="seconds of primary silence before the lease is considered lost")
+    p.add_argument("--staleness-bound", type=float, default=None,
+                   help="refuse standby reads older than this many seconds")
 
     p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
     p.add_argument("action", nargs="?", choices=["export"],
@@ -537,6 +669,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-account", required=True)
     p.add_argument("--to-account", required=True)
     p.add_argument("--amount", type=float, required=True)
+
+    p = add_remote("promote", cmd_promote,
+                   help="promote a standby to primary (controlled failover)")
+    p.add_argument("--reason", default="operator")
+
+    add_remote("cluster-status", cmd_cluster_status,
+               help="show a node's replication position and role")
 
     return parser
 

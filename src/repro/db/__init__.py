@@ -26,6 +26,7 @@ from repro.db.schema import Column, TableSchema
 from repro.db.query import Condition, eq, ne, lt, le, gt, ge, between, predicate
 from repro.db.table import Table
 from repro.db.database import Database
+from repro.db.replication import ReplicationLog
 
 __all__ = [
     "ColumnType",
@@ -49,4 +50,5 @@ __all__ = [
     "predicate",
     "Table",
     "Database",
+    "ReplicationLog",
 ]

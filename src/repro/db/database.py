@@ -59,6 +59,7 @@ __all__ = ["Database"]
 
 _SNAPSHOT_NAME = "snapshot.gbdb"
 _WAL_NAME = "wal.gbdb"
+_EPOCH_NAME = "epoch.gbdb"
 
 #: upper bound on the group-commit linger knob (seconds)
 _MAX_LINGER = 0.002
@@ -214,6 +215,12 @@ class Database:
         self._commit_linger = commit_linger
         self._max_batch = max_batch
         self._writer: Optional[_GroupCommitWriter] = None
+        # replication position: journal lines committed since the last
+        # snapshot, and which snapshot generation they belong to (see
+        # repro.db.replication for the epoch rules)
+        self._wal_seq = 0
+        self._snapshot_epoch = 1
+        self._replication = None  # Optional[ReplicationLog], attached lazily
 
     # -- schema ---------------------------------------------------------------
 
@@ -424,6 +431,22 @@ class Database:
                         break  # torn tail from a crash mid-append
                     self._apply_ops(entry["ops"])
                     replayed += 1
+            # the epoch file carries "epoch base_seq": which snapshot
+            # generation the local snapshot belongs to and the sequence
+            # number it corresponds to (non-zero on a standby, whose
+            # snapshot is a mid-stream state dump rather than a local
+            # checkpoint)
+            base_seq = 0
+            epoch_file = self._path / _EPOCH_NAME
+            if epoch_file.exists():
+                try:
+                    parts = epoch_file.read_bytes().split()
+                    self._snapshot_epoch = int(parts[0])
+                    if len(parts) > 1:
+                        base_seq = int(parts[1])
+                except (ValueError, IndexError):
+                    raise DatabaseError(f"corrupt epoch file {epoch_file}") from None
+            self._wal_seq = base_seq + replayed
             self._wal_handle = open(wal_file, "ab")
             if self._group_commit:
                 self._writer = _GroupCommitWriter(
@@ -467,9 +490,36 @@ class Database:
             handle.flush()
             if self._durability == "fsync":
                 os.fsync(handle.fileno())
+            self._record_committed(payloads)
+
+    def _record_committed(self, payloads: Sequence[bytes]) -> None:
+        """Advance the replication position past *payloads*, in the order
+        they hit the WAL. Caller holds ``_io_lock``, which is also what
+        makes log order identical to file order — the replication stream
+        a standby replays IS the byte sequence recovery would replay."""
+        log = self._replication
+        for payload in payloads:
+            self._wal_seq += 1
+            if log is not None:
+                log.append(self._snapshot_epoch, self._wal_seq, payload)
 
     def _write_journal(self, redo_ops: list[dict]) -> None:
-        if not redo_ops or self._path is None:
+        if not redo_ops:
+            return
+        if self._path is None:
+            # in-memory databases have no WAL, but a replicated in-memory
+            # primary still ships its committed lines — same serialized
+            # form, same ordering lock. The sequence number advances even
+            # while no log is attached: enable_replication() must see a
+            # truthful base so a standby that missed earlier commits is
+            # forced into a snapshot resync rather than silently
+            # streaming from a diverged position.
+            with self._io_lock:
+                if self._replication is not None:
+                    payload = canonical_dumps({"ops": redo_ops}) + b"\n"
+                    self._record_committed([payload])
+                else:
+                    self._wal_seq += 1
             return
         if self._wal_handle is None:
             if self._recovered:
@@ -511,6 +561,110 @@ class Database:
                     self._wal_handle.close()
                 self._wal_handle = open(self._path / _WAL_NAME, "wb")
                 self._wal_handle.flush()
+                # new snapshot generation: sequence numbers restart and
+                # standbys polling the old epoch are told to resync
+                self._snapshot_epoch += 1
+                self._wal_seq = 0
+                (self._path / _EPOCH_NAME).write_bytes(b"%d 0" % self._snapshot_epoch)
+                if self._replication is not None:
+                    self._replication.reset(self._snapshot_epoch, 0)
+
+    # -- replication --------------------------------------------------------------
+
+    def enable_replication(self):
+        """Attach (or return) the :class:`~repro.db.replication.ReplicationLog`
+        that records every journal line committed from now on. Lines
+        committed *before* attachment are not in the log — a standby that
+        needs them bootstraps from :meth:`state_dump` instead."""
+        from repro.db.replication import ReplicationLog
+
+        with self._io_lock:
+            if self._replication is None:
+                self._replication = ReplicationLog(self._snapshot_epoch, self._wal_seq)
+            return self._replication
+
+    def replication_position(self) -> tuple:
+        """``(snapshot_epoch, wal_seq)`` — how much committed history exists."""
+        with self._io_lock:
+            return self._snapshot_epoch, self._wal_seq
+
+    def state_dump(self) -> dict:
+        """Full-state bootstrap for a standby: every table's rows plus the
+        replication position they correspond to.
+
+        Refuses mid-transaction for the same reason :meth:`checkpoint`
+        does. An autocommit writer may have mutated a table but not yet
+        journaled (the table lock is released before the journal wait),
+        so the dump can be *ahead* of ``seq`` by those in-flight lines —
+        harmless, because replay is idempotent over absolute redo ops.
+        """
+        with self._lock:
+            if self._active_txns or self.in_transaction:
+                raise TransactionError("cannot dump state inside a transaction")
+            if self._writer is not None:
+                self._writer.drain()
+            with self._io_lock:
+                return {
+                    "epoch": self._snapshot_epoch,
+                    "seq": self._wal_seq,
+                    "tables": {name: table.all_rows() for name, table in self._tables.items()},
+                }
+
+    def load_state(self, dump: dict) -> None:
+        """Replace all table contents with *dump* (a :meth:`state_dump`)
+        and adopt its replication position. On a persistent database the
+        dump is also written down as the local snapshot (and the WAL
+        truncated), so a standby restart recovers from local disk into
+        the same position it had adopted."""
+        with self._lock:
+            if self._active_txns or self.in_transaction:
+                raise TransactionError("cannot load state inside a transaction")
+            if self._writer is not None:
+                self._writer.drain()
+            for name, rows in dump["tables"].items():
+                table = self.table(name)
+                for row in table.all_rows():
+                    table.delete(table.schema.pk_of(row))
+                for row in rows:
+                    table.insert(row)
+            with self._io_lock:
+                self._snapshot_epoch = int(dump["epoch"])
+                self._wal_seq = int(dump["seq"])
+                if self._replication is not None:
+                    self._replication.reset(self._snapshot_epoch, self._wal_seq)
+                if self._path is not None and self._recovered:
+                    snapshot_file = self._path / _SNAPSHOT_NAME
+                    tmp = snapshot_file.with_suffix(".tmp")
+                    tmp.write_bytes(canonical_dumps(dump["tables"]))
+                    tmp.replace(snapshot_file)
+                    if self._wal_handle is not None:
+                        self._wal_handle.close()
+                    self._wal_handle = open(self._path / _WAL_NAME, "wb")
+                    self._wal_handle.flush()
+                    (self._path / _EPOCH_NAME).write_bytes(
+                        b"%d %d" % (self._snapshot_epoch, self._wal_seq)
+                    )
+
+    def apply_replicated(self, seq: int, payload: bytes) -> None:
+        """Replay one shipped journal line — the standby-side half of the
+        stream. *payload* is the exact bytes the primary wrote to its
+        WAL (trailing newline included); it is re-parsed through the
+        same decoder recovery uses, applied through the same idempotent
+        :meth:`_apply_ops`, and appended verbatim to this database's own
+        WAL — which is what makes standby disk state byte-identical and
+        lets a promoted standby serve its *own* replication stream."""
+        entry = canonical_loads(payload.rstrip(b"\n"))
+        with self._lock:
+            if seq != self._wal_seq + 1:
+                raise DatabaseError(
+                    f"replication gap: expected seq {self._wal_seq + 1}, got {seq}"
+                )
+            self._apply_ops(entry["ops"])
+        if self._path is not None:
+            self._write_batch([payload])
+        else:
+            with self._io_lock:
+                self._record_committed([payload])
 
     def close(self) -> None:
         writer = self._writer

@@ -29,6 +29,8 @@ __all__ = [
     "AccountError",
     "InsufficientFundsError",
     "AccountClosedError",
+    "NotPrimaryError",
+    "ReplicaStaleError",
     "PaymentError",
     "InstrumentError",
     "DoubleSpendError",
@@ -146,6 +148,48 @@ class InsufficientFundsError(AccountError):
 
 class AccountClosedError(AccountError):
     """Operation attempted on a closed account."""
+
+
+class NotPrimaryError(BankError):
+    """A mutating operation reached a standby (or fenced ex-primary).
+
+    The current primary's address — when the rejecting node knows it —
+    is embedded in the message inside a ``[primary=...]`` marker so the
+    error survives the RPC layer's by-class, message-only reconstruction
+    (:func:`repro.net.message.raise_remote_error` rebuilds errors as
+    ``error_class(message)``). Clients use :attr:`primary_address` to
+    re-route transparently.
+    """
+
+    _MARKER = "[primary="
+
+    @classmethod
+    def for_primary(cls, address: str | None, reason: str = "not the primary") -> "NotPrimaryError":
+        if address:
+            return cls(f"{reason} {cls._MARKER}{address}]")
+        return cls(reason)
+
+    @property
+    def primary_address(self) -> str | None:
+        message = str(self)
+        start = message.find(self._MARKER)
+        if start < 0:
+            return None
+        start += len(self._MARKER)
+        end = message.find("]", start)
+        if end < 0:
+            return None
+        address = message[start:end].strip()
+        return address or None
+
+
+class ReplicaStaleError(BankError):
+    """A read reached a standby whose replication lag exceeds the
+    configured staleness bound — the answer could be arbitrarily old, so
+    the standby refuses rather than serve it silently. Retryable from
+    the client's perspective (the standby usually catches up within the
+    retry budget), but classified terminal by default so callers opt in
+    explicitly."""
 
 
 # --------------------------------------------------------------------------

@@ -56,6 +56,7 @@ from repro.errors import (
     AuthenticationError,
     ChannelError,
     DeadlineExceeded,
+    NotPrimaryError,
     ProtocolError,
     ReproError,
     TransportError,
@@ -251,7 +252,7 @@ class _ServerConnection:
         connections) or ``("call", request_dict)`` for a request the
         transport should run through :meth:`complete` + :meth:`seal`.
         """
-        if self._closed:
+        if self._closed or self._endpoint.crashed:
             return ("inline", None)
         message = parse_payload(payload)
         if not self._open:
@@ -436,6 +437,11 @@ class ServiceEndpoint:
         )
         self.accepted_connections = 0
         self.refused_connections = 0
+        # kill switch for failover drills: a crashed endpoint answers
+        # nothing (the transport surfaces "service closed the
+        # connection", a retryable TransportError) — exactly what a
+        # process death looks like to a client mid-call
+        self.crashed = False
 
     def register(self, method: str, operation: Operation) -> None:
         """Expose ``operation(subject, params) -> result`` as *method*."""
@@ -645,6 +651,31 @@ class RPCClient:
                         self._replace_connection()
                         self._handshake()
                     return self._call_once(method, params, request_id, idempotency_key, deadline)
+                except NotPrimaryError as exc:
+                    # a standby (or fenced ex-primary) refused a write; if
+                    # the reconnect factory can be steered (a routing
+                    # factory exposing hint(), e.g. cluster.PrimaryRouter)
+                    # feed it the advertised primary and re-send — same
+                    # idempotency key, so the call stays exactly-once
+                    # across the redirect
+                    hint = getattr(self._reconnect, "hint", None)
+                    if hint is None or self._retry is None or attempt >= self._retry.max_attempts:
+                        raise
+                    address = exc.primary_address
+                    hint(address)
+                    self.connected = False
+                    if address is None:
+                        # no primary advertised (mid-failover): back off
+                        # like a transport failure and re-probe the ring
+                        retry_after = self._plan_retry(attempt, slept, deadline, exc)
+                        if retry_after is None:
+                            raise
+                        slept += retry_after
+                    obs_metrics.counter("rpc.client.reroutes", method=method).inc()
+                    recorder.add_event("rpc.reroute", attempt=attempt, primary=address or "")
+                    _log.info(
+                        "rpc.call.reroute", method=method, attempt=attempt, primary=address or ""
+                    )
                 except ReproError as exc:
                     if not is_retryable(exc):
                         raise

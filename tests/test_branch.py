@@ -176,3 +176,89 @@ class TestCrossBranchTransfer:
 
         with pytest.raises(InsufficientFundsError):
             world["network"].transfer(src, dst, Credits(10))
+
+
+class TestReplicatedBranch:
+    """A branch backed by a replicated pair keeps settling after its
+    primary dies mid-settlement-cycle (tentpole: the branch facade always
+    resolves to the pair's live primary)."""
+
+    @pytest.fixture()
+    def replicated_world(self, ca_keypair, keypair_a):
+        import time
+
+        from repro.bank.cluster import ClusterNode, ReplicatedBranch
+        from repro.net.transport import InProcessNetwork
+
+        clock = VirtualClock()
+        ca = CertificateAuthority(
+            DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+        )
+        store = CertificateStore([ca.root_certificate])
+        rpc_net = InProcessNetwork()
+
+        def make_server(branch_number, ident, seed):
+            return GridBankServer(
+                ident, store, clock=clock, rng=random.Random(seed),
+                bank_number=1, branch_number=branch_number,
+            )
+
+        ident_1 = ca.issue_identity(DistinguishedName("GridBank", "branch-1"), keypair=keypair_a)
+        branch_1 = make_server(1, ident_1, 1)
+        # branch 2 is one logical bank in two processes (shared identity)
+        ident_2 = ca.issue_identity(DistinguishedName("GridBank", "branch-2"), keypair=keypair_a)
+        branch_2a = make_server(2, ident_2, 2)
+        branch_2b = make_server(2, ident_2, 3)
+        rpc_net.listen("2a", branch_2a.connection_handler)
+        rpc_net.listen("2b", branch_2b.connection_handler)
+        node_2a = ClusterNode(branch_2a, "2a", rpc_net.connect, poll_interval=0.005)
+        node_2b = ClusterNode(branch_2b, "2b", rpc_net.connect, poll_interval=0.005)
+        node_2b.follow("2a")
+
+        def wait_caught_up(timeout=8.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if branch_2a.db.replication_position() == branch_2b.db.replication_position():
+                    return
+                time.sleep(0.005)
+            raise AssertionError("standby never caught up")
+
+        network = BranchNetwork()
+        network.add_branch(branch_1)
+        network.add_branch(ReplicatedBranch(node_2a, node_2b))
+        yield {
+            "network": network,
+            "branch_1": branch_1,
+            "branch_2a": branch_2a,
+            "branch_2b": branch_2b,
+            "node_2a": node_2a,
+            "node_2b": node_2b,
+            "wait_caught_up": wait_caught_up,
+        }
+        node_2a._stop_replicator()
+        node_2b._stop_replicator()
+
+    def test_settles_after_mid_settlement_failover(self, replicated_world):
+        w = replicated_world
+        net = w["network"]
+        a1 = funded_account(w["branch_1"], "/O=VO-1/CN=payer", 100)
+        a2 = net.branch_for_number(1, 2).accounts.create_account("/O=VO-2/CN=payee") \
+            if hasattr(net, "branch_for_number") else \
+            w["branch_2a"].accounts.create_account("/O=VO-2/CN=payee")
+        net.transfer(a1, a2, Credits(30))
+        w["wait_caught_up"]()
+        # the primary of branch 2 dies between the transfer and settlement
+        w["node_2a"].crash()
+        w["node_2b"].promote(reason="mid-settlement")
+        # more traffic lands on the promoted standby through the facade
+        net.transfer(a1, a2, Credits(10))
+        batches = net.settle()
+        assert len(batches) == 1
+        assert batches[0].debtor == (1, 1)
+        assert batches[0].creditor == (1, 2)
+        assert batches[0].amount == Credits(40)
+        survivor = w["branch_2b"]
+        assert survivor.accounts.available_balance(a2) == Credits(40)
+        assert net.settlement_account_balance((1, 1), (1, 2)) == ZERO
+        assert net.net_position((1, 1), (1, 2)) == ZERO
+        assert w["branch_1"].accounts.available_balance(a1) == Credits(60)

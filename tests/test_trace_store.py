@@ -445,12 +445,15 @@ class TestTrajectory:
         history = json.loads(out.read_text())
         assert isinstance(history, list) and len(history) == 2
 
-    def test_gate_passes_with_fewer_than_two_entries(self, tmp_path):
+    def test_gate_exits_3_with_fewer_than_two_entries(self, tmp_path, capsys):
+        # exit 3 is the distinct "no baseline yet" code: not a pass (0),
+        # not a regression (1) — CI tolerates it explicitly
         out = tmp_path / "BENCH_TRAJECTORY.json"
-        assert gate.main(["--file", str(out)]) == 0  # no file at all
+        assert gate.main(["--file", str(out)]) == 3  # no file at all
         entry = trajectory.build_entry(self._report(0.01), {}, quick=False)
         trajectory.append_entry(entry, out)
-        assert gate.main(["--file", str(out)]) == 0  # baseline only
+        assert gate.main(["--file", str(out)]) == 3  # baseline only
+        assert "make bench-record" in capsys.readouterr().out
 
     def test_gate_fails_on_regression_and_passes_within_threshold(self, tmp_path):
         out = tmp_path / "BENCH_TRAJECTORY.json"
@@ -535,11 +538,13 @@ class TestTrajectory:
         trajectory.append_entry(
             trajectory.build_entry(self._report(0.01), {}, quick=False), out
         )
-        # a terrible quick run must not be judged against the full baseline
+        # a terrible quick run must not be judged against the full baseline;
+        # with no quick baseline to compare against, that's the distinct
+        # "nothing to compare" exit, not a pass
         trajectory.append_entry(
             trajectory.build_entry(self._report(1.0), {}, quick=True), out
         )
-        assert gate.main(["--file", str(out)]) == 0
+        assert gate.main(["--file", str(out)]) == 3
 
 
 # -- CLI acceptance: Fig.1 pay-before-use, reconstructed after restart -------

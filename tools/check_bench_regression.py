@@ -18,9 +18,13 @@ machine drift from code regressions: the gate prints a loud re-baseline
 notice and passes, making the newest entry the baseline for the next
 run.
 
-Trivially passes when there are fewer than two comparable entries — the
-first recording IS the baseline — and for scenarios that only exist in
-one of the two entries (new or retired benchmarks are not regressions).
+Exits with the distinct code 3 (not 0, not the failure code 1) when
+there are fewer than two comparable entries: the first recording IS the
+baseline, so there is nothing to gate yet, but callers that expected a
+real comparison (CI) can tell this apart from a pass. ``make
+bench-gate`` tolerates exit 3. Scenarios that only exist in one of the
+two entries are skipped (new or retired benchmarks are not
+regressions).
 
 Usage::
 
@@ -130,10 +134,15 @@ def main(argv=None) -> int:
     pair = pick_pair(history)
     if pair is None:
         print(
-            f"bench regression gate: nothing to compare "
-            f"({len(history)} comparable entr{'y' if len(history) == 1 else 'ies'}) — pass"
+            f"bench regression gate: nothing to compare — "
+            f"{args.file} holds {len(history)} "
+            f"entr{'y' if len(history) == 1 else 'ies'} and the gate needs "
+            "two of the same mode (quick vs full). Run `make bench-record` "
+            "on this machine to lay down a baseline; the next recording "
+            "will then be gated against it. Exiting 3 (no baseline), "
+            "not 0 (pass)."
         )
-        return 0
+        return 3
     baseline, latest = pair
     factor = machine_factor(baseline, latest)
     if factor is None:
