@@ -18,6 +18,10 @@ operations on the bank's own endpoint:
 ``Cluster.Promote`` / ``Cluster.Demote``
     controlled failover (admin-only promote; demote carries the new
     fencing epoch and is refused unless it is strictly newer).
+``Telemetry.Snapshot``
+    one node's telemetry view — replication status, SLO alert states,
+    per-principal usage top-K, hottest ops — which ``gridbank top``
+    aggregates across the whole cluster.
 
 A standby pulls the stream on a background :class:`StandbyReplicator`
 thread and replays each line through
@@ -55,6 +59,7 @@ from repro.net.retry import RetryPolicy
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger
+from repro.obs.usage import hot_operations
 
 __all__ = ["ClusterNode", "StandbyReplicator", "PrimaryRouter", "ReplicatedBranch", "cluster_client"]
 
@@ -307,6 +312,7 @@ class ClusterNode:
         endpoint.register("Replication.Fetch", instrument(self.op_replication_fetch))
         endpoint.register("Cluster.Promote", instrument(self.op_cluster_promote))
         endpoint.register("Cluster.Demote", instrument(self.op_cluster_demote))
+        endpoint.register("Telemetry.Snapshot", instrument(self.op_telemetry_snapshot))
 
     def op_replication_status(self, subject: str, params: dict) -> dict:
         self._require_peer(subject)
@@ -356,6 +362,17 @@ class ClusterNode:
         self._require_peer(subject)
         self.demote(int(params["cluster_epoch"]), str(params.get("primary_address", "")))
         return self.status()
+
+    def op_telemetry_snapshot(self, subject: str, params: dict) -> dict:
+        """One node's full telemetry view for ``gridbank top``: replication
+        status, per-objective SLO state, usage top-K and hottest ops."""
+        self._require_peer(subject)
+        top = int(params.get("top", 5))
+        snap = self.status()
+        snap["slo"] = self.bank.slo.snapshot()
+        snap["usage"] = self.bank.usage.snapshot(top)
+        snap["hot_ops"] = hot_operations(obs_metrics.snapshot(), limit=top)
+        return snap
 
 
 class StandbyReplicator(threading.Thread):

@@ -42,7 +42,9 @@ from repro.net.rpc import Operation, ServiceEndpoint, current_request
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger
+from repro.obs.slo import SLOEngine, default_bank_objectives
 from repro.obs.store import SpanStore
+from repro.obs.usage import UNTRACKED_OPS, UsageMeter
 from repro.payments.cheque import GridCheque, GridChequeProtocol
 from repro.payments.direct import DirectTransferProtocol
 from repro.payments.hashchain import GridHashCommitment, GridHashProtocol, PaymentTick
@@ -68,6 +70,7 @@ class GridBankServer:
         bank_number: int = 1,
         branch_number: int = 1,
         open_enrollment: bool = True,
+        slo_objectives=None,
     ) -> None:
         self.identity = identity
         self.clock = clock if clock is not None else SystemClock()
@@ -123,6 +126,24 @@ class GridBankServer:
         self.endpoint = ServiceEndpoint(
             identity, trust_store, policy, clock=self.clock, rng=rng
         )
+        # telemetry plane: SLO burn-rate tracking over every dispatch, and
+        # per-principal usage metering (op counts + wire bytes + currency
+        # moved), rolled up through the same WAL'd database. A standby's
+        # meter accumulates but never persists — replicated rows arrive
+        # from the primary instead.
+        self.slo = SLOEngine(
+            clock=self.clock,
+            objectives=(
+                slo_objectives if slo_objectives is not None else default_bank_objectives()
+            ),
+        )
+        self.usage = UsageMeter(
+            self.db,
+            self.clock,
+            bank_subject=subject,
+            should_persist=lambda: self.role == "primary",
+        )
+        self.endpoint.usage_sink = self._record_wire_usage
         self._register_operations()
 
     # -- wiring ---------------------------------------------------------------
@@ -155,19 +176,94 @@ class GridBankServer:
         self.registry.rescan_ids()
         self.replies.rescan()
         self.spans.rescan()
+        self.usage.rescan()
         obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
 
     def connection_handler(self):
         return self.endpoint.connection_handler()
 
+    def _record_wire_usage(self, subject: str, bytes_in: int, bytes_out: int) -> None:
+        """The endpoint's per-dispatch wire-volume hook (sealed sizes)."""
+        self.usage.record_bytes(subject, bytes_in, bytes_out)
+
+    def _observed_latency(self, elapsed: float, sent_at: Optional[float]) -> float:
+        """The latency the *caller* experienced, for SLO accounting.
+
+        Server-side ``perf_counter`` time misses everything before
+        dispatch — queueing, retry backoff, injected network faults. When
+        the request carries the client's ``sent_at`` epoch, the clock
+        delta captures those (both clocks are the shared virtual clock in
+        drills); take whichever view is worse.
+        """
+        observed = elapsed
+        if sent_at is not None:
+            observed = max(observed, self.clock.epoch() - sent_at)
+        return max(observed, 0.0)
+
+    @staticmethod
+    def _credits_float(value) -> float:
+        if isinstance(value, Credits):
+            return value.to_float()
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        return 0.0
+
+    @classmethod
+    def _currency_moved(cls, op_name: str, params: dict, result) -> float:
+        """GridCurrency moved by one successful dispatch, for usage rows."""
+        try:
+            if op_name == "direct_transfer":
+                # the confirmation is a Signed envelope: amount sits in
+                # its payload, not at the top level
+                confirmation = result["confirmation"]
+                payload = confirmation.get("payload", confirmation)
+                return cls._credits_float(payload["amount"])
+            if op_name in ("redeem_cheque", "redeem_hashchain"):
+                return cls._credits_float(result["paid"])
+            if op_name == "redeem_cheque_batch":
+                return sum(
+                    cls._credits_float(entry.get("paid"))
+                    for entry in result
+                    if isinstance(entry, dict) and entry.get("ok")
+                )
+            if op_name in ("admin_deposit", "admin_withdraw"):
+                return cls._credits_float(params.get("amount"))
+        except (KeyError, TypeError):
+            return 0.0
+        return 0.0
+
     def _instrumented(self, operation: Operation) -> Operation:
         """Dispatch-level wrapper: every ``op_*`` gets a request counter,
-        an error counter and a latency histogram, named after the
-        operation (``bank.op.direct_transfer.latency_seconds``, ...)."""
+        an error counter, a latency histogram, an SLO sample and a usage
+        sample, named after the operation
+        (``bank.op.direct_transfer.latency_seconds``, ...). Cluster
+        plumbing (:data:`~repro.obs.usage.UNTRACKED_OPS`) skips SLO and
+        usage: replication long-polls and telemetry scrapes are not
+        principal workload and would poison the latency objective."""
         op_name = operation.__name__.removeprefix("op_")
         requests = obs_metrics.counter(f"bank.op.{op_name}.requests")
         errors = obs_metrics.counter(f"bank.op.{op_name}.errors")
         latency = obs_metrics.histogram(f"bank.op.{op_name}.latency_seconds")
+        tracked = op_name not in UNTRACKED_OPS
+
+        def account(subject: str, params: dict, result, elapsed: float, ok: bool) -> None:
+            if not tracked:
+                return
+            context = current_request()
+            sent_at = context.sent_at if context is not None else None
+            observed = self._observed_latency(elapsed, sent_at)
+            # attribute lookups at call time: the serve CLI may swap in a
+            # differently-tuned engine after construction
+            self.slo.record(op_name, ok=ok, latency=observed)
+            self.usage.record_op(
+                subject,
+                op_name,
+                ok=ok,
+                latency_seconds=observed,
+                currency_moved=(
+                    self._currency_moved(op_name, params, result) if ok else 0.0
+                ),
+            )
 
         def dispatch(subject: str, params: dict):
             requests.inc()
@@ -179,15 +275,18 @@ class GridBankServer:
                 try:
                     result = operation(subject, params)
                 except Exception as exc:
+                    elapsed = time.perf_counter() - started
                     errors.inc()
-                    latency.observe(time.perf_counter() - started)
+                    latency.observe(elapsed)
+                    account(subject, params, None, elapsed, ok=False)
                     _log.warning(
                         "bank.op.error", op=op_name, subject=subject,
                         error=type(exc).__name__, reason=str(exc),
                     )
                     raise
-            elapsed = time.perf_counter() - started
-            latency.observe(elapsed)
+                elapsed = time.perf_counter() - started
+                latency.observe(elapsed)
+                account(subject, params, result, elapsed, ok=True)
             _log.debug("bank.op", op=op_name, subject=subject, duration=elapsed)
             return result
 

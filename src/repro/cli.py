@@ -19,6 +19,8 @@ invocations::
     python -m repro.cli trace show <trace-id> --home ./mybank
     python -m repro.cli trace slowest --home ./mybank -n 10
     python -m repro.cli trace grep redeem --home ./mybank
+    python -m repro.cli top --credential admin.gbk \\
+        --address 127.0.0.1:7776 --address 127.0.0.1:7777   # cluster telemetry
 
 Administrative commands (deposit/withdraw/credit-limit/close) act as the
 bank operator — the sec 5.2.1 role of "GridBank's administrators who are
@@ -43,6 +45,8 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.export import FileExporter, HTTPExporter, render_prometheus
 from repro.obs.logging import configure_from_env
+from repro.obs.sampling import SamplingPolicy, SamplingSpanSink
+from repro.obs.slo import Objective, SLOEngine
 from repro.obs.store import JsonlSpanSink, render_waterfall
 from repro.pki.ca import CertificateAuthority, Identity
 from repro.pki.certificate import Certificate, DistinguishedName
@@ -57,6 +61,7 @@ _IDENTITY_FILE = "bank-identity.gbk"
 _ROOT_FILE = "ca-root.gbk"
 _DB_DIR = "db"
 _METRICS_FILE = "metrics.json"
+_TELEMETRY_FILE = "telemetry.json"
 
 
 def _save_identity(home: Path, identity: Identity, root: Certificate) -> None:
@@ -343,6 +348,23 @@ def cmd_serve(args) -> int:
 
     home = Path(args.home)
     bank = _load_bank(home)
+    # a non-default objective replaces the bank's built-in one; the
+    # engine is swapped whole so the dispatch wrapper (which reads
+    # bank.slo at call time) picks it up atomically
+    if args.slo_target is not None or args.slo_latency is not None:
+        bank.slo = SLOEngine(
+            clock=bank.clock,
+            objectives=(
+                Objective(
+                    op="*",
+                    target=args.slo_target if args.slo_target is not None else 0.999,
+                    latency_threshold=(
+                        args.slo_latency if args.slo_latency is not None else 0.5
+                    ),
+                ),
+            ),
+        )
+
     # spans served by this process become SPAN rows in the bank's WAL'd
     # database (queryable later with `gridbank trace`), and optionally a
     # JSONL stream for out-of-process collectors. A standby must not
@@ -361,16 +383,58 @@ def cmd_serve(args) -> int:
             return
         bank.spans(record)
 
-    sinks = [_primary_only_spans]
+    # adaptive sampling sits in front of the durable store only — the
+    # JSONL stream stays complete for out-of-process collectors
+    op_rates = {}
+    for spec in args.sample_op or ():
+        op, sep, rate = spec.partition("=")
+        if not sep or not op:
+            print(f"error: --sample-op expects OP=RATE, got {spec!r}", file=sys.stderr)
+            return 1
+        op_rates[op] = float(rate)
+    sampler = SamplingSpanSink(
+        _primary_only_spans,
+        SamplingPolicy(
+            default_rate=args.sample_rate,
+            op_rates=op_rates,
+            slow_percentile=args.slow_percentile,
+            slow_threshold=args.slow_threshold,
+        ),
+    )
+    sinks = [sampler]
     if args.span_log:
         sinks.append(JsonlSpanSink(args.span_log))
     for sink in sinks:
         obs_trace.add_sink(sink)
+
+    # /healthz for load balancers: readiness = not paging, and (for a
+    # standby under a staleness bound) not lagging past the bound
+    state = {"node": None}
+
+    def _health() -> dict:
+        node = state["node"]
+        lag = node.lag_seconds() if node is not None else 0.0
+        alert = bank.slo.worst_state()
+        lag_ok = (
+            bank.role == "primary"
+            or args.staleness_bound is None
+            or lag <= args.staleness_bound
+        )
+        return {
+            "ok": alert != "page" and lag_ok,
+            "role": bank.role,
+            "primary_address": bank.primary_address or "",
+            "lag_seconds": lag,
+            "alert": alert,
+            "slo": bank.slo.states(),
+        }
+
     exporters = []
     if args.metrics_port is not None:
-        http_exporter = HTTPExporter(port=args.metrics_port).start()
+        http_exporter = HTTPExporter(port=args.metrics_port, health_fn=_health).start()
         exporters.append(http_exporter)
         print(f"metrics scrape endpoint: http://{http_exporter.host}:{http_exporter.port}/metrics")
+        print(f"health check endpoint:   http://{http_exporter.host}:{http_exporter.port}/healthz")
     if args.metrics_textfile:
         exporters.append(
             FileExporter(args.metrics_textfile, interval=args.metrics_interval).start()
@@ -392,6 +456,7 @@ def cmd_serve(args) -> int:
                 auto_promote=args.auto_promote,
                 staleness_bound=args.staleness_bound,
             )
+            state["node"] = node
             print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
                   f"({bank.subject}) listening on {host}:{port}")
             if args.standby_of:
@@ -417,10 +482,24 @@ def cmd_serve(args) -> int:
         for sink in sinks:
             obs_trace.remove_sink(sink)
     bank.spans.flush()
+    bank.usage.maybe_rollup(force=True)
     bank.db.close()
     # persist the run's metrics so `gridbank metrics` can read them later
     (home / _METRICS_FILE).write_text(
         json.dumps(obs_metrics.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
+    # ... and the telemetry config in effect, so `gridbank trace` can
+    # report how the recorded spans were sampled
+    (home / _TELEMETRY_FILE).write_text(
+        json.dumps(
+            {
+                "sampling": sampler.config(),
+                "slo": [objective.to_dict() for objective in bank.slo.objectives()],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
     )
     print("server stopped")
     return 0
@@ -470,6 +549,24 @@ def cmd_trace(args) -> int:
     traces worth showing; ``list`` enumerates known trace IDs.
     """
     from repro.db.query import eq
+
+    # a served bank records the sampling config in effect; surface it so
+    # "why is this span missing" has an answer
+    telemetry_file = Path(args.home) / _TELEMETRY_FILE
+    if telemetry_file.exists():
+        try:
+            sampling = json.loads(telemetry_file.read_text()).get("sampling", {})
+        except (json.JSONDecodeError, OSError):
+            sampling = {}
+        if sampling:
+            print(
+                "sampling in effect: "
+                f"default_rate={sampling.get('default_rate')} "
+                f"op_rates={sampling.get('op_rates')} "
+                f"keep_errors={sampling.get('keep_errors')} "
+                f"slow_percentile={sampling.get('slow_percentile')} "
+                f"slow_threshold={sampling.get('slow_threshold')}"
+            )
 
     bank = _load_bank(Path(args.home))
     spans = bank.spans
@@ -553,6 +650,142 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+_STATE_RANK = {"ok": 0, "warning": 1, "page": 2}
+
+
+def _gather_telemetry(addresses, identity, store, top: int) -> list[dict]:
+    """One ``Telemetry.Snapshot`` per node; unreachable nodes become
+    ``{"node": address, "error": ...}`` entries instead of failing the
+    whole view (an operator runs ``top`` *because* something is wrong)."""
+    from repro.net.rpc import RPCClient
+
+    snapshots = []
+    for address in addresses:
+        try:
+            client = RPCClient(_tcp_connect(address), identity, store)
+            client.connect()
+            try:
+                snap = client.call("Telemetry.Snapshot", top=top)
+            finally:
+                client.close()
+            snap.setdefault("node", address)
+            snapshots.append(snap)
+        except (ReproError, OSError) as exc:
+            snapshots.append({"node": address, "error": f"{type(exc).__name__}: {exc}"})
+    return snapshots
+
+
+def render_top(snapshots: list[dict], top: int = 5) -> str:
+    """The ``gridbank top`` screen: per-node roles/lag/SLO state, worst
+    burn rates per objective, hottest ops, and top principals."""
+    lines = [f"{'NODE':<22} {'ROLE':<8} {'EPOCH':>5} {'SEQ':>8} {'LAG(s)':>8} {'SLO':>8}"]
+    reachable = []
+    for snap in snapshots:
+        if "error" in snap:
+            lines.append(f"{snap['node']:<22} unreachable ({snap['error']})")
+            continue
+        reachable.append(snap)
+        worst = "ok"
+        for entry in snap.get("slo", {}).values():
+            state = str(entry.get("state", "ok"))
+            if _STATE_RANK.get(state, 0) > _STATE_RANK[worst]:
+                worst = state
+        lines.append(
+            f"{snap['node']:<22} {snap['role']:<8} {snap['epoch']:>5} "
+            f"{snap['seq']:>8} {snap['lag_seconds']:>8.2f} {worst:>8}"
+        )
+
+    burns: dict[str, dict] = {}
+    for snap in reachable:
+        for op, entry in snap.get("slo", {}).items():
+            agg = burns.setdefault(
+                op, {"burn_fast": 0.0, "burn_slow": 0.0, "state": "ok"}
+            )
+            agg["burn_fast"] = max(agg["burn_fast"], float(entry.get("burn_fast", 0.0)))
+            agg["burn_slow"] = max(agg["burn_slow"], float(entry.get("burn_slow", 0.0)))
+            state = str(entry.get("state", "ok"))
+            if _STATE_RANK.get(state, 0) > _STATE_RANK[agg["state"]]:
+                agg["state"] = state
+    if burns:
+        lines.append("")
+        lines.append("slo burn rates (worst across nodes):")
+        for op in sorted(burns):
+            agg = burns[op]
+            lines.append(
+                f"  {op:<24} fast {agg['burn_fast']:>8.2f}  "
+                f"slow {agg['burn_slow']:>8.2f}  [{agg['state']}]"
+            )
+
+    ops: dict[str, dict] = {}
+    for snap in reachable:
+        for entry in snap.get("hot_ops", []):
+            agg = ops.setdefault(
+                entry["op"], {"op": entry["op"], "requests": 0, "errors": 0, "p95_seconds": 0.0}
+            )
+            agg["requests"] += int(entry.get("requests", 0))
+            agg["errors"] += int(entry.get("errors", 0))
+            agg["p95_seconds"] = max(agg["p95_seconds"], float(entry.get("p95_seconds", 0.0)))
+    hottest = sorted(ops.values(), key=lambda e: (-e["requests"], e["op"]))[:top]
+    if hottest:
+        lines.append("")
+        lines.append("hottest ops:")
+        for entry in hottest:
+            lines.append(
+                f"  {entry['op']:<24} {entry['requests']:>8} req  "
+                f"{entry['errors']:>6} err  p95 {entry['p95_seconds'] * 1e3:8.2f}ms"
+            )
+
+    # persisted usage rows replicate to every node, so summing across the
+    # cluster would multiply them; per-principal max keeps replicated
+    # history counted once while still reflecting each node's live period
+    principals: dict[str, dict] = {}
+    for snap in reachable:
+        for entry in (snap.get("usage", {}) or {}).get("top", []):
+            agg = principals.setdefault(
+                entry["principal"],
+                {"principal": entry["principal"], "ops": 0, "errors": 0,
+                 "currency_moved": 0.0},
+            )
+            agg["ops"] = max(agg["ops"], int(entry.get("ops", 0)))
+            agg["errors"] = max(agg["errors"], int(entry.get("errors", 0)))
+            agg["currency_moved"] = max(
+                agg["currency_moved"], float(entry.get("currency_moved", 0.0))
+            )
+    ranked = sorted(principals.values(), key=lambda e: (-e["ops"], e["principal"]))[:top]
+    if ranked:
+        lines.append("")
+        lines.append("top principals (max across nodes):")
+        for entry in ranked:
+            lines.append(
+                f"  {entry['principal']:<40} {entry['ops']:>8} ops  "
+                f"{entry['errors']:>6} err  G${entry['currency_moved']:.2f} moved"
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Aggregate ``Telemetry.Snapshot`` across cluster nodes — one pane
+    for the whole replicated bank (repeat ``--address`` per node)."""
+    import time as _time
+
+    identity, store = _load_credential(args.credential)
+
+    def once() -> str:
+        snapshots = _gather_telemetry(args.address, identity, store, args.top)
+        return render_top(snapshots, top=args.top)
+
+    if not args.watch:
+        print(once())
+        return 0
+    try:
+        while True:
+            sys.stdout.write("\x1b[2J\x1b[H" + once() + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="gridbank", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -629,6 +862,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds of primary silence before the lease is considered lost")
     p.add_argument("--staleness-bound", type=float, default=None,
                    help="refuse standby reads older than this many seconds")
+    p.add_argument("--sample-rate", type=float, default=1.0,
+                   help="head-sampling keep rate for durable spans (0..1, default 1.0)")
+    p.add_argument("--sample-op", action="append", default=None, metavar="OP=RATE",
+                   help="per-op head-sampling rate override (repeatable)")
+    p.add_argument("--slow-percentile", type=float, default=0.95,
+                   help="tail-retention: always keep spans slower than this "
+                        "percentile of their op's recent latency")
+    p.add_argument("--slow-threshold", type=float, default=None,
+                   help="tail-retention: static slow threshold in seconds "
+                        "(overrides --slow-percentile)")
+    p.add_argument("--slo-target", type=float, default=None,
+                   help="availability target for the catch-all SLO (default 0.999)")
+    p.add_argument("--slo-latency", type=float, default=None,
+                   help="latency threshold in seconds for the catch-all SLO (default 0.5)")
 
     p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
     p.add_argument("action", nargs="?", choices=["export"],
@@ -676,6 +923,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_remote("cluster-status", cmd_cluster_status,
                help="show a node's replication position and role")
+
+    p = sub.add_parser("top", help="cluster-wide telemetry: per-node SLO state, "
+                                   "replication lag, hottest ops and principals")
+    p.add_argument("--credential", required=True, help="credential file from issue-identity")
+    p.add_argument("--address", action="append", required=True, metavar="HOST:PORT",
+                   help="node to include (repeat per cluster node)")
+    p.add_argument("--top", type=int, default=5, help="rows per section")
+    p.add_argument("--watch", action="store_true", help="refresh until interrupted")
+    p.add_argument("--interval", type=float, default=2.0, help="refresh interval seconds")
+    p.set_defaults(fn=cmd_top)
 
     return parser
 

@@ -80,6 +80,7 @@ def make_request(
     trace: Optional[dict] = None,
     idempotency_key: str = "",
     deadline: Optional[float] = None,
+    sent_at: Optional[float] = None,
 ) -> bytes:
     """Encode a request envelope.
 
@@ -93,7 +94,10 @@ def make_request(
     can return the original response instead of re-executing a mutating
     operation. *deadline* is an absolute epoch-seconds bound; a request
     arriving past it is rejected with ``DeadlineExceeded`` before
-    dispatch.
+    dispatch. *sent_at* is the client clock epoch when the *logical* call
+    began (stable across re-sends, like the idempotency key); servers use
+    it to measure client-observed latency — queueing, retries and
+    network faults included — for SLO accounting.
     """
     envelope: dict = {"kind": "request", "id": request_id, "method": method, "params": params}
     if trace:
@@ -102,6 +106,8 @@ def make_request(
         envelope["idempotency_key"] = idempotency_key
     if deadline is not None:
         envelope["deadline"] = deadline
+    if sent_at is not None:
+        envelope["sent_at"] = sent_at
     return canonical_dumps(envelope)
 
 

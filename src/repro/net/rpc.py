@@ -187,6 +187,10 @@ class RequestContext:
     subject: str
     idempotency_key: str = ""
     deadline: Optional[float] = None
+    #: Client clock epoch when the logical call began (stable across
+    #: re-sends). The bank's SLO accounting compares it against the server
+    #: clock to include queueing/retry/network time in observed latency.
+    sent_at: Optional[float] = None
 
 
 _request_ctx: contextvars.ContextVar[Optional[RequestContext]] = contextvars.ContextVar(
@@ -265,6 +269,11 @@ class _ServerConnection:
         except (ChannelError, ProtocolError) as exc:
             self._closed = True
             return ("inline", canonical_dumps({"kind": "refused", "reason": str(exc)}))
+        if isinstance(request, dict):
+            # wire size of the sealed request, for per-principal usage
+            # accounting in complete() (prepare is the only phase that
+            # still sees the payload)
+            request["_nbytes"] = len(payload)
         return ("call", request)
 
     def seal(self, response: bytes) -> bytes:
@@ -340,6 +349,7 @@ class _ServerConnection:
 
     def complete(self, request: dict) -> bytes:
         """Phase 2 (worker-pool safe): dispatch one unwrapped request."""
+        request_bytes = request.pop("_nbytes", 0)
         request_id = request.get("id", 0)
         method = request.get("method", "")
         subject = self._context.peer_subject
@@ -361,6 +371,9 @@ class _ServerConnection:
         idempotency_key = request.get("idempotency_key", "")
         if not isinstance(idempotency_key, str):
             idempotency_key = ""
+        sent_at = request.get("sent_at")
+        if not isinstance(sent_at, (int, float)) or isinstance(sent_at, bool):
+            sent_at = None
         # restore the caller's trace around dispatch: the server span is a
         # child of the client span, sharing its trace ID
         parent = obs_trace.from_wire(request.get("trace"))
@@ -373,7 +386,8 @@ class _ServerConnection:
             )
         operation = self._endpoint.operations.get(method)
         context = RequestContext(
-            method=method, subject=subject, idempotency_key=idempotency_key, deadline=deadline
+            method=method, subject=subject, idempotency_key=idempotency_key,
+            deadline=deadline, sent_at=sent_at,
         )
         # the dispatch runs inside a *recorded* span so the hop survives in
         # the span store; dispatch errors become error responses, so the
@@ -405,6 +419,12 @@ class _ServerConnection:
                         reason=str(exc),
                     )
                     response = make_error(request_id, type(exc).__name__, str(exc))
+        usage_sink = self._endpoint.usage_sink
+        if usage_sink is not None:
+            try:
+                usage_sink(subject, request_bytes, len(response))
+            except Exception:  # noqa: BLE001 - accounting must never fail a call
+                obs_metrics.counter("obs.usage_sink_errors").inc()
         return response
 
     def close(self) -> None:
@@ -442,6 +462,10 @@ class ServiceEndpoint:
         # connection", a retryable TransportError) — exactly what a
         # process death looks like to a client mid-call
         self.crashed = False
+        # optional ``(subject, bytes_in, bytes_out)`` hook, called after
+        # every dispatch; the bank points it at its UsageMeter so wire
+        # volume lands in the per-principal usage rollups
+        self.usage_sink: Optional[Callable[[str, int, int], None]] = None
 
     def register(self, method: str, operation: Operation) -> None:
         """Expose ``operation(subject, params) -> result`` as *method*."""
@@ -630,6 +654,10 @@ class RPCClient:
         request_id = self._next_id
         self._next_id += 1
         idempotency_key = f"{self._nonce}:{request_id}"
+        # stamped once per logical call (like the key): re-sends carry the
+        # original epoch, so the server sees latency the caller actually
+        # experienced — backoff and network faults included
+        sent_at = self._clock.epoch()
         deadline: Optional[float] = None
         if self._retry is not None and self._retry.call_deadline is not None:
             deadline = self._clock.epoch() + self._retry.call_deadline
@@ -650,7 +678,9 @@ class RPCClient:
                             raise TransportError("connection is no longer usable and no reconnect factory was given")
                         self._replace_connection()
                         self._handshake()
-                    return self._call_once(method, params, request_id, idempotency_key, deadline)
+                    return self._call_once(
+                        method, params, request_id, idempotency_key, deadline, sent_at
+                    )
                 except NotPrimaryError as exc:
                     # a standby (or fenced ex-primary) refused a write; if
                     # the reconnect factory can be steered (a routing
@@ -739,6 +769,7 @@ class RPCClient:
         request_id: int,
         idempotency_key: str,
         deadline: Optional[float],
+        sent_at: Optional[float] = None,
     ) -> Any:
         if deadline is not None and self._clock.epoch() > deadline:
             raise DeadlineExceeded(f"call deadline expired before sending {method!r}")
@@ -756,6 +787,7 @@ class RPCClient:
                     trace=obs_trace.to_wire(span),
                     idempotency_key=idempotency_key,
                     deadline=deadline,
+                    sent_at=sent_at,
                 )
             )
             raw = self._connection.request(canonical_dumps({"kind": "sealed", "record": sealed}))
@@ -896,6 +928,7 @@ class _Pipeline:
                 request_id,
                 trace=obs_trace.to_wire(span) if span is not None else None,
                 idempotency_key=idempotency_key,
+                sent_at=client._clock.epoch(),
             )
         )
         call = PendingCall(self, method, request_id, idempotency_key)

@@ -2,7 +2,7 @@
 
 GridBank's value is an auditable record of who used what and who paid
 whom (GASA sec 3.2, 5.1); this package gives the reproduction the same
-property for its own behaviour. Five pieces:
+property for its own behaviour. Eight pieces:
 
 * :mod:`repro.obs.metrics` — thread-safe in-process counters, gauges and
   fixed-bucket histograms (exponential bounds by default), read out via
@@ -18,9 +18,15 @@ property for its own behaviour. Five pieces:
   through the WAL'd database (queryable by ``gridbank trace``) and a
   JSONL file for out-of-process collection.
 * :mod:`repro.obs.export` — Prometheus-text rendering of the metrics
-  snapshot, with file/HTTP polling sidecars.
+  snapshot, with file/HTTP polling sidecars (plus ``/healthz``).
+* :mod:`repro.obs.slo` — declarative per-op objectives evaluated as
+  multi-window burn rates, with an ok/warning/page alert state machine.
+* :mod:`repro.obs.sampling` — adaptive head sampling with tail retention
+  for error and slow spans, in front of the durable span store.
+* :mod:`repro.obs.usage` — per-principal usage metering rolled up into
+  WAL'd rows carrying standard RUR blobs.
 """
 
-from repro.obs import export, logging, metrics, store, trace
+from repro.obs import export, logging, metrics, sampling, slo, store, trace, usage
 
-__all__ = ["export", "logging", "metrics", "store", "trace"]
+__all__ = ["export", "logging", "metrics", "sampling", "slo", "store", "trace", "usage"]

@@ -2,11 +2,11 @@
 
 :func:`render_prometheus` turns a :func:`repro.obs.metrics.snapshot` dict
 into the Prometheus text exposition format (version 0.0.4): counters and
-gauges as their own types, histograms as *summaries* — the registry's
-snapshot carries estimated p50/p95/p99 plus sum/count, which maps onto
-``{quantile="..."}`` series exactly, whereas cumulative ``_bucket``
-series would require re-deriving bounds the snapshot deliberately does
-not expose.
+gauges as their own types, histograms as native ``_bucket{le=...}``
+series (the registry's snapshot carries cumulative bucket pairs). A
+snapshot whose histogram summaries lack bucket data — hand-built fixtures
+from before the buckets were exposed — falls back to a *summary* with
+``{quantile="..."}`` series estimated from p50/p95/p99.
 
 Registry names like ``rpc.breaker.state{breaker=bank}`` are split back
 into a metric name and labels: dots become underscores (Prometheus names
@@ -23,6 +23,7 @@ the serving loop:
 
 from __future__ import annotations
 
+import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -44,15 +45,35 @@ _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def _split_key(key: str) -> tuple[str, dict[str, str]]:
-    """``name{k=v,...}`` (the registry's instrument key) -> (name, labels)."""
+    """``name{k=v,...}`` (the registry's instrument key) -> (name, labels).
+
+    Label *values* may themselves contain key syntax — principal DNs are
+    ``CN=...,O=...`` — which the registry backslash-escapes when it builds
+    the key; this parser honors those escapes (``\\X`` means literal
+    ``X``), so DN-valued labels round-trip intact.
+    """
     if "{" not in key or not key.endswith("}"):
         return key, {}
     name, _, rest = key.partition("{")
     labels: dict[str, str] = {}
-    for pair in rest[:-1].split(","):
-        if "=" in pair:
-            label, _, value = pair.partition("=")
-            labels[label] = value
+    label: list[str] = []
+    value: list[str] = []
+    target = label
+    chars = iter(rest[:-1])
+    for ch in chars:
+        if ch == "\\":
+            target.append(next(chars, ""))
+        elif ch == "=" and target is label:
+            target = value
+        elif ch == ",":
+            if label:
+                labels["".join(label)] = "".join(value)
+            label, value = [], []
+            target = label
+        else:
+            target.append(ch)
+    if label:
+        labels["".join(label)] = "".join(value)
     return name, labels
 
 
@@ -112,8 +133,28 @@ def render_prometheus(data: Optional[dict] = None) -> str:
         name, labels = _split_key(key)
         grouped.setdefault(_prom_name(name), []).append((labels, histograms[key]))
     for name in sorted(grouped):
+        entries = grouped[name]
+        if all("buckets" in summary for _, summary in entries):
+            # registry snapshots carry cumulative bucket pairs — render a
+            # native Prometheus histogram (``_bucket{le=...}`` series)
+            lines.append(f"# TYPE {name} histogram")
+            for labels, summary in entries:
+                for bound, cumulative in summary["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = (
+                        bound if isinstance(bound, str) else _format_value(float(bound))
+                    )
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} "
+                        f"{_format_value(cumulative)}"
+                    )
+                suffix = _labels_text(labels)
+                lines.append(f"{name}_sum{suffix} {_format_value(summary.get('sum', 0.0))}")
+                lines.append(f"{name}_count{suffix} {_format_value(summary.get('count', 0))}")
+            continue
+        # hand-built snapshots without bucket data: quantile summary
         lines.append(f"# TYPE {name} summary")
-        for labels, summary in grouped[name]:
+        for labels, summary in entries:
             for quantile, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
                 quantile_labels = dict(labels)
                 quantile_labels["quantile"] = quantile
@@ -187,6 +228,11 @@ class HTTPExporter:
     the authenticated GSI surface — do not expose it beyond the host).
     Pass ``port=0`` to let the OS choose; the bound port is ``self.port``
     after :meth:`start`.
+
+    When *health_fn* is provided, ``GET /healthz`` serves its dict as
+    JSON for load-balancer readiness checks — status 200 while the
+    payload's ``ok`` field (default True) holds, 503 otherwise, so an LB
+    can drop a paging or badly-lagged node without parsing the body.
     """
 
     def __init__(
@@ -194,10 +240,12 @@ class HTTPExporter:
         port: int = 0,
         host: str = "127.0.0.1",
         snapshot_fn: Callable[[], dict] = obs_metrics.snapshot,
+        health_fn: Optional[Callable[[], dict]] = None,
     ) -> None:
         self.host = host
         self.port = port
         self._snapshot_fn = snapshot_fn
+        self._health_fn = health_fn
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -205,10 +253,32 @@ class HTTPExporter:
         if self._server is not None:
             raise RuntimeError("exporter already started")
         snapshot_fn = self._snapshot_fn
+        health_fn = self._health_fn
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-                if self.path.split("?", 1)[0].rstrip("/") not in ("", "/metrics"):
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path == "/healthz":
+                    if health_fn is None:
+                        self.send_response(404)
+                        self.end_headers()
+                        return
+                    try:
+                        payload = health_fn()
+                        status = 200 if payload.get("ok", True) else 503
+                        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                    except Exception as exc:  # health must never crash the listener
+                        status = 503
+                        body = json.dumps(
+                            {"ok": False, "error": type(exc).__name__}
+                        ).encode("utf-8")
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json; charset=utf-8")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                if path not in ("", "/metrics"):
                     self.send_response(404)
                     self.end_headers()
                     return

@@ -212,11 +212,24 @@ class Histogram:
             lower = upper
         return self._max
 
+    def _cumulative_buckets_locked(self) -> list:
+        """Cumulative ``[upper_bound, count]`` pairs, Prometheus-style:
+        each count covers every observation <= its bound, and the final
+        ``"+Inf"`` entry equals the total count."""
+        pairs = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self._counts):
+            running += bucket_count
+            pairs.append([bound, running])
+        pairs.append(["+Inf", self._count])
+        return pairs
+
     def summary(self) -> dict:
         with self._lock:
             if self._count == 0:
                 return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                        "buckets": self._cumulative_buckets_locked()}
             return {
                 "count": self._count,
                 "sum": self._sum,
@@ -226,6 +239,7 @@ class Histogram:
                 "p50": self._percentile_locked(0.50),
                 "p95": self._percentile_locked(0.95),
                 "p99": self._percentile_locked(0.99),
+                "buckets": self._cumulative_buckets_locked(),
             }
 
 
@@ -258,10 +272,20 @@ class _Timer:
         return wrapper
 
 
+def _escape_label_value(value: str) -> str:
+    """Backslash-escape the key syntax characters in a label value, so
+    values carrying commas or equals signs (principal DNs like
+    ``CN=alice,O=acme``) survive the ``name{k=v,...}`` round trip. Plain
+    values render unchanged, keeping simple keys byte-identical."""
+    return value.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+
+
 def _key(name: str, labels: dict) -> str:
     if not labels:
         return name
-    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    rendered = ",".join(
+        f"{k}={_escape_label_value(str(labels[k]))}" for k in sorted(labels)
+    )
     return f"{name}{{{rendered}}}"
 
 

@@ -1,0 +1,325 @@
+"""SLO burn-rate engine — declarative per-op objectives over rolling windows.
+
+An :class:`Objective` states what "good" means for one operation (or
+``"*"`` for everything): the call succeeded AND finished under the
+latency threshold, with a target fraction of good events (e.g. 0.999).
+The engine folds every dispatch into two rolling windows — a fast window
+(default 5 minutes) that reacts quickly and clears quickly, and a slow
+window (default 1 hour) that filters blips — and evaluates the classic
+multi-window *burn rate*::
+
+    burn = bad_fraction / error_budget        error_budget = 1 - target
+
+A burn rate of 1.0 spends the budget exactly at the sustainable pace;
+paging at ``burn >= 10`` on BOTH windows means the budget would be gone
+in a tenth of the period and the problem is still happening right now.
+The alert state machine is ``ok -> warning -> page`` (and back): warning
+when both windows burn above ``warn_burn``, page above ``page_burn``,
+ok again once either window falls back below ``warn_burn`` — the fast
+window rolling over is what clears an alert after the fault stops.
+
+State is exported three ways so nothing has to poll the engine itself:
+gauges (``slo.burn_rate{op=,window=}``, ``slo.alert_state{op=}`` with
+0/1/2), a ``slo.alert_transitions`` counter, and an ``slo.transition``
+span event attached to whatever span was active when the state flipped
+(the bank's op span — so the trace that tripped the alert records it).
+Time comes from the injected :class:`~repro.util.gbtime.Clock`, so the
+whole machinery runs under a :class:`~repro.util.gbtime.VirtualClock`
+in tests and fault drills.
+
+:meth:`SLOEngine.overload` is the admission-control hook the roadmap's
+front-end work consumes: "is any objective currently paging?".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
+from repro.util.gbtime import Clock, SystemClock
+
+__all__ = [
+    "Objective",
+    "SLOEngine",
+    "default_bank_objectives",
+    "STATE_OK",
+    "STATE_WARNING",
+    "STATE_PAGE",
+    "STATE_VALUES",
+]
+
+_log = get_logger("obs.slo")
+
+STATE_OK = "ok"
+STATE_WARNING = "warning"
+STATE_PAGE = "page"
+
+#: Numeric encoding used by the ``slo.alert_state`` gauge.
+STATE_VALUES = {STATE_OK: 0, STATE_WARNING: 1, STATE_PAGE: 2}
+
+_SEVERITY = {STATE_OK: 0, STATE_WARNING: 1, STATE_PAGE: 2}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective: availability + latency, per op.
+
+    ``op`` is the bank operation name (``direct_transfer``) or ``"*"``
+    to cover any op without its own objective. An event is *good* when
+    it succeeded and took no longer than ``latency_threshold`` seconds.
+    """
+
+    op: str
+    target: float = 0.999
+    latency_threshold: float = 0.5
+    fast_window: float = 300.0
+    slow_window: float = 3600.0
+    warn_burn: float = 2.0
+    page_burn: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.op:
+            raise ValueError("objective op must be non-empty")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("objective target must be in (0, 1)")
+        if self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be positive")
+        if self.fast_window <= 0 or self.slow_window < self.fast_window:
+            raise ValueError("windows must satisfy 0 < fast_window <= slow_window")
+        if not 0 < self.warn_burn <= self.page_burn:
+            raise ValueError("burn thresholds must satisfy 0 < warn_burn <= page_burn")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "target": self.target,
+            "latency_threshold": self.latency_threshold,
+            "fast_window": self.fast_window,
+            "slow_window": self.slow_window,
+            "warn_burn": self.warn_burn,
+            "page_burn": self.page_burn,
+        }
+
+
+class _Window:
+    """Rolling good/total counts over a fixed span, bucketed for O(1) adds.
+
+    Events land in ``span / buckets``-wide slots keyed by absolute slot
+    index; expiry subtracts whole slots once they age out, so adds and
+    reads are constant-time regardless of traffic (no per-event storage).
+    """
+
+    __slots__ = ("span", "width", "_slots", "_good", "_total")
+
+    def __init__(self, span: float, buckets: int = 30) -> None:
+        self.span = span
+        self.width = span / buckets
+        self._slots: deque[list] = deque()  # [slot_index, good, total]
+        self._good = 0
+        self._total = 0
+
+    def _expire(self, now: float) -> None:
+        horizon = int((now - self.span) // self.width)
+        while self._slots and self._slots[0][0] <= horizon:
+            _, good, total = self._slots.popleft()
+            self._good -= good
+            self._total -= total
+
+    def add(self, now: float, good: bool) -> None:
+        self._expire(now)
+        index = int(now // self.width)
+        if self._slots and self._slots[-1][0] == index:
+            slot = self._slots[-1]
+        else:
+            slot = [index, 0, 0]
+            self._slots.append(slot)
+        slot[2] += 1
+        self._total += 1
+        if good:
+            slot[1] += 1
+            self._good += 1
+
+    def counts(self, now: float) -> tuple[int, int]:
+        self._expire(now)
+        return self._good, self._total
+
+    def bad_fraction(self, now: float) -> float:
+        good, total = self.counts(now)
+        if total == 0:
+            return 0.0
+        return (total - good) / total
+
+
+class _Tracker:
+    __slots__ = ("objective", "fast", "slow", "state",
+                 "fast_gauge", "slow_gauge", "state_gauge", "transitions")
+
+    def __init__(self, objective: Objective) -> None:
+        self.objective = objective
+        self.fast = _Window(objective.fast_window)
+        self.slow = _Window(objective.slow_window)
+        self.state = STATE_OK
+        self.fast_gauge = obs_metrics.gauge("slo.burn_rate", op=objective.op, window="fast")
+        self.slow_gauge = obs_metrics.gauge("slo.burn_rate", op=objective.op, window="slow")
+        self.state_gauge = obs_metrics.gauge("slo.alert_state", op=objective.op)
+        self.transitions = obs_metrics.counter("slo.alert_transitions", op=objective.op)
+        self.state_gauge.set(STATE_VALUES[STATE_OK])
+
+
+class SLOEngine:
+    """Burn-rate evaluation and alerting over a set of objectives."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        objectives: Iterable[Objective] = (),
+    ) -> None:
+        self.clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._trackers: dict[str, _Tracker] = {}
+        for objective in objectives:
+            self.add_objective(objective)
+
+    def add_objective(self, objective: Objective) -> None:
+        with self._lock:
+            if objective.op in self._trackers:
+                raise ValueError(f"objective already declared for op {objective.op!r}")
+            self._trackers[objective.op] = _Tracker(objective)
+
+    def objectives(self) -> list[Objective]:
+        with self._lock:
+            return [tracker.objective for tracker in self._trackers.values()]
+
+    def _tracker_for(self, op: str) -> Optional[_Tracker]:
+        tracker = self._trackers.get(op)
+        if tracker is None:
+            tracker = self._trackers.get("*")
+        return tracker
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, op: str, ok: bool, latency: float, now: Optional[float] = None) -> str:
+        """Fold one dispatch outcome in and return the op's alert state.
+
+        Ops with no matching objective (and no ``"*"`` fallback) are not
+        tracked and report ``ok``.
+        """
+        with self._lock:
+            tracker = self._tracker_for(op)
+            if tracker is None:
+                return STATE_OK
+            if now is None:
+                now = self.clock.epoch()
+            good = ok and latency <= tracker.objective.latency_threshold
+            tracker.fast.add(now, good)
+            tracker.slow.add(now, good)
+            return self._evaluate_locked(tracker, now)
+
+    def _evaluate_locked(self, tracker: _Tracker, now: float) -> str:
+        objective = tracker.objective
+        budget = objective.error_budget
+        fast_burn = tracker.fast.bad_fraction(now) / budget
+        slow_burn = tracker.slow.bad_fraction(now) / budget
+        tracker.fast_gauge.set(fast_burn)
+        tracker.slow_gauge.set(slow_burn)
+        if fast_burn >= objective.page_burn and slow_burn >= objective.page_burn:
+            state = STATE_PAGE
+        elif fast_burn >= objective.warn_burn and slow_burn >= objective.warn_burn:
+            state = STATE_WARNING
+        else:
+            state = STATE_OK
+        if state != tracker.state:
+            previous, tracker.state = tracker.state, state
+            tracker.state_gauge.set(STATE_VALUES[state])
+            tracker.transitions.inc()
+            obs_trace.add_event(
+                "slo.transition",
+                op=objective.op,
+                previous=previous,
+                state=state,
+                burn_fast=round(fast_burn, 3),
+                burn_slow=round(slow_burn, 3),
+            )
+            log = _log.warning if _SEVERITY[state] > _SEVERITY[previous] else _log.info
+            log(
+                "slo.transition",
+                op=objective.op,
+                previous=previous,
+                state=state,
+                burn_fast=fast_burn,
+                burn_slow=slow_burn,
+            )
+        return tracker.state
+
+    # -- evaluation / export ----------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> dict[str, str]:
+        """Re-evaluate every objective against the current clock.
+
+        Windows only roll forward when consulted, so a scrape (or the
+        telemetry endpoint) calls this to let alerts clear during quiet
+        periods with no traffic to trigger :meth:`record`.
+        """
+        with self._lock:
+            if now is None:
+                now = self.clock.epoch()
+            return {
+                op: self._evaluate_locked(tracker, now)
+                for op, tracker in self._trackers.items()
+            }
+
+    def states(self) -> dict[str, str]:
+        """Current alert state per objective op (freshly evaluated)."""
+        return self.evaluate()
+
+    def worst_state(self) -> str:
+        states = self.evaluate().values()
+        if STATE_PAGE in states:
+            return STATE_PAGE
+        if STATE_WARNING in states:
+            return STATE_WARNING
+        return STATE_OK
+
+    def overload(self) -> bool:
+        """True while any objective is paging — the admission-control
+        signal the roadmap's front-end work sheds load on."""
+        return STATE_PAGE in self.evaluate().values()
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """JSON-able view: per-objective config, burns, counts and state."""
+        self.evaluate(now)
+        out: dict = {}
+        with self._lock:
+            if now is None:
+                now = self.clock.epoch()
+            for op, tracker in self._trackers.items():
+                objective = tracker.objective
+                fast_good, fast_total = tracker.fast.counts(now)
+                slow_good, slow_total = tracker.slow.counts(now)
+                out[op] = {
+                    "state": tracker.state,
+                    "target": objective.target,
+                    "latency_threshold": objective.latency_threshold,
+                    "burn_fast": tracker.fast_gauge.value,
+                    "burn_slow": tracker.slow_gauge.value,
+                    "fast_good": fast_good,
+                    "fast_total": fast_total,
+                    "slow_good": slow_good,
+                    "slow_total": slow_total,
+                }
+        return out
+
+
+def default_bank_objectives() -> tuple[Objective, ...]:
+    """The bank's out-of-the-box objective: 99.9% of any op good within
+    half a second. Callers with op-specific needs declare their own."""
+    return (Objective(op="*", target=0.999, latency_threshold=0.5),)

@@ -35,6 +35,7 @@ from repro.db.query import eq
 from repro.db.schema import Column, TableSchema
 from repro.db.types import BigIntUnsigned, Blob, Float, VarChar
 from repro.errors import IntegrityError
+from repro.obs import metrics as obs_metrics
 from repro.util.ids import IdGenerator
 from repro.util.serialize import canonical_dumps, canonical_loads
 
@@ -189,6 +190,10 @@ class SpanStore:
         )
         for row in victims:
             self.db.delete(SPAN_TABLE, (row["TraceID"], row["SpanID"]))
+        if victims:
+            # audit history destroyed by capacity, not by choice — keep
+            # the loss observable (sampling exists to keep this near zero)
+            obs_metrics.counter("obs.spans_dropped").inc(len(victims))
 
     # -- query side --------------------------------------------------------
 

@@ -158,11 +158,11 @@ class TestLayeringClaim:
     def test_no_new_tables_or_account_operations_needed(self, world):
         # the protocol reuses the shared instruments registry and the
         # existing accounts tables — the database schema is unchanged
-        # ("replies" belongs to the exactly-once RPC layer and "spans" to
-        # the observability layer, not GridCoin)
+        # ("replies" belongs to the exactly-once RPC layer, "spans" and
+        # "usage_rollups" to the observability layer, not GridCoin)
         assert sorted(world["bank"].db.table_names()) == [
             "accounts", "administrators", "instruments", "replies",
-            "spans", "transactions", "transfers",
+            "spans", "transactions", "transfers", "usage_rollups",
         ]
 
     def test_coexists_with_other_instruments(self, world):

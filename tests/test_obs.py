@@ -58,9 +58,10 @@ class TestHistogram:
         assert h.percentile(0.99) == pytest.approx(5.0)
 
     def test_empty_summary_is_all_zeros(self):
-        summary = Histogram("h").summary()
+        summary = Histogram("h", buckets=(1.0, 2.0)).summary()
         assert summary == {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
-                           "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                           "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                           "buckets": [[1.0, 0], [2.0, 0], ["+Inf", 0]]}
 
     def test_summary_fields(self):
         h = Histogram("h", buckets=(1.0, 10.0))

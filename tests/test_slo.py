@@ -1,0 +1,340 @@
+"""SLO burn-rate engine: objectives, rolling windows, the alert state
+machine, and the end-to-end fault drill.
+
+The unit tests drive :class:`~repro.obs.slo.SLOEngine` with explicit
+``now=`` values so window rollover is exact; the chaos test builds a real
+single-node world on the in-process transport and lets a
+:class:`~repro.net.transport.FaultSchedule` inject latency + drops until
+the latency objective pages, then clears them and watches the fast
+window roll the alert back to ok — with the transitions visible in both
+the metrics snapshot and span events, as the operators' story requires.
+"""
+
+import random
+
+import pytest
+
+from repro.bank.cluster import ClusterNode, cluster_client
+from repro.bank.server import GridBankServer
+from repro.core.api import GridBankAPI
+from repro.db.database import Database
+from repro.errors import ReproError
+from repro.net.retry import RetryPolicy
+from repro.net.transport import FaultPhase, FaultPlan, FaultSchedule, InProcessNetwork
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.slo import (
+    STATE_OK,
+    STATE_PAGE,
+    STATE_WARNING,
+    Objective,
+    SLOEngine,
+    _Window,
+    default_bank_objectives,
+)
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+
+class TestObjective:
+    def test_defaults_are_valid_and_budget_derives_from_target(self):
+        objective = Objective(op="direct_transfer")
+        assert objective.target == 0.999
+        assert objective.error_budget == pytest.approx(0.001)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"op": ""},
+            {"op": "x", "target": 0.0},
+            {"op": "x", "target": 1.0},
+            {"op": "x", "latency_threshold": 0.0},
+            {"op": "x", "fast_window": 0.0},
+            {"op": "x", "fast_window": 600.0, "slow_window": 60.0},
+            {"op": "x", "warn_burn": 0.0},
+            {"op": "x", "warn_burn": 20.0, "page_burn": 10.0},
+        ],
+    )
+    def test_invalid_objectives_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Objective(**kwargs)
+
+    def test_to_dict_is_json_able_config(self):
+        d = Objective(op="pay", target=0.99, latency_threshold=0.2).to_dict()
+        assert d["op"] == "pay"
+        assert d["target"] == 0.99
+        assert d["latency_threshold"] == 0.2
+        assert set(d) == {
+            "op", "target", "latency_threshold", "fast_window",
+            "slow_window", "warn_burn", "page_burn",
+        }
+
+    def test_default_bank_objectives_cover_every_op(self):
+        (objective,) = default_bank_objectives()
+        assert objective.op == "*"
+
+
+class TestWindow:
+    def test_counts_roll_over_as_time_passes(self):
+        window = _Window(span=30.0)
+        for i in range(10):
+            window.add(1000.0 + i, good=False)
+        assert window.counts(1009.0) == (0, 10)
+        # all ten events age out once now - span passes them
+        assert window.counts(1041.0) == (0, 0)
+        assert window.bad_fraction(1041.0) == 0.0
+
+    def test_partial_expiry_drops_whole_slots_oldest_first(self):
+        window = _Window(span=30.0)  # slot width 1s
+        window.add(1000.0, good=False)
+        window.add(1020.0, good=True)
+        good, total = window.counts(1031.5)  # 1000.0 slot is out, 1020.0 in
+        assert (good, total) == (1, 1)
+
+    def test_empty_window_has_zero_bad_fraction(self):
+        assert _Window(span=10.0).bad_fraction(500.0) == 0.0
+
+
+class TestEngineStateMachine:
+    def engine(self, **kwargs) -> SLOEngine:
+        defaults = dict(
+            op="pay", target=0.9, latency_threshold=0.5,
+            fast_window=10.0, slow_window=100.0, warn_burn=2.0, page_burn=10.0,
+        )
+        defaults.update(kwargs)
+        # clock pinned to the tests' absolute `now` values so the
+        # no-argument paths (overload, worst_state) agree with them
+        return SLOEngine(clock=VirtualClock(start=1000.0), objectives=(Objective(**defaults),))
+
+    def test_untracked_op_reports_ok_and_records_nothing(self):
+        engine = self.engine()
+        assert engine.record("unrelated", ok=False, latency=9.0, now=1000.0) == STATE_OK
+        assert "unrelated" not in engine.snapshot(now=1000.0)
+
+    def test_star_objective_is_the_fallback(self):
+        engine = SLOEngine(
+            clock=VirtualClock(),
+            objectives=(Objective(op="*", target=0.9, fast_window=10.0, slow_window=100.0),),
+        )
+        engine.record("anything", ok=True, latency=0.0, now=1000.0)
+        assert engine.snapshot(now=1000.0)["*"]["fast_total"] == 1
+
+    def test_duplicate_objective_rejected(self):
+        engine = self.engine()
+        with pytest.raises(ValueError):
+            engine.add_objective(Objective(op="pay"))
+
+    def test_slow_success_is_a_bad_event(self):
+        engine = self.engine()
+        engine.record("pay", ok=True, latency=2.0, now=1000.0)  # over threshold
+        snap = engine.snapshot(now=1000.0)["pay"]
+        assert (snap["fast_good"], snap["fast_total"]) == (0, 1)
+
+    def test_all_bad_traffic_pages_immediately(self):
+        engine = self.engine()
+        # bad fraction 1.0 / budget 0.1 = burn 10 on both windows
+        assert engine.record("pay", ok=False, latency=0.0, now=1000.0) == STATE_PAGE
+        assert engine.overload() is True
+        assert engine.worst_state() == STATE_PAGE
+
+    def test_fast_spike_alone_does_not_alert(self):
+        """Paging needs BOTH windows burning: a burst that fills the fast
+        window but is diluted by the slow window's history stays ok."""
+        engine = self.engine()
+        for i in range(90):
+            engine.record("pay", ok=True, latency=0.0, now=1000.0 + i * 0.5)
+        state = STATE_OK
+        for _ in range(10):
+            state = engine.record("pay", ok=False, latency=0.0, now=1095.0)
+        # fast window [1085, 1095] holds only the 10 bad (burn 10); slow
+        # holds 100 events, 10 bad -> burn 1.0 < warn_burn
+        snap = engine.snapshot(now=1095.0)["pay"]
+        assert snap["burn_fast"] >= 10.0
+        assert snap["burn_slow"] < 2.0
+        assert state == STATE_OK
+
+    def test_escalates_through_warning_to_page_and_back(self):
+        engine = self.engine()
+        transitions = []
+        for i in range(98):
+            engine.record("pay", ok=True, latency=0.0, now=1000.0 + i)
+        # warning: push slow burn into [warn, page) while fast saturates
+        for i in range(30):
+            transitions.append(engine.record("pay", ok=False, latency=0.0, now=1097.0))
+        assert transitions[-1] == STATE_WARNING
+        # page: jump ahead so the slow window forgets the good history,
+        # then keep failing — both windows now burn at page level
+        transitions.clear()
+        for i in range(5):
+            transitions.append(engine.record("pay", ok=False, latency=0.0, now=1250.0))
+        assert transitions[-1] == STATE_PAGE
+        # clear: good traffic after the fast window rolls over
+        state = engine.record("pay", ok=True, latency=0.0, now=1300.0)
+        assert state == STATE_OK
+
+    def test_quiet_period_clears_via_evaluate(self):
+        """No traffic also clears: a scrape calling evaluate() after the
+        fast window expires must not leave a stale page standing."""
+        engine = self.engine()
+        assert engine.record("pay", ok=False, latency=0.0, now=1000.0) == STATE_PAGE
+        assert engine.evaluate(now=1000.5)["pay"] == STATE_PAGE
+        assert engine.evaluate(now=1020.0)["pay"] == STATE_OK
+
+    def test_transitions_export_gauges_counter_and_span_event(self):
+        obs_metrics.reset()
+        engine = self.engine(op="evt")
+        records = []
+        with obs_trace.sink_installed(records.append):
+            with obs_trace.span("test.slo"):
+                engine.record("evt", ok=False, latency=0.0, now=1000.0)
+        snap = obs_metrics.snapshot()
+        assert snap["gauges"]["slo.alert_state{op=evt}"] == 2
+        assert snap["counters"]["slo.alert_transitions{op=evt}"] == 1
+        assert snap["gauges"]["slo.burn_rate{op=evt,window=fast}"] == pytest.approx(10.0)
+        events = [e for e in records[0]["events"] if e["name"] == "slo.transition"]
+        assert len(events) == 1
+        assert events[0]["fields"]["previous"] == STATE_OK
+        assert events[0]["fields"]["state"] == STATE_PAGE
+        assert events[0]["fields"]["op"] == "evt"
+
+    def test_snapshot_shape(self):
+        engine = self.engine()
+        engine.record("pay", ok=True, latency=0.0, now=1000.0)
+        snap = engine.snapshot(now=1000.0)["pay"]
+        assert set(snap) == {
+            "state", "target", "latency_threshold", "burn_fast", "burn_slow",
+            "fast_good", "fast_total", "slow_good", "slow_total",
+        }
+        assert snap["state"] == STATE_OK
+        assert snap["slow_total"] == 1
+
+
+@pytest.mark.chaos
+class TestFaultDrill:
+    """The acceptance scenario: a scheduled latency+drop storm on the
+    in-process transport drives the latency SLO ok -> page, and clearing
+    the faults (plus good traffic past the fast window) drives it back
+    to ok — every hop observable from outside the engine."""
+
+    def test_storm_pages_then_recovery_clears(
+        self, ca_keypair, keypair_a, keypair_c, tmp_path
+    ):
+        obs_metrics.reset()
+        clock = VirtualClock()
+        start = clock.epoch()
+        ca = CertificateAuthority(
+            DistinguishedName("GridBank", "Root CA"), clock=clock, keypair=ca_keypair
+        )
+        store = CertificateStore([ca.root_certificate])
+        bank_ident = ca.issue_identity(
+            DistinguishedName("GridBank", "server"), keypair=keypair_a
+        )
+        schedule = FaultSchedule([
+            # storm: every delivery delayed well past the SLO threshold,
+            # one in five requests dropped (forcing retry backoff on top)
+            FaultPhase(at=start + 5.0, settings={
+                "latency_probability": 1.0,
+                "latency_range": (0.3, 0.5),
+                "drop_request_probability": 0.2,
+            }),
+            FaultPhase(at=start + 500.0, settings={
+                "latency_probability": 0.0,
+                "drop_request_probability": 0.0,
+            }),
+        ])
+        faults = FaultPlan(rng=random.Random(0), clock=clock, schedule=schedule)
+        network = InProcessNetwork(faults=faults)
+
+        bank = GridBankServer(
+            bank_ident, store,
+            db=Database(path=tmp_path / "bank"),
+            clock=clock, rng=random.Random(2),
+        )
+        bank.recover()
+        # a deliberately tight objective so the drill converges quickly
+        bank.slo = SLOEngine(clock=clock, objectives=(
+            Objective(op="*", target=0.99, latency_threshold=0.15,
+                      fast_window=60.0, slow_window=600.0),
+        ))
+        network.listen("bank-a", bank.connection_handler)
+        node = ClusterNode(bank, "bank-a", network.connect, poll_interval=0.005)
+        try:
+            admin_ident = ca.issue_identity(
+                DistinguishedName("GridBank", "admin"), keypair=keypair_c
+            )
+            bank.admin.add_administrator(admin_ident.subject)
+            alice_ident = ca.issue_identity(
+                DistinguishedName("VO-A", "alice"), keypair=keypair_c
+            )
+
+            def api_for(identity, seed):
+                client = cluster_client(
+                    identity, store, network.connect, ("bank-a",),
+                    clock=clock, rng=random.Random(seed),
+                    retry_policy=RetryPolicy(max_attempts=8, rng=random.Random(seed + 10)),
+                )
+                return GridBankAPI(client, rng=random.Random(seed + 50))
+
+            alice = api_for(alice_ident, 1)
+            admin = api_for(admin_ident, 3)
+            src = alice.create_account()
+            dst = api_for(ca.issue_identity(
+                DistinguishedName("VO-B", "gsp"), keypair=keypair_c
+            ), 2).create_account()
+            admin.admin_deposit(src, Credits(1000))
+
+            records = []
+            with obs_trace.sink_installed(records.append):
+                # healthy warm-up traffic up to the storm's onset
+                for _ in range(8):
+                    alice.request_direct_transfer(src, dst, Credits(1))
+                    clock.advance(0.5)
+                assert bank.slo.worst_state() == STATE_OK
+
+                # the storm: injected latency makes every op miss the SLO
+                # threshold; drops add retry backoff on top of it
+                clock.advance(max(0.0, (start + 5.0) - clock.epoch()) + 0.1)
+                for _ in range(40):
+                    try:
+                        alice.request_direct_transfer(src, dst, Credits(1))
+                    except ReproError:
+                        pass  # a call can exhaust retries; the drill goes on
+                    clock.advance(0.5)
+                assert bank.slo.worst_state() == STATE_PAGE
+                assert bank.slo.overload() is True
+
+                # recovery: faults off, then good traffic across more than
+                # one fast window rolls the bad events out
+                clock.advance(max(0.0, (start + 500.0) - clock.epoch()) + 0.1)
+                for _ in range(80):
+                    alice.request_direct_transfer(src, dst, Credits(1))
+                    clock.advance(1.0)
+                assert bank.slo.worst_state() == STATE_OK
+                assert bank.slo.overload() is False
+
+            # the whole arc is visible in the metrics snapshot...
+            snap = obs_metrics.snapshot()
+            assert snap["counters"]["slo.alert_transitions{op=*}"] >= 2
+            assert snap["gauges"]["slo.alert_state{op=*}"] == 0
+            # ...and as span events on the ops that flipped the state
+            transitions = [
+                event["fields"]
+                for record in records
+                for event in record.get("events", [])
+                if event["name"] == "slo.transition"
+            ]
+            states = [fields["state"] for fields in transitions]
+            assert STATE_PAGE in states
+            assert states[-1] == STATE_OK
+            spans_carrying = {
+                record["name"]
+                for record in records
+                for event in record.get("events", [])
+                if event["name"] == "slo.transition"
+            }
+            assert any(name.startswith("bank.op.") for name in spans_carrying)
+        finally:
+            node._stop_replicator()

@@ -333,8 +333,12 @@ class TestExponentialBuckets:
         histogram = obs_metrics.Histogram("shape.test")
         histogram.observe(0.5)
         assert set(histogram.summary()) == {
-            "count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99", "buckets",
         }
+        # cumulative pairs, ending at the +Inf overflow = total count
+        buckets = histogram.summary()["buckets"]
+        assert buckets[-1] == ["+Inf", 1]
+        assert [count for _, count in buckets] == sorted(count for _, count in buckets)
 
 
 # -- Prometheus export -------------------------------------------------------
