@@ -5,7 +5,7 @@ PYTHON ?= python
 # targets work from a fresh checkout without `make install`
 export PYTHONPATH := src
 
-.PHONY: install lint test bench bench-smoke bench-record bench-gate profile chaos slo-smoke examples ci all clean
+.PHONY: install lint test bench bench-smoke bench-record bench-gate profile chaos slo-smoke corruption-drill examples ci all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -49,7 +49,7 @@ profile:
 # seeded fault-injection and exactly-once chaos suites, plus the chaos bench
 chaos:
 	$(PYTHON) -m pytest tests/ -m chaos
-	$(PYTHON) -m pytest tests/test_fault_injection.py tests/test_exactly_once.py tests/test_retry.py
+	$(PYTHON) -m pytest tests/test_fault_injection.py tests/test_exactly_once.py tests/test_retry.py tests/test_integrity.py
 	$(PYTHON) -m pytest benchmarks/bench_chaos.py --benchmark-only
 
 # fault-injected SLO drill: a scheduled latency+drop storm must trip a
@@ -57,9 +57,15 @@ chaos:
 slo-smoke:
 	$(PYTHON) tools/slo_smoke.py
 
+# two-node TCP cluster: seeded bit flips damage the stopped standby's WAL;
+# detection, boot refusal, and a full `gridbank fsck --repair` round trip
+# from the healthy primary must all hold, with funds conserved end to end
+corruption-drill:
+	$(PYTHON) tools/corruption_drill.py
+
 # exactly what .github/workflows/ci.yml runs, in the same order — keep the
 # two in lockstep so "it passed locally" means "it will pass in CI"
-ci: lint test chaos slo-smoke bench-smoke bench-gate
+ci: lint test chaos slo-smoke corruption-drill bench-smoke bench-gate
 	@echo "ci: all gates green"
 
 examples:
@@ -74,7 +80,7 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-all: lint test chaos slo-smoke bench-smoke bench-gate
+all: lint test chaos slo-smoke corruption-drill bench-smoke bench-gate
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -1,0 +1,121 @@
+"""ROBUST — the price of storage integrity, and scrub throughput.
+
+Two scenarios. The first runs the same settled-transfer storm against a
+persistent bank with WAL CRC framing on (the default) and off (the
+control arm ``wal_integrity=False`` exists for exactly this
+measurement) and asserts the framing — one CRC32 plus a ~20-byte header
+per committed line — costs under 5% ops/s: integrity is not allowed to
+be a tax anyone would be tempted to turn off. The second measures the
+scrubber's full re-verification pass (snapshot manifest + every WAL
+frame + payload decode) in records/s, the number that sizes how often a
+node can afford to re-check its cold bytes. Both land in the metrics
+sidecar (``bench.integrity.framing_overhead``,
+``bench.integrity.scrub_records_per_s``).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bank.server import GridBankServer
+from repro.db.database import Database
+from repro.obs import metrics as obs_metrics
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import DistinguishedName
+from repro.pki.validation import CertificateStore
+from repro.util.gbtime import VirtualClock
+from repro.util.money import Credits
+
+TRANSFERS = 150
+FUNDS = 1_000_000.0
+OVERHEAD_LIMIT = 0.05
+SCRUB_FLOOR_RECORDS_PER_S = 500.0
+
+
+def build_bank(tmp, seed: int, wal_integrity: bool):
+    """A persistent bank with one funded account pair, driven directly
+    (no network) so the WAL write path dominates what we time."""
+    clock = VirtualClock()
+    ca = CertificateAuthority(
+        DistinguishedName("GridBank", "Root CA"), clock=clock,
+        rng=random.Random(seed), key_bits=512,
+    )
+    store = CertificateStore([ca.root_certificate])
+    ident = ca.issue_identity(DistinguishedName("GridBank", "server"), key_bits=512)
+    db = Database(path=tmp, wal_integrity=wal_integrity)
+    bank = GridBankServer(ident, store, db=db, clock=clock, rng=random.Random(seed + 1))
+    bank.recover()
+    gsc = bank.accounts.create_account("/O=VO-A/CN=alice")
+    gsp = bank.accounts.create_account("/O=VO-B/CN=gsp")
+    bank.admin.deposit(gsc, Credits(FUNDS))
+    return bank, gsc, gsp
+
+
+def transfer_storm(bank, gsc, gsp) -> float:
+    start = time.perf_counter()
+    for _ in range(TRANSFERS):
+        bank.accounts.transfer(gsc, gsp, Credits(1))
+    return TRANSFERS / (time.perf_counter() - start)
+
+
+def test_integrity_framing_overhead(benchmark, tmp_path):
+    """CRC+length framing on every WAL line costs < 5% transfer ops/s."""
+
+    rounds = iter(range(100))
+
+    def compare():
+        tmp = tmp_path / f"round-{next(rounds)}"
+        framed_best, bare_best = 0.0, 0.0
+        # interleave the arms so machine drift hits both equally
+        for arm in range(3):
+            bank, gsc, gsp = build_bank(tmp / f"bare-{arm}", 501, wal_integrity=False)
+            try:
+                bare_best = max(bare_best, transfer_storm(bank, gsc, gsp))
+            finally:
+                bank.db.close()
+            bank, gsc, gsp = build_bank(tmp / f"framed-{arm}", 501, wal_integrity=True)
+            try:
+                framed_best = max(framed_best, transfer_storm(bank, gsc, gsp))
+            finally:
+                bank.db.close()
+        return framed_best, bare_best
+
+    framed, bare = benchmark.pedantic(compare, rounds=2, iterations=1)
+    overhead = (bare - framed) / bare
+    obs_metrics.gauge("bench.integrity.framing_overhead").set(overhead)
+    obs_metrics.gauge("bench.integrity.framed_ops").set(framed)
+    obs_metrics.gauge("bench.integrity.unframed_ops").set(bare)
+    assert overhead < OVERHEAD_LIMIT, (
+        f"WAL framing costs {overhead:.1%} ops/s "
+        f"(framed {framed:.0f}/s vs bare {bare:.0f}/s), limit {OVERHEAD_LIMIT:.0%}"
+    )
+
+
+def test_integrity_scrub_throughput(benchmark, tmp_path):
+    """A full verification pass sustains a usable records/s rate."""
+
+    rounds = iter(range(100))
+
+    def scrub_pass():
+        bank, gsc, gsp = build_bank(
+            tmp_path / f"scrub-{next(rounds)}", 601, wal_integrity=True
+        )
+        try:
+            for _ in range(TRANSFERS):
+                bank.accounts.transfer(gsc, gsp, Credits(1))
+            start = time.perf_counter()
+            report = bank.db.scrub_once()
+            elapsed = time.perf_counter() - start
+            assert report.ok
+            records = report.wal_records + max(report.snapshot_records, 0)
+            return records / elapsed
+        finally:
+            bank.db.close()
+
+    rate = benchmark.pedantic(scrub_pass, rounds=2, iterations=1)
+    obs_metrics.gauge("bench.integrity.scrub_records_per_s").set(rate)
+    assert rate > SCRUB_FLOOR_RECORDS_PER_S, (
+        f"scrub verified only {rate:.0f} records/s "
+        f"(floor {SCRUB_FLOOR_RECORDS_PER_S:.0f})"
+    )

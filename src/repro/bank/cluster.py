@@ -52,8 +52,16 @@ from collections import deque
 from typing import Callable, Iterable, Optional
 
 from repro.bank.server import GridBankServer
+from repro.db.integrity import Scrubber
 from repro.db.replication import FETCH_OK, FETCH_RESYNC
-from repro.errors import AuthorizationError, NotPrimaryError, ReproError, TransportError
+from repro.errors import (
+    AuthorizationError,
+    CorruptionError,
+    DatabaseError,
+    NotPrimaryError,
+    ReproError,
+    TransportError,
+)
 from repro.net.rpc import RPCClient
 from repro.net.retry import RetryPolicy
 from repro.obs import metrics as obs_metrics
@@ -91,6 +99,8 @@ class ClusterNode:
         poll_interval: float = 0.02,
         fetch_batch: int = 256,
         long_poll: float = 0.5,
+        scrub_interval: Optional[float] = None,
+        auto_repair: bool = True,
     ) -> None:
         self.bank = bank
         self.address = address
@@ -114,6 +124,17 @@ class ClusterNode:
         self._role_lock = threading.RLock()
         bank.primary_address = address if bank.role == "primary" else bank.primary_address
         self._register_operations()
+        #: background scrubber re-verifying cold WAL/snapshot bytes; on
+        #: corruption it attempts a replica-backed repair (auto_repair)
+        self.auto_repair = auto_repair
+        self.scrubber: Optional[Scrubber] = None
+        if scrub_interval is not None and bank.db.persistent:
+            self.scrubber = Scrubber(
+                self._scrub_pass,
+                interval=scrub_interval,
+                on_corruption=self._on_scrub_corruption,
+            )
+            self.scrubber.start()
 
     # -- roles ---------------------------------------------------------------
 
@@ -222,6 +243,88 @@ class ClusterNode:
         if replicator is not None:
             replicator.stop()
 
+    def close(self) -> None:
+        """Stop background machinery (scrubber + replicator)."""
+        if self.scrubber is not None:
+            self.scrubber.stop()
+            self.scrubber = None
+        self._stop_replicator()
+
+    # -- storage integrity ----------------------------------------------------
+
+    def _scrub_pass(self) -> None:
+        with obs_trace.span("integrity.scrub", kind="integrity", node=self.address):
+            self.bank.db.scrub_once()
+
+    def _on_scrub_corruption(self, exc: CorruptionError) -> None:
+        _log.error(
+            "integrity.scrub_corruption",
+            node=self.address, seq=exc.seq, offset=exc.offset, reason=str(exc),
+        )
+        if not self.auto_repair:
+            return
+        try:
+            self.repair(reason="scrubber")
+        except (ReproError, OSError) as err:
+            _log.error(
+                "integrity.repair_failed",
+                node=self.address, error=type(err).__name__, reason=str(err),
+            )
+
+    def repair(self, peer_address: Optional[str] = None, reason: str = "operator") -> dict:
+        """Self-heal from a healthy peer after local storage corruption.
+
+        Fetches a fresh, manifest-verified snapshot via the existing
+        ``Replication.Snapshot`` RPC, loads it (which atomically rewrites
+        the local snapshot and truncates the damaged WAL), rescans
+        in-memory bank state, and re-verifies every local byte before
+        declaring victory — the node never rejoins the stream on bytes it
+        has not checked. A standby resumes following its (possibly new)
+        upstream afterwards.
+        """
+        with self._role_lock:
+            peer = peer_address
+            if peer is None and self.bank.primary_address not in (None, "", self.address):
+                peer = self.bank.primary_address
+            if peer is None:
+                raise DatabaseError("repair requires a healthy peer address")
+            was_standby = self.bank.role == "standby"
+            db = self.bank.db
+            with obs_trace.span(
+                "integrity.repair", kind="integrity",
+                node=self.address, peer=peer, reason=reason,
+            ):
+                self._stop_replicator()
+                client = self._peer_client(peer)
+                try:
+                    reply = client.call("Replication.Snapshot")
+                finally:
+                    client.close()
+                db.clear_corruption()
+                db.load_state(reply["state"])
+                self.bank.rescan_state()
+                report = db.verify_storage() if db.persistent else None
+                if report is not None and not report.ok:
+                    # the freshly-written bytes failed verification: the
+                    # local medium is actively eating writes — latch and
+                    # refuse rather than pretend the node is healthy
+                    raise report.corruption
+            obs_metrics.counter("db.integrity.repairs").inc()
+            epoch, seq = db.replication_position()
+            _log.info(
+                "integrity.repaired",
+                node=self.address, peer=peer, reason=reason, epoch=epoch, seq=seq,
+            )
+            if was_standby:
+                self.follow(peer)
+            return {
+                "ok": True,
+                "peer": peer,
+                "epoch": epoch,
+                "seq": seq,
+                "snapshot_records": report.snapshot_records if report is not None else -1,
+            }
+
     def _demote_peer(self, address: str) -> None:
         try:
             client = self._peer_client(address)
@@ -276,6 +379,7 @@ class ClusterNode:
 
     def status(self) -> dict:
         epoch, seq = self.bank.db.replication_position()
+        integrity_state = self.bank.db.integrity_status()
         return {
             "node": self.address,
             "role": self.bank.role,
@@ -285,6 +389,8 @@ class ClusterNode:
             "seq": seq,
             "lag_records": self.lag_records(),
             "lag_seconds": self.lag_seconds(),
+            "integrity_ok": integrity_state["ok"],
+            "corruption": integrity_state["corruption"],
         }
 
     # -- replication RPC operations -----------------------------------------
@@ -313,6 +419,8 @@ class ClusterNode:
         endpoint.register("Cluster.Promote", instrument(self.op_cluster_promote))
         endpoint.register("Cluster.Demote", instrument(self.op_cluster_demote))
         endpoint.register("Telemetry.Snapshot", instrument(self.op_telemetry_snapshot))
+        endpoint.register("Integrity.Status", instrument(self.op_integrity_status))
+        endpoint.register("Integrity.Repair", instrument(self.op_integrity_repair))
 
     def op_replication_status(self, subject: str, params: dict) -> dict:
         self._require_peer(subject)
@@ -362,6 +470,22 @@ class ClusterNode:
         self._require_peer(subject)
         self.demote(int(params["cluster_epoch"]), str(params.get("primary_address", "")))
         return self.status()
+
+    def op_integrity_status(self, subject: str, params: dict) -> dict:
+        """Latched corruption state plus (optionally) a fresh scrub."""
+        self._require_peer(subject)
+        if bool(params.get("scrub", False)) and self.bank.db.persistent:
+            try:
+                self._scrub_pass()
+            except CorruptionError:
+                pass  # latched; reported below
+        return self.bank.db.integrity_status()
+
+    def op_integrity_repair(self, subject: str, params: dict) -> dict:
+        if not self.bank.admin.is_administrator(subject):
+            raise AuthorizationError(f"subject {subject!r} is not an administrator")
+        peer = params.get("peer") or None
+        return self.repair(peer_address=peer, reason=str(params.get("reason", "operator")))
 
     def op_telemetry_snapshot(self, subject: str, params: dict) -> dict:
         """One node's full telemetry view for ``gridbank top``: replication

@@ -40,7 +40,7 @@ from typing import Optional
 from repro.bank.server import GridBankServer
 from repro.crypto.keys import private_key_from_dict, private_key_to_dict
 from repro.db.database import Database
-from repro.errors import ReproError
+from repro.errors import CorruptionError, ReproError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.export import FileExporter, HTTPExporter, render_prometheus
@@ -246,6 +246,161 @@ def cmd_checkpoint(args) -> int:
     return 0
 
 
+def _bank_credential(home: Path):
+    """The bank home's own identity + trust store — nodes of one logical
+    bank share the bank identity, and holding it is what authorizes the
+    replication/repair RPCs against a peer."""
+    identity_blob = canonical_loads((home / _IDENTITY_FILE).read_bytes())
+    identity = Identity(
+        certificate=Certificate.from_dict(identity_blob["certificate"]),
+        private_key=private_key_from_dict(identity_blob["private_key"]),
+    )
+    root = Certificate.from_dict(canonical_loads((home / _ROOT_FILE).read_bytes()))
+    return identity, CertificateStore([root])
+
+
+def _fsck_fetch_suffix(client, db_dir: Path, epoch: int, from_seq: int) -> Optional[int]:
+    """Re-fetch the quarantined WAL suffix from the peer, verifying every
+    record's CRC frame and sequence contiguity before appending the
+    peer's bytes verbatim (byte-identity by construction). Returns the
+    number of records appended, or ``None`` when the peer cannot serve
+    this epoch/position (caller falls back to a full snapshot restore)."""
+    from repro.db import integrity
+    from repro.db.replication import FETCH_OK
+
+    appended = 0
+    wal_file = db_dir / integrity.WAL_NAME
+    with open(wal_file, "ab") as handle:
+        while True:
+            reply = client.call(
+                "Replication.Fetch",
+                epoch=epoch, from_seq=from_seq, max_records=512, timeout=0.0,
+            )
+            if reply["status"] != FETCH_OK:
+                return None
+            records = reply["records"]
+            if not records:
+                break
+            for seq, payload in records:
+                seq = int(seq)
+                if seq != from_seq + 1:
+                    return None  # gap: this position is not servable
+                integrity.parse_record(payload.rstrip(b"\n"), seq=seq)
+                handle.write(payload)
+                from_seq = seq
+                appended += 1
+            if from_seq >= int(reply["last_seq"]):
+                break
+        handle.flush()
+        os.fsync(handle.fileno())
+    return appended
+
+
+def _fsck_snapshot_restore(client, db_dir: Path) -> int:
+    """Full restore: replace snapshot/WAL/epoch with a manifest-verified
+    state dump from the peer. Returns the number of restored records."""
+    from repro.db import integrity
+
+    reply = client.call("Replication.Snapshot")
+    state = reply["state"]
+    tables = state["tables"]
+    records = sum(len(rows) for rows in tables.values())
+    integrity.atomic_write(
+        db_dir / integrity.SNAPSHOT_NAME,
+        integrity.encode_snapshot(canonical_dumps(tables), records),
+    )
+    with open(db_dir / integrity.WAL_NAME, "wb") as handle:
+        handle.flush()
+        os.fsync(handle.fileno())
+    integrity.atomic_write(
+        db_dir / integrity.EPOCH_NAME,
+        b"%d %d" % (int(state["epoch"]), int(state["seq"])),
+    )
+    return records
+
+
+def cmd_fsck(args) -> int:
+    """Verify a bank home's storage integrity; optionally repair from a peer.
+
+    Without flags: read-only verification (exit 0 clean, 1 corrupt) —
+    snapshot manifest, every WAL record's CRC frame, unresolved
+    corruption markers. With ``--repair --peer HOST:PORT``: quarantine
+    whatever fails verification, re-fetch the damaged WAL suffix from
+    the peer (falling back to a full snapshot restore when the suffix is
+    no longer servable), clear the refusal marker, re-verify every byte,
+    and prove the books still balance by booting the repaired bank and
+    summing its funds. The peer must be the cluster's current primary —
+    if the *primary* is the corrupt node, promote the standby first.
+    """
+    from repro.db import integrity
+    from repro.net.rpc import RPCClient
+
+    home = Path(args.home)
+    db_dir = home / _DB_DIR
+    if not db_dir.exists():
+        print(f"error: {db_dir} holds no database", file=sys.stderr)
+        return 1
+    report = integrity.verify_dir(db_dir)
+    print(f"fsck {db_dir}: {report.describe()}")
+    if report.ok:
+        return 0
+    if not args.repair:
+        print("re-run with --repair --peer HOST:PORT to restore from a healthy peer",
+              file=sys.stderr)
+        return 1
+    if not args.peer:
+        print("error: --repair requires --peer HOST:PORT", file=sys.stderr)
+        return 1
+
+    identity, store = _bank_credential(home)
+    client = RPCClient(_tcp_connect(args.peer), identity, store)
+    client.connect()
+    try:
+        snapshot_ok = True
+        snapshot_file = db_dir / integrity.SNAPSHOT_NAME
+        if snapshot_file.exists():
+            try:
+                integrity.decode_snapshot(snapshot_file.read_bytes())
+            except ReproError:
+                snapshot_ok = False
+        if snapshot_ok:
+            wal_file = db_dir / integrity.WAL_NAME
+            wal_bytes = wal_file.read_bytes() if wal_file.exists() else b""
+            scan = integrity.scan_wal(wal_bytes, base_seq=report.base_seq)
+            if scan.corruption is not None:
+                # recover() quarantines when *it* detects damage; fsck on a
+                # never-rebooted home must do the same before re-fetching
+                integrity.quarantine_wal_suffix(db_dir, scan.corruption, scan.valid_bytes)
+                print(f"quarantined damaged suffix at offset {scan.corruption.offset} "
+                      f"(seq {scan.corruption.seq}) -> {integrity.QUARANTINE_NAME}")
+            local_seq = report.base_seq + len(scan.records)
+            fetched = _fsck_fetch_suffix(client, db_dir, report.epoch, local_seq)
+            if fetched is None:
+                snapshot_ok = False
+            else:
+                print(f"re-fetched {fetched} WAL record(s) from {args.peer} "
+                      f"(CRC + sequence verified)")
+        if not snapshot_ok:
+            restored = _fsck_snapshot_restore(client, db_dir)
+            print(f"full snapshot restore from {args.peer}: {restored} record(s)")
+    finally:
+        client.close()
+
+    integrity.clear_marker(db_dir)
+    final = integrity.verify_dir(db_dir)
+    print(f"re-verify: {final.describe()}")
+    if not final.ok:
+        print("error: repair did not converge — local medium may be failing",
+              file=sys.stderr)
+        return 1
+    # the books must balance on the repaired bytes, end to end
+    bank = _load_bank(home)
+    total = bank.accounts.total_bank_funds()
+    bank.db.close()
+    print(f"repair complete: bank recovers cleanly, total funds {total}")
+    return 0
+
+
 def cmd_issue_identity(args) -> int:
     """Enroll a user: the bank home's CA signs a credential file the user
     can then present to ``remote`` commands (and any GSI service)."""
@@ -420,13 +575,15 @@ def cmd_serve(args) -> int:
             or args.staleness_bound is None
             or lag <= args.staleness_bound
         )
+        integrity_state = bank.db.integrity_status()
         return {
-            "ok": alert != "page" and lag_ok,
+            "ok": alert != "page" and lag_ok and integrity_state["ok"],
             "role": bank.role,
             "primary_address": bank.primary_address or "",
             "lag_seconds": lag,
             "alert": alert,
             "slo": bank.slo.states(),
+            "integrity": integrity_state,
         }
 
     exporters = []
@@ -455,6 +612,7 @@ def cmd_serve(args) -> int:
                 lease_timeout=args.lease_timeout,
                 auto_promote=args.auto_promote,
                 staleness_bound=args.staleness_bound,
+                scrub_interval=args.scrub_interval,
             )
             state["node"] = node
             print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
@@ -476,7 +634,7 @@ def cmd_serve(args) -> int:
                 pass
     finally:
         if node is not None:
-            node._stop_replicator()
+            node.close()
         for exporter in exporters:
             exporter.stop()
         for sink in sinks:
@@ -695,6 +853,15 @@ def render_top(snapshots: list[dict], top: int = 5) -> str:
             f"{snap['seq']:>8} {snap['lag_seconds']:>8.2f} {worst:>8}"
         )
 
+    # a corrupt node is the single most urgent thing this screen can say,
+    # but it must not disturb the main table's layout — its own section
+    corrupt = [snap for snap in reachable if not snap.get("integrity_ok", True)]
+    if corrupt:
+        lines.append("")
+        lines.append("storage integrity:")
+        for snap in corrupt:
+            lines.append(f"  {snap['node']:<22} CORRUPT: {snap.get('corruption', '')}")
+
     burns: dict[str, dict] = {}
     for snap in reachable:
         for op, entry in snap.get("slo", {}).items():
@@ -836,6 +1003,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     add("checkpoint", cmd_checkpoint, help="compact the journal")
 
+    p = add("fsck", cmd_fsck,
+            help="verify WAL/snapshot integrity; --repair restores from a peer")
+    p.add_argument("--repair", action="store_true",
+                   help="repair detected corruption from a healthy peer")
+    p.add_argument("--peer", default=None, metavar="HOST:PORT",
+                   help="healthy cluster primary to fetch verified bytes from")
+
     p = add("serve", cmd_serve, help="serve the bank over TCP")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
@@ -876,6 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="availability target for the catch-all SLO (default 0.999)")
     p.add_argument("--slo-latency", type=float, default=None,
                    help="latency threshold in seconds for the catch-all SLO (default 0.5)")
+    p.add_argument("--scrub-interval", type=float, default=None, metavar="SECONDS",
+                   help="background-scrub the WAL/snapshot every this many seconds "
+                        "(re-verifies every CRC; corruption triggers a replica-backed "
+                        "repair when a peer is known)")
 
     p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
     p.add_argument("action", nargs="?", choices=["export"],
@@ -942,6 +1120,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except CorruptionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "storage failed verification — run `gridbank fsck` "
+            "(--repair --peer HOST:PORT to restore from a healthy peer)",
+            file=sys.stderr,
+        )
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -25,6 +25,16 @@ from repro.db.types import (
 from repro.db.schema import Column, TableSchema
 from repro.db.query import Condition, eq, ne, lt, le, gt, ge, between, predicate
 from repro.db.table import Table
+from repro.db.integrity import IntegrityReport, Scrubber, verify_dir
+from repro.db.faultfs import (
+    DiskFaultPlan,
+    FaultyFile,
+    FaultyStorage,
+    SimulatedCrashError,
+    arm_crashpoint,
+    clear_crashpoints,
+    crashpoint,
+)
 from repro.db.database import Database
 from repro.db.replication import ReplicationLog
 
@@ -51,4 +61,14 @@ __all__ = [
     "Table",
     "Database",
     "ReplicationLog",
+    "IntegrityReport",
+    "Scrubber",
+    "verify_dir",
+    "DiskFaultPlan",
+    "FaultyFile",
+    "FaultyStorage",
+    "SimulatedCrashError",
+    "arm_crashpoint",
+    "clear_crashpoints",
+    "crashpoint",
 ]

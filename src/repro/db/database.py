@@ -42,10 +42,13 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
 
+from repro.db import integrity
+from repro.db.faultfs import crashpoint
 from repro.db.query import Condition
 from repro.db.schema import TableSchema
 from repro.db.table import Table
 from repro.errors import (
+    CorruptionError,
     DatabaseError,
     DuplicateError,
     NotFoundError,
@@ -57,9 +60,24 @@ from repro.util.serialize import canonical_dumps, canonical_loads
 
 __all__ = ["Database"]
 
-_SNAPSHOT_NAME = "snapshot.gbdb"
-_WAL_NAME = "wal.gbdb"
-_EPOCH_NAME = "epoch.gbdb"
+_SNAPSHOT_NAME = integrity.SNAPSHOT_NAME
+_WAL_NAME = integrity.WAL_NAME
+_EPOCH_NAME = integrity.EPOCH_NAME
+
+
+def _metrics():
+    """Lazy obs import: ``repro.obs`` persists through this module
+    (``obs.store`` imports ``Database`` at load), so a top-level import
+    here would be circular."""
+    from repro.obs import metrics
+
+    return metrics
+
+
+def _log():
+    from repro.obs.logging import get_logger
+
+    return get_logger("db.integrity")
 
 #: upper bound on the group-commit linger knob (seconds)
 _MAX_LINGER = 0.002
@@ -199,6 +217,8 @@ class Database:
         group_commit: bool = True,
         commit_linger: float = 0.0,
         max_batch: int = 128,
+        wal_integrity: bool = True,
+        storage=None,
     ) -> None:
         if durability not in ("flush", "fsync"):
             raise ValidationError("durability must be 'flush' or 'fsync'")
@@ -221,6 +241,17 @@ class Database:
         self._wal_seq = 0
         self._snapshot_epoch = 1
         self._replication = None  # Optional[ReplicationLog], attached lazily
+        # storage integrity: frame every WAL line with length+CRC32
+        # (wal_integrity=False exists for the overhead benchmark only);
+        # ``storage`` is a FaultyStorage-compatible shim routing file
+        # opens and fsyncs through a disk fault plan in tests
+        self._wal_integrity = bool(wal_integrity)
+        self._storage = storage
+        # once a WAL write raises OSError the handle may hold a torn
+        # prefix; further appends would merge into garbage, so the WAL
+        # is poisoned until restart/repair (fsyncgate semantics)
+        self._wal_poisoned: Optional[str] = None
+        self._corruption: Optional[CorruptionError] = None
 
     # -- schema ---------------------------------------------------------------
 
@@ -399,12 +430,35 @@ class Database:
     def persistent(self) -> bool:
         return self._path is not None
 
-    def recover(self) -> int:
-        """Load snapshot + journal from the storage path.
+    def _open_wal(self, wal_file: Path, mode: str):
+        if self._storage is not None:
+            return self._storage.open(wal_file, mode)
+        return open(wal_file, mode)
 
-        Must be called after all tables are created and before any writes.
-        Returns the number of journal transactions replayed. A torn final
-        journal line (crash mid-write) is skipped.
+    def _fsync_handle(self, handle) -> None:
+        if self._storage is not None:
+            self._storage.fsync(handle)
+        else:
+            os.fsync(handle.fileno())
+
+    def recover(self) -> int:
+        """Load snapshot + journal from the storage path, verifying every byte.
+
+        Must be called after all tables are created and before any
+        writes. Returns the number of journal transactions replayed.
+
+        Verification policy (see DESIGN §10): the snapshot's embedded
+        manifest (whole-file CRC32 + record count) and every WAL line's
+        length+CRC32 frame are checked before anything is applied. A
+        torn *final* line — no terminating newline, the expected residue
+        of a crash mid-append — is tolerated: it is truncated away,
+        logged, and counted (``db.wal_torn_tail``). Anything else that
+        fails to verify is *corruption*: the damaged suffix is
+        quarantined (``wal.quarantine.gbdb``), a refusal marker
+        (``CORRUPT.gbdb``) is left so later recoveries cannot silently
+        serve a shortened history, and a typed
+        :class:`~repro.errors.CorruptionError` with the exact
+        seq/offset is raised instead of replaying garbage.
         """
         if self._path is None:
             raise DatabaseError("no storage path configured")
@@ -412,25 +466,20 @@ class Database:
             if self._recovered:
                 raise DatabaseError("recover() may only run once")
             self._path.mkdir(parents=True, exist_ok=True)
-            snapshot_file = self._path / _SNAPSHOT_NAME
-            if snapshot_file.exists():
-                dump = canonical_loads(snapshot_file.read_bytes())
-                for table_name, rows in dump.items():
-                    table = self.table(table_name)
-                    for row in rows:
-                        table.insert(row)
-            replayed = 0
-            wal_file = self._path / _WAL_NAME
-            if wal_file.exists():
-                for line in wal_file.read_bytes().splitlines():
-                    if not line:
-                        continue
-                    try:
-                        entry = canonical_loads(line)
-                    except ValidationError:
-                        break  # torn tail from a crash mid-append
-                    self._apply_ops(entry["ops"])
-                    replayed += 1
+            marker = integrity.read_marker(self._path)
+            if marker is not None:
+                self._corruption = CorruptionError(
+                    "unresolved corruption marker: "
+                    f"{marker.get('reason', 'unknown')} — run `gridbank fsck` "
+                    "(--repair --peer ADDR to restore from a healthy peer)",
+                    seq=marker.get("seq", -1), offset=marker.get("offset", -1),
+                )
+                _metrics().counter("db.integrity.corruptions_detected").inc()
+                raise self._corruption
+            # a crash mid-atomic-write can strand a *.tmp next to the
+            # real file; the real file is still the complete old copy
+            for stale in self._path.glob("*.tmp"):
+                stale.unlink()
             # the epoch file carries "epoch base_seq": which snapshot
             # generation the local snapshot belongs to and the sequence
             # number it corresponds to (non-zero on a standby, whose
@@ -446,8 +495,68 @@ class Database:
                         base_seq = int(parts[1])
                 except (ValueError, IndexError):
                     raise DatabaseError(f"corrupt epoch file {epoch_file}") from None
+            snapshot_file = self._path / _SNAPSHOT_NAME
+            if snapshot_file.exists():
+                try:
+                    payload, records = integrity.decode_snapshot(snapshot_file.read_bytes())
+                except CorruptionError as exc:
+                    self._corruption = exc
+                    _metrics().counter("db.integrity.corruptions_detected").inc()
+                    _log().error("snapshot.corrupt", path=str(snapshot_file), reason=str(exc))
+                    raise
+                dump = canonical_loads(payload) if payload else {}
+                loaded = 0
+                for table_name, rows in dump.items():
+                    table = self.table(table_name)
+                    for row in rows:
+                        table.insert(row)
+                        loaded += 1
+                if records >= 0 and records != loaded:
+                    self._corruption = CorruptionError(
+                        f"snapshot: manifest promises {records} record(s), decoded {loaded}"
+                    )
+                    _metrics().counter("db.integrity.corruptions_detected").inc()
+                    raise self._corruption
+            replayed = 0
+            wal_file = self._path / _WAL_NAME
+            if wal_file.exists():
+                scan = integrity.scan_wal(wal_file.read_bytes(), base_seq=base_seq)
+                if scan.corruption is not None:
+                    # quarantine the damaged suffix, keep the verified
+                    # prefix, refuse to serve until an operator (or
+                    # fsck --repair) restores the quarantined records
+                    integrity.quarantine_wal_suffix(
+                        self._path, scan.corruption, scan.valid_bytes
+                    )
+                    self._corruption = scan.corruption
+                    _metrics().counter("db.integrity.corruptions_detected").inc()
+                    _log().error(
+                        "wal.corrupt", path=str(wal_file),
+                        seq=scan.corruption.seq, offset=scan.corruption.offset,
+                        quarantined_bytes=len(
+                            (self._path / integrity.QUARANTINE_NAME).read_bytes()
+                        ) if (self._path / integrity.QUARANTINE_NAME).exists() else 0,
+                    )
+                    raise scan.corruption
+                if scan.torn_bytes:
+                    # expected crash residue — but never silent: count it
+                    # and truncate so the next append starts a clean line
+                    # instead of fusing with the torn bytes
+                    with open(wal_file, "r+b") as handle:
+                        handle.truncate(scan.valid_bytes)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    _metrics().counter("db.wal_torn_tail").inc()
+                    _log().warning(
+                        "wal.torn_tail", path=str(wal_file),
+                        dropped_bytes=scan.torn_bytes, kept_records=len(scan.records),
+                    )
+                for entry in scan.records:
+                    self._apply_ops(entry["ops"])
+                    replayed += 1
+                _metrics().counter("db.integrity.records_verified").inc(len(scan.records))
             self._wal_seq = base_seq + replayed
-            self._wal_handle = open(wal_file, "ab")
+            self._wal_handle = self._open_wal(wal_file, "ab")
             if self._group_commit:
                 self._writer = _GroupCommitWriter(
                     self._write_batch, linger=self._commit_linger, max_batch=self._max_batch
@@ -481,15 +590,35 @@ class Database:
                 raise DatabaseError(f"unknown journal op {op['op']!r}")
 
     def _write_batch(self, payloads: Sequence[bytes]) -> None:
-        """One shared write+flush for a whole group-commit batch."""
+        """One shared write+flush for a whole group-commit batch.
+
+        Any ``OSError`` on the way to disk — short write, failing flush,
+        failing fsync — *poisons* the WAL: the handle may hold a torn
+        prefix, and appending after it would fuse the next record into
+        garbage, so every subsequent commit fails fast until the process
+        restarts (recovery truncates the torn bytes) or a repair runs.
+        """
         with self._io_lock:
             handle = self._wal_handle
             if handle is None:
                 raise DatabaseError("storage closed")
-            handle.write(b"".join(payloads))
-            handle.flush()
-            if self._durability == "fsync":
-                os.fsync(handle.fileno())
+            if self._wal_poisoned is not None:
+                raise DatabaseError(
+                    f"WAL poisoned by earlier write failure ({self._wal_poisoned}); "
+                    "restart to recover"
+                )
+            crashpoint("db.commit.pre_write")
+            try:
+                handle.write(b"".join(payloads))
+                handle.flush()
+                if self._durability == "fsync":
+                    self._fsync_handle(handle)
+            except OSError as exc:
+                self._wal_poisoned = str(exc)
+                _metrics().counter("db.wal_write_errors").inc()
+                _log().error("wal.write_failed", reason=str(exc))
+                raise DatabaseError(f"journal write failed: {exc}") from exc
+            crashpoint("db.commit.post_write")
             self._record_committed(payloads)
 
     def _record_committed(self, payloads: Sequence[bytes]) -> None:
@@ -502,6 +631,14 @@ class Database:
             self._wal_seq += 1
             if log is not None:
                 log.append(self._snapshot_epoch, self._wal_seq, payload)
+
+    def _frame(self, serialized: bytes) -> bytes:
+        """One WAL line: CRC32+length framed by default, bare legacy
+        newline-terminated JSON when integrity framing is disabled (the
+        overhead benchmark's control arm)."""
+        if self._wal_integrity:
+            return integrity.frame_record(serialized)
+        return serialized + b"\n"
 
     def _write_journal(self, redo_ops: list[dict]) -> None:
         if not redo_ops:
@@ -516,7 +653,7 @@ class Database:
             # streaming from a diverged position.
             with self._io_lock:
                 if self._replication is not None:
-                    payload = canonical_dumps({"ops": redo_ops}) + b"\n"
+                    payload = self._frame(canonical_dumps({"ops": redo_ops}))
                     self._record_committed([payload])
                 else:
                     self._wal_seq += 1
@@ -525,7 +662,7 @@ class Database:
             if self._recovered:
                 raise DatabaseError("storage closed")
             raise DatabaseError("call recover() before writing to a persistent database")
-        payload = canonical_dumps({"ops": redo_ops}) + b"\n"
+        payload = self._frame(canonical_dumps({"ops": redo_ops}))
         writer = self._writer
         if writer is not None:
             writer.submit(payload).wait()
@@ -553,21 +690,43 @@ class Database:
                 self._writer.drain()
             dump = {name: table.all_rows() for name, table in self._tables.items()}
             snapshot_file = self._path / _SNAPSHOT_NAME
-            tmp = snapshot_file.with_suffix(".tmp")
-            tmp.write_bytes(canonical_dumps(dump))
-            tmp.replace(snapshot_file)
+            # atomic publication: tmp + flush + fsync + rename + dir
+            # fsync. A crash at any crashpoint below leaves either the
+            # old complete snapshot or the new complete snapshot — and
+            # because WAL replay is idempotent over absolute redo ops, a
+            # crash after the rename but before the WAL truncation just
+            # re-applies the old journal onto the new snapshot.
+            crashpoint("db.checkpoint.pre_write")
+            records = sum(len(rows) for rows in dump.values())
+            blob = integrity.encode_snapshot(canonical_dumps(dump), records)
+            tmp = snapshot_file.with_suffix(snapshot_file.suffix + ".tmp")
+            handle = self._open_wal(tmp, "wb")
+            try:
+                handle.write(blob)
+                handle.flush()
+                self._fsync_handle(handle)
+            finally:
+                handle.close()
+            crashpoint("db.checkpoint.pre_rename")
+            os.replace(tmp, snapshot_file)
+            integrity.fsync_dir(self._path)
+            crashpoint("db.checkpoint.post_rename")
             with self._io_lock:
                 if self._wal_handle is not None:
                     self._wal_handle.close()
-                self._wal_handle = open(self._path / _WAL_NAME, "wb")
+                self._wal_handle = self._open_wal(self._path / _WAL_NAME, "wb")
                 self._wal_handle.flush()
+                self._wal_poisoned = None  # fresh handle, fresh file
                 # new snapshot generation: sequence numbers restart and
                 # standbys polling the old epoch are told to resync
                 self._snapshot_epoch += 1
                 self._wal_seq = 0
-                (self._path / _EPOCH_NAME).write_bytes(b"%d 0" % self._snapshot_epoch)
+                integrity.atomic_write(
+                    self._path / _EPOCH_NAME, b"%d 0" % self._snapshot_epoch
+                )
                 if self._replication is not None:
                     self._replication.reset(self._snapshot_epoch, 0)
+            crashpoint("db.checkpoint.post_truncate")
 
     # -- replication --------------------------------------------------------------
 
@@ -634,15 +793,20 @@ class Database:
                     self._replication.reset(self._snapshot_epoch, self._wal_seq)
                 if self._path is not None and self._recovered:
                     snapshot_file = self._path / _SNAPSHOT_NAME
-                    tmp = snapshot_file.with_suffix(".tmp")
-                    tmp.write_bytes(canonical_dumps(dump["tables"]))
-                    tmp.replace(snapshot_file)
+                    records = sum(len(rows) for rows in dump["tables"].values())
+                    integrity.atomic_write(
+                        snapshot_file,
+                        integrity.encode_snapshot(canonical_dumps(dump["tables"]), records),
+                        storage=self._storage,
+                    )
                     if self._wal_handle is not None:
                         self._wal_handle.close()
-                    self._wal_handle = open(self._path / _WAL_NAME, "wb")
+                    self._wal_handle = self._open_wal(self._path / _WAL_NAME, "wb")
                     self._wal_handle.flush()
-                    (self._path / _EPOCH_NAME).write_bytes(
-                        b"%d %d" % (self._snapshot_epoch, self._wal_seq)
+                    self._wal_poisoned = None  # fresh handle, fresh file
+                    integrity.atomic_write(
+                        self._path / _EPOCH_NAME,
+                        b"%d %d" % (self._snapshot_epoch, self._wal_seq),
                     )
 
     def apply_replicated(self, seq: int, payload: bytes) -> None:
@@ -652,8 +816,20 @@ class Database:
         same decoder recovery uses, applied through the same idempotent
         :meth:`_apply_ops`, and appended verbatim to this database's own
         WAL — which is what makes standby disk state byte-identical and
-        lets a promoted standby serve its *own* replication stream."""
-        entry = canonical_loads(payload.rstrip(b"\n"))
+        lets a promoted standby serve its *own* replication stream.
+
+        The shipped frame is CRC-verified *before* anything is applied:
+        a record damaged in flight (or read back damaged from the
+        primary's WAL) raises :class:`~repro.errors.CorruptionError`
+        here rather than poisoning the standby's ledger."""
+        try:
+            serialized = integrity.parse_record(payload.rstrip(b"\n"), seq=seq)
+        except CorruptionError:
+            _metrics().counter("db.integrity.corruptions_detected").inc()
+            raise
+        entry = canonical_loads(serialized)
+        _metrics().counter("db.integrity.records_verified").inc()
+        crashpoint("db.replication.pre_apply")
         with self._lock:
             if seq != self._wal_seq + 1:
                 raise DatabaseError(
@@ -665,6 +841,70 @@ class Database:
         else:
             with self._io_lock:
                 self._record_committed([payload])
+        crashpoint("db.replication.post_apply")
+
+    # -- storage integrity ---------------------------------------------------------
+
+    def verify_storage(self) -> "integrity.IntegrityReport":
+        """Re-verify every cold byte (snapshot manifest + all WAL frames).
+
+        Read-only and safe on a live database: the group-commit writer is
+        drained and the WAL handle flushed first so the file reflects
+        every acknowledged commit, then the on-disk bytes are scanned
+        under the I/O lock (commits block for the duration — scrubbing is
+        a cold-path operation by design).
+        """
+        if self._path is None:
+            raise DatabaseError("no storage path configured")
+        if self._writer is not None:
+            self._writer.drain()
+        with self._io_lock:
+            if self._wal_handle is not None:
+                self._wal_handle.flush()
+            return integrity.verify_dir(self._path)
+
+    def scrub_once(self) -> "integrity.IntegrityReport":
+        """One scrub pass: verify, count, and raise on corruption.
+
+        The raised :class:`~repro.errors.CorruptionError` is also latched
+        into :meth:`integrity_status` so health endpoints keep reporting
+        the damage until :meth:`clear_corruption` (post-repair).
+        """
+        report = self.verify_storage()
+        metrics = _metrics()
+        metrics.counter("db.integrity.scrub_passes").inc()
+        metrics.counter("db.integrity.records_verified").inc(
+            report.wal_records + max(report.snapshot_records, 0)
+        )
+        if not report.ok:
+            self._corruption = report.corruption
+            metrics.counter("db.integrity.corruptions_detected").inc()
+            _log().error(
+                "scrub.corruption", source=report.corruption_source,
+                seq=report.corruption.seq, offset=report.corruption.offset,
+            )
+            raise report.corruption
+        return report
+
+    def integrity_status(self) -> dict:
+        """Corruption state for health endpoints and ``gridbank top``."""
+        error = self._corruption
+        return {
+            "ok": error is None and self._wal_poisoned is None,
+            "corruption": str(error) if error is not None else "",
+            "seq": error.seq if error is not None else -1,
+            "offset": error.offset if error is not None else -1,
+            "wal_poisoned": self._wal_poisoned or "",
+        }
+
+    def clear_corruption(self) -> None:
+        """Forget latched corruption after a successful repair (removes
+        the on-disk refusal marker; the quarantine file stays for
+        forensics)."""
+        self._corruption = None
+        self._wal_poisoned = None
+        if self._path is not None:
+            integrity.clear_marker(self._path)
 
     def close(self) -> None:
         writer = self._writer

@@ -1,0 +1,235 @@
+"""Disk-fault injection: faulty files, fault plans, and crashpoints.
+
+The storage-layer sibling of :class:`repro.net.transport.FaultPlan`.
+Where the network plan drops and duplicates *messages*, this one damages
+*bytes on the way to disk*: silent bit flips (the write "succeeds" but
+one bit lands wrong — detected only when a CRC is next checked), torn
+writes (a prefix reaches the file, then the write errors — what a power
+cut mid-``write(2)`` leaves behind), and failing ``fsync`` (the
+fsyncgate failure mode: the kernel accepted the bytes but cannot promise
+durability). All randomness is seeded and phases can be driven off a
+:class:`~repro.util.gbtime.VirtualClock` via the same
+:class:`~repro.net.transport.FaultSchedule` machinery, so a whole disk
+fault storm replays exactly in tests and ``make chaos``.
+
+Separately, a **crashpoint registry** gives tests named kill switches
+inside commit/checkpoint/replication-apply. Production code calls
+``crashpoint("db.commit.post_write")`` at each step; a test arms a label
+with :func:`arm_crashpoint` and the next pass through it raises
+:class:`SimulatedCrashError` — deliberately *not* a ``ReproError``
+subclass, so library code that catches its own error hierarchy cannot
+accidentally swallow a simulated crash. Hooks are one-shot: the
+"process" dies once, and the recovery that follows must not re-trip it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.util.gbtime import Clock
+
+# NOTE: the ``schedule`` field below is duck-typed against
+# :class:`repro.net.transport.FaultSchedule` (``.due(epoch)`` popping the
+# phases whose time has come) rather than imported: ``repro.db`` loads
+# before ``repro.net`` in the package graph, and a hard import here would
+# be circular through net → rpc → gsi → crypto → obs → db.
+
+__all__ = [
+    "SimulatedCrashError",
+    "crashpoint",
+    "arm_crashpoint",
+    "clear_crashpoints",
+    "armed_crashpoints",
+    "DiskFaultPlan",
+    "DiskStats",
+    "FaultyFile",
+    "FaultyStorage",
+]
+
+
+class SimulatedCrashError(RuntimeError):
+    """The process "died" at an armed crashpoint.
+
+    RuntimeError, not ReproError: nothing in the library may catch and
+    survive it — the test harness alone handles it, then reboots the
+    database to exercise recovery.
+    """
+
+
+# label -> remaining passes before firing (1 = fire on next hit)
+_crashpoints: Dict[str, int] = {}
+
+
+def crashpoint(label: str) -> None:
+    """Die here iff a test armed this label. No-op (one dict lookup)
+    in production."""
+    if not _crashpoints:
+        return
+    remaining = _crashpoints.get(label)
+    if remaining is None:
+        return
+    if remaining > 1:
+        _crashpoints[label] = remaining - 1
+        return
+    del _crashpoints[label]  # one-shot: recovery must not re-trip it
+    raise SimulatedCrashError(f"simulated crash at {label}")
+
+
+def arm_crashpoint(label: str, after: int = 1) -> None:
+    """Arm *label* to raise on its ``after``-th pass (default: next one)."""
+    if after < 1:
+        raise ValueError("after must be >= 1")
+    _crashpoints[label] = after
+
+
+def clear_crashpoints() -> None:
+    _crashpoints.clear()
+
+
+def armed_crashpoints() -> Dict[str, int]:
+    return dict(_crashpoints)
+
+
+@dataclass
+class DiskStats:
+    """Injection counters, so drills can assert faults actually fired."""
+
+    writes: int = 0
+    bytes_written: int = 0
+    bit_flips: int = 0
+    torn_writes: int = 0
+    fsync_errors: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "writes": self.writes,
+            "bytes_written": self.bytes_written,
+            "bit_flips": self.bit_flips,
+            "torn_writes": self.torn_writes,
+            "fsync_errors": self.fsync_errors,
+        }
+
+
+@dataclass
+class DiskFaultPlan:
+    """Probabilistic storage damage, seeded and schedule-driven.
+
+    Mirrors :class:`~repro.net.transport.FaultPlan`: all probabilities
+    default to zero (bare plan = passthrough), a ``schedule`` mutates
+    the plan's own fields at virtual-clock instants, and one seeded
+    ``rng`` makes every storm replayable.
+    """
+
+    bit_flip_probability: float = 0.0
+    torn_write_probability: float = 0.0
+    fsync_error_probability: float = 0.0
+    clock: Optional[Clock] = None
+    schedule: Optional[object] = None  # FaultSchedule-compatible (.due)
+    rng: random.Random = field(default_factory=random.Random)
+    stats: DiskStats = field(default_factory=DiskStats)
+
+    def tick(self) -> None:
+        """Apply schedule phases whose virtual time has come."""
+        if self.schedule is None or self.clock is None:
+            return
+        for phase in self.schedule.due(self.clock.epoch()):
+            for name, value in phase.settings.items():
+                if not hasattr(self, name):
+                    raise ValueError(f"disk fault schedule names unknown field {name!r}")
+                setattr(self, name, value)
+
+    def flip_bit(self, data: bytes) -> bytes:
+        """Flip one random bit — the classic undetectable-without-CRC fault."""
+        if not data:
+            return data
+        mutated = bytearray(data)
+        index = self.rng.randrange(len(mutated))
+        mutated[index] ^= 1 << self.rng.randrange(8)
+        return bytes(mutated)
+
+    def should_bit_flip(self) -> bool:
+        return self.bit_flip_probability > 0 and self.rng.random() < self.bit_flip_probability
+
+    def should_tear(self) -> bool:
+        return self.torn_write_probability > 0 and self.rng.random() < self.torn_write_probability
+
+    def should_fail_fsync(self) -> bool:
+        return self.fsync_error_probability > 0 and self.rng.random() < self.fsync_error_probability
+
+
+class FaultyFile:
+    """A file handle whose writes may silently or loudly go wrong.
+
+    * **Bit flip**: the write returns success but one bit of the payload
+      lands flipped — invisible until a CRC check reads it back.
+    * **Torn write**: a strict prefix reaches the file, then ``OSError``
+      — the on-disk state a power cut mid-write leaves behind.
+
+    Reads and everything else pass through to the real handle.
+    """
+
+    def __init__(self, handle, plan: DiskFaultPlan) -> None:
+        self._handle = handle
+        self._plan = plan
+
+    def write(self, data: bytes) -> int:
+        plan = self._plan
+        plan.tick()
+        plan.stats.writes += 1
+        if plan.should_tear() and len(data) > 1:
+            cut = plan.rng.randrange(1, len(data))
+            self._handle.write(data[:cut])
+            plan.stats.torn_writes += 1
+            plan.stats.bytes_written += cut
+            raise OSError(5, f"simulated torn write ({cut}/{len(data)} bytes reached disk)")
+        if plan.should_bit_flip():
+            data = plan.flip_bit(data)
+            plan.stats.bit_flips += 1
+        self._handle.write(data)
+        plan.stats.bytes_written += len(data)
+        return len(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FaultyStorage:
+    """Storage shim the :class:`~repro.db.database.Database` writes through.
+
+    ``Database(storage=FaultyStorage(plan))`` routes every file open and
+    fsync through the plan. A bare ``FaultyStorage()`` (no-fault plan)
+    is a transparent passthrough, which is also the default contract the
+    database assumes when ``storage is None``.
+    """
+
+    def __init__(self, plan: Optional[DiskFaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else DiskFaultPlan()
+
+    def open(self, path, mode: str = "rb") -> FaultyFile:
+        return FaultyFile(open(Path(path), mode), self.plan)
+
+    def fsync(self, handle) -> None:
+        self.plan.tick()
+        if self.plan.should_fail_fsync():
+            self.plan.stats.fsync_errors += 1
+            raise OSError(5, "simulated fsync failure")
+        os.fsync(handle.fileno())

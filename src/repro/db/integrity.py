@@ -1,0 +1,477 @@
+"""Storage integrity: CRC framing, snapshot manifests, scanning, repair.
+
+The ledger is only as trustworthy as its bytes. This module gives the
+database substrate an end-to-end integrity format:
+
+* **WAL framing** — every journal line is wrapped as
+  ``GB1 <payload-len> <crc32-hex8> <payload>\\n``. The CRC covers the
+  payload bytes; the length makes truncation detectable even when the
+  damaged bytes happen to contain a newline. Legacy unframed lines
+  (canonical JSON starting with ``{``) are still accepted on read so
+  pre-framing WALs recover cleanly.
+* **Snapshot manifest** — a snapshot file carries its own whole-file
+  checksum and record count in a first-line header:
+  ``GBSNAP1 <payload-len> <crc32-hex8> <record-count>\\n<payload>``.
+  Embedding the manifest *inside* the file (rather than a sidecar)
+  means a single atomic rename publishes payload and manifest together
+  — there is no crash window where they can disagree.
+* **Torn-tail vs corruption policy** — a final WAL line without a
+  terminating newline is a *torn tail*: an expected artifact of
+  crashing mid-append, tolerated and truncated. A newline-*terminated*
+  line that fails its frame, CRC, or decode is *corruption*: bytes
+  that were once durable no longer verify, so recovery must stop,
+  quarantine the damaged suffix, and raise a typed
+  :class:`~repro.errors.CorruptionError` rather than replay garbage.
+* **Atomic publication** — :func:`atomic_write` (tmp + flush + fsync +
+  ``os.replace`` + parent-directory fsync) so a crash mid-write can
+  never leave a half-written file as the only copy.
+* **Scrubbing** — :class:`Scrubber` re-verifies cold bytes on an
+  interval so latent corruption (bit rot under a page that is never
+  read) is found before a failover depends on it.
+
+Observability imports are deliberately lazy: ``repro.obs`` imports this
+package at module load (``obs.store`` persists via ``db.database``), so
+a top-level ``from repro.obs import metrics`` here would be circular.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import CorruptionError, ValidationError
+from repro.util.serialize import canonical_loads
+
+__all__ = [
+    "SNAPSHOT_NAME",
+    "WAL_NAME",
+    "EPOCH_NAME",
+    "QUARANTINE_NAME",
+    "MARKER_NAME",
+    "crc32_hex",
+    "frame_record",
+    "parse_record",
+    "scan_wal",
+    "WalScan",
+    "encode_snapshot",
+    "decode_snapshot",
+    "atomic_write",
+    "fsync_dir",
+    "verify_dir",
+    "IntegrityReport",
+    "quarantine_wal_suffix",
+    "read_marker",
+    "clear_marker",
+    "Scrubber",
+]
+
+# Canonical on-disk names, shared with Database so fsck and the fault
+# tooling address the same files without importing the whole engine.
+SNAPSHOT_NAME = "snapshot.gbdb"
+WAL_NAME = "wal.gbdb"
+EPOCH_NAME = "epoch.gbdb"
+QUARANTINE_NAME = "wal.quarantine.gbdb"
+MARKER_NAME = "CORRUPT.gbdb"
+
+_WAL_MAGIC = b"GB1"
+_SNAP_MAGIC = b"GBSNAP1"
+
+
+def crc32_hex(payload: bytes) -> bytes:
+    """CRC32 of ``payload`` as 8 lowercase hex bytes (fixed width so the
+    frame header length is predictable)."""
+    return b"%08x" % (zlib.crc32(payload) & 0xFFFFFFFF)
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap one WAL payload in the ``GB1`` length+CRC frame.
+
+    The payload must be newline-free (canonical JSON is); the frame adds
+    the single record-terminating newline itself.
+    """
+    if b"\n" in payload:
+        raise ValidationError("WAL payload must not contain newlines")
+    return b"%s %d %s %s\n" % (_WAL_MAGIC, len(payload), crc32_hex(payload), payload)
+
+
+def parse_record(line: bytes, seq: int = -1, offset: int = -1) -> bytes:
+    """Verify one newline-stripped WAL line's frame and return its payload.
+
+    Legacy unframed lines (canonical JSON, first byte ``{``) pass
+    through untouched so WALs written before the integrity format still
+    recover. Anything else — bad magic, bad length, bad CRC — raises
+    :class:`CorruptionError` carrying ``seq``/``offset``.
+    """
+    if line.startswith(_WAL_MAGIC + b" "):
+        parts = line.split(b" ", 3)
+        if len(parts) != 4:
+            raise CorruptionError(
+                f"WAL record {seq} at offset {offset}: truncated frame header",
+                seq=seq, offset=offset,
+            )
+        _, length_b, crc_b, payload = parts
+        try:
+            length = int(length_b)
+        except ValueError:
+            raise CorruptionError(
+                f"WAL record {seq} at offset {offset}: unparsable frame length",
+                seq=seq, offset=offset,
+            ) from None
+        if length != len(payload):
+            raise CorruptionError(
+                f"WAL record {seq} at offset {offset}: "
+                f"length mismatch (header {length}, actual {len(payload)})",
+                seq=seq, offset=offset,
+            )
+        if crc_b != crc32_hex(payload):
+            raise CorruptionError(
+                f"WAL record {seq} at offset {offset}: CRC32 mismatch",
+                seq=seq, offset=offset,
+            )
+        return payload
+    if line.startswith(b"{"):  # legacy unframed canonical JSON
+        return line
+    raise CorruptionError(
+        f"WAL record {seq} at offset {offset}: unrecognized framing",
+        seq=seq, offset=offset,
+    )
+
+
+@dataclass
+class WalScan:
+    """Result of scanning raw WAL bytes.
+
+    ``records`` holds the fully verified, *decoded* journal entries in
+    order (frame, CRC, and canonical-JSON decode all passed).
+    ``valid_bytes`` is the length of the longest verified prefix —
+    recovery truncates the file to this. ``torn_bytes`` counts trailing
+    bytes dropped as a torn tail (no terminating newline). When a
+    *complete* line fails verification, ``corruption`` carries the
+    typed error (seq = 1-based record number, ``base_seq``-offset;
+    offset = byte position of the damaged line) and scanning stops.
+    """
+
+    records: List[dict] = field(default_factory=list)
+    valid_bytes: int = 0
+    torn_bytes: int = 0
+    corruption: Optional[CorruptionError] = None
+
+
+def scan_wal(data: bytes, base_seq: int = 0) -> WalScan:
+    """Walk raw WAL bytes, verifying and decoding each framed line.
+
+    Applies the torn-vs-corrupt policy: only the *final, unterminated*
+    line may fail without being corruption. A newline-terminated line
+    that fails its frame, CRC, or decode is corruption. ``base_seq``
+    offsets the reported record seq so errors name the global commit
+    sequence when the caller knows the snapshot's base.
+    """
+    scan = WalScan()
+    offset = 0
+    seq = base_seq
+    while offset < len(data):
+        end = data.find(b"\n", offset)
+        if end < 0:  # no terminating newline: torn tail, not corruption
+            scan.torn_bytes = len(data) - offset
+            break
+        line = data[offset:end]
+        seq += 1
+        try:
+            payload = parse_record(line, seq=seq, offset=offset)
+            try:
+                entry = canonical_loads(payload)
+            except ValidationError as exc:
+                raise CorruptionError(
+                    f"WAL record {seq} at offset {offset}: undecodable payload ({exc})",
+                    seq=seq, offset=offset,
+                ) from exc
+            if not isinstance(entry, dict) or "ops" not in entry:
+                raise CorruptionError(
+                    f"WAL record {seq} at offset {offset}: payload is not a journal entry",
+                    seq=seq, offset=offset,
+                )
+            scan.records.append(entry)
+        except CorruptionError as exc:
+            scan.corruption = exc
+            break
+        offset = end + 1
+        scan.valid_bytes = offset
+    return scan
+
+
+def encode_snapshot(payload: bytes, records: int) -> bytes:
+    """Prefix ``payload`` with the ``GBSNAP1`` manifest header."""
+    return b"%s %d %s %d\n%s" % (
+        _SNAP_MAGIC, len(payload), crc32_hex(payload), records, payload,
+    )
+
+
+def decode_snapshot(data: bytes) -> Tuple[bytes, int]:
+    """Verify a snapshot file's manifest; return ``(payload, records)``.
+
+    Legacy headerless snapshots (raw canonical JSON) are passed through
+    with ``records == -1`` (unknown). Manifest mismatches raise
+    :class:`CorruptionError`.
+    """
+    if not data.startswith(_SNAP_MAGIC + b" "):
+        if data.startswith(b"{") or not data:
+            return data, -1  # legacy snapshot, no manifest to verify
+        raise CorruptionError("snapshot: unrecognized header magic")
+    header_end = data.find(b"\n")
+    if header_end < 0:
+        raise CorruptionError("snapshot: truncated manifest header")
+    parts = data[:header_end].split(b" ")
+    if len(parts) != 4:
+        raise CorruptionError("snapshot: malformed manifest header")
+    try:
+        length = int(parts[1])
+        records = int(parts[3])
+    except ValueError:
+        raise CorruptionError("snapshot: unparsable manifest header") from None
+    payload = data[header_end + 1:]
+    if length != len(payload):
+        raise CorruptionError(
+            f"snapshot: length mismatch (manifest {length}, actual {len(payload)})"
+        )
+    if parts[2] != crc32_hex(payload):
+        raise CorruptionError("snapshot: whole-file CRC32 mismatch")
+    return payload, records
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: some platforms/filesystems refuse O_RDONLY directory
+    fds; the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: Path, data: bytes, storage=None) -> None:
+    """Publish ``data`` at ``path`` atomically.
+
+    tmp file + flush + fsync + ``os.replace`` + parent-dir fsync: a
+    crash at any point leaves either the old complete file or the new
+    complete file, never a torn hybrid. ``storage`` (a
+    :class:`~repro.db.faultfs.FaultyStorage`-compatible shim) lets the
+    fault plan intercept the write path in tests.
+    """
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    if storage is not None:
+        handle = storage.open(tmp, "wb")
+    else:
+        handle = open(tmp, "wb")
+    try:
+        handle.write(data)
+        handle.flush()
+        if storage is not None:
+            storage.fsync(handle)
+        else:
+            os.fsync(handle.fileno())
+    finally:
+        handle.close()
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
+
+@dataclass
+class IntegrityReport:
+    """What :func:`verify_dir` found in one database directory."""
+
+    ok: bool = True
+    snapshot_present: bool = False
+    snapshot_records: int = -1
+    snapshot_bytes: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    torn_tail_bytes: int = 0
+    corruption: Optional[CorruptionError] = None
+    corruption_source: str = ""  # "", "snapshot", "wal", "marker"
+    marker: Optional[dict] = None
+    epoch: int = 0
+    base_seq: int = 0
+
+    def describe(self) -> str:
+        if self.ok:
+            extra = f", torn tail {self.torn_tail_bytes}B" if self.torn_tail_bytes else ""
+            return (
+                f"clean: snapshot {self.snapshot_records} record(s) "
+                f"({self.snapshot_bytes}B), wal {self.wal_records} record(s) "
+                f"({self.wal_bytes}B){extra}"
+            )
+        return f"CORRUPT ({self.corruption_source}): {self.corruption}"
+
+
+def _read_epoch(directory: Path) -> Tuple[int, int]:
+    epoch_file = directory / EPOCH_NAME
+    if not epoch_file.exists():
+        return 0, 0
+    try:
+        epoch_b, base_b = epoch_file.read_bytes().split()
+        return int(epoch_b), int(base_b)
+    except (ValueError, OSError):
+        return 0, 0
+
+
+def verify_dir(directory: Path) -> IntegrityReport:
+    """Offline verification of one database directory (fsck's engine).
+
+    Read-only: verifies snapshot manifest and every WAL frame, reports
+    the first failure with exact seq/offset, but mutates nothing.
+    """
+    directory = Path(directory)
+    report = IntegrityReport()
+    report.epoch, report.base_seq = _read_epoch(directory)
+
+    marker = read_marker(directory)
+    if marker is not None:
+        report.ok = False
+        report.marker = marker
+        report.corruption_source = "marker"
+        report.corruption = CorruptionError(
+            f"unresolved corruption marker: {marker.get('reason', 'unknown')}",
+            seq=marker.get("seq", -1), offset=marker.get("offset", -1),
+        )
+        return report
+
+    snapshot_file = directory / SNAPSHOT_NAME
+    if snapshot_file.exists():
+        report.snapshot_present = True
+        data = snapshot_file.read_bytes()
+        report.snapshot_bytes = len(data)
+        try:
+            _, report.snapshot_records = decode_snapshot(data)
+        except CorruptionError as exc:
+            report.ok = False
+            report.corruption = exc
+            report.corruption_source = "snapshot"
+            return report
+
+    wal_file = directory / WAL_NAME
+    if wal_file.exists():
+        data = wal_file.read_bytes()
+        report.wal_bytes = len(data)
+        scan = scan_wal(data, base_seq=report.base_seq)
+        report.wal_records = len(scan.records)
+        report.torn_tail_bytes = scan.torn_bytes
+        if scan.corruption is not None:
+            report.ok = False
+            report.corruption = scan.corruption
+            report.corruption_source = "wal"
+    return report
+
+
+def quarantine_wal_suffix(directory: Path, error: CorruptionError,
+                          valid_bytes: int) -> None:
+    """Preserve the damaged WAL suffix and leave a refusal marker.
+
+    The suffix from the first bad byte onward moves to
+    ``wal.quarantine.gbdb`` (forensics — never deleted automatically),
+    the WAL is truncated to its verified prefix, and ``CORRUPT.gbdb``
+    records what happened. Recovery refuses to run while the marker
+    exists: an operator (or ``fsck --repair``) must decide whether the
+    quarantined records can be restored from a peer before the node
+    serves traffic on a silently shortened history.
+    """
+    directory = Path(directory)
+    wal_file = directory / WAL_NAME
+    data = wal_file.read_bytes() if wal_file.exists() else b""
+    suffix = data[valid_bytes:]
+    if suffix:
+        (directory / QUARANTINE_NAME).write_bytes(suffix)
+    with open(wal_file, "wb") as handle:
+        handle.write(data[:valid_bytes])
+        handle.flush()
+        os.fsync(handle.fileno())
+    marker = {
+        "reason": str(error),
+        "seq": error.seq,
+        "offset": error.offset,
+        "quarantined_bytes": len(suffix),
+    }
+    atomic_write(directory / MARKER_NAME,
+                 json.dumps(marker, sort_keys=True).encode("utf-8"))
+
+
+def read_marker(directory: Path) -> Optional[dict]:
+    marker_file = Path(directory) / MARKER_NAME
+    if not marker_file.exists():
+        return None
+    try:
+        loaded = json.loads(marker_file.read_text("utf-8"))
+        return loaded if isinstance(loaded, dict) else {"reason": "unparsable marker"}
+    except (ValueError, OSError):
+        return {"reason": "unparsable marker"}
+
+
+def clear_marker(directory: Path) -> None:
+    """Remove the corruption marker (quarantine file is kept for forensics)."""
+    marker_file = Path(directory) / MARKER_NAME
+    try:
+        marker_file.unlink()
+    except FileNotFoundError:
+        pass
+    fsync_dir(Path(directory))
+
+
+class Scrubber:
+    """Background thread re-verifying cold storage bytes on an interval.
+
+    Latent corruption — a flipped bit under a page nobody reads — is
+    only dangerous if it is discovered *during* a recovery or failover,
+    when the healthy copy may already be gone. The scrubber calls
+    ``scrub()`` (typically ``Database.scrub_once``) every ``interval``
+    seconds; on the first detected corruption it invokes
+    ``on_corruption`` (e.g. ``ClusterNode.repair``) and keeps running so
+    a repaired node is re-checked on the next pass.
+    """
+
+    def __init__(self, scrub: Callable[[], None], interval: float = 30.0,
+                 on_corruption: Optional[Callable[[CorruptionError], None]] = None) -> None:
+        self._scrub = scrub
+        self._interval = max(0.05, float(interval))
+        self._on_corruption = on_corruption
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, name="gridbank-scrubber",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._scrub()
+            except CorruptionError as exc:
+                if self._on_corruption is not None:
+                    try:
+                        self._on_corruption(exc)
+                    except Exception:  # repair failures must not kill the loop
+                        pass
+            except Exception:
+                # Scrubbing is advisory; an unexpected error (e.g. the
+                # database closing mid-pass) must not crash the server.
+                pass

@@ -29,6 +29,8 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from repro.db import integrity
+
 __all__ = ["ReplicationLog", "FETCH_OK", "FETCH_RESYNC"]
 
 FETCH_OK = "ok"
@@ -111,7 +113,15 @@ class ReplicationLog:
                 return FETCH_RESYNC, self._epoch, last, []
             start = from_seq - self._base_seq
             chunk = self._records[start : start + max_records]
-            records = [[from_seq + i + 1, payload] for i, payload in enumerate(chunk)]
+            # verify each frame before shipping: a record damaged after
+            # commit (bit rot in this process's heap is unlikely, but the
+            # bytes may have been re-read from a damaged WAL) must raise
+            # CorruptionError on the serving side, never stream garbage
+            # a standby would then durably append
+            records = []
+            for i, payload in enumerate(chunk):
+                integrity.parse_record(payload.rstrip(b"\n"), seq=from_seq + i + 1)
+                records.append([from_seq + i + 1, payload])
             return FETCH_OK, self._epoch, last, records
 
     def __len__(self) -> int:

@@ -23,6 +23,7 @@ __all__ = [
     "TransactionError",
     "TransactionRequiredError",
     "IntegrityError",
+    "CorruptionError",
     "NotFoundError",
     "DuplicateError",
     "BankError",
@@ -119,6 +120,28 @@ class TransactionRequiredError(TransactionError):
 
 class IntegrityError(DatabaseError):
     """Primary-key or uniqueness violation."""
+
+
+class CorruptionError(DatabaseError):
+    """On-disk (or in-flight) storage bytes failed an integrity check.
+
+    Raised when a WAL record's CRC32/length frame does not verify, a
+    snapshot's whole-file checksum or record count disagrees with its
+    manifest, or a quarantine marker from an earlier detection is still
+    present. Carries the first damaged record's 1-based ``seq`` within
+    its snapshot epoch and the byte ``offset`` of the damaged region
+    (both ``-1`` when not applicable, e.g. snapshot corruption), so an
+    operator — or ``gridbank fsck --repair`` — knows exactly which
+    suffix must be re-fetched from a healthy peer. A torn *final* WAL
+    line is NOT corruption (crash mid-append is expected) and is
+    tolerated by recovery; this error means bytes that were once
+    durable no longer verify, and replaying them would be garbage.
+    """
+
+    def __init__(self, message: str, seq: int = -1, offset: int = -1) -> None:
+        super().__init__(message)
+        self.seq = int(seq)
+        self.offset = int(offset)
 
 
 class NotFoundError(DatabaseError, KeyError):

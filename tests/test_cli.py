@@ -135,3 +135,53 @@ class TestServe:
         assert code == 0
         assert "listening on 127.0.0.1:" in out
         assert "server stopped" in out
+
+
+class TestFsck:
+    def _seed(self, home, capsys):
+        _, out, _ = run(["create-account", "--home", home, "--subject", "/O=A/CN=a"], capsys)
+        account = out.strip()
+        for _ in range(4):
+            run(["deposit", "--home", home, "--account", account, "--amount", "10"], capsys)
+        return account
+
+    def test_clean_home_verifies(self, home, capsys):
+        self._seed(home, capsys)
+        code, out, _ = run(["fsck", "--home", home], capsys)
+        assert code == 0
+        assert "clean:" in out
+
+    def test_corruption_detected_and_boot_refused(self, home, capsys):
+        from pathlib import Path
+
+        from repro.db import integrity
+
+        account = self._seed(home, capsys)
+        wal = Path(home) / "db" / integrity.WAL_NAME
+        data = bytearray(wal.read_bytes())
+        data[len(data) // 2] ^= 0x08  # flip a bit mid-file
+        wal.write_bytes(bytes(data))
+
+        code, out, err = run(["fsck", "--home", home], capsys)
+        assert code == 1
+        assert "CORRUPT" in out
+        assert "--repair --peer" in err  # read-only mode points at the fix
+
+        # a plain command must refuse on the damage, never serve garbage
+        code, _out, err = run(["balance", "--home", home, "--account", account], capsys)
+        assert code == 1
+        assert "fsck" in err
+
+    def test_repair_requires_peer(self, home, capsys):
+        self._seed(home, capsys)
+        from pathlib import Path
+
+        from repro.db import integrity
+
+        wal = Path(home) / "db" / integrity.WAL_NAME
+        data = bytearray(wal.read_bytes())
+        data[len(data) // 2] ^= 0x08
+        wal.write_bytes(bytes(data))
+        code, _out, err = run(["fsck", "--home", home, "--repair"], capsys)
+        assert code == 1
+        assert "--peer" in err
