@@ -101,10 +101,15 @@ class ClusterNode:
         long_poll: float = 0.5,
         scrub_interval: Optional[float] = None,
         auto_repair: bool = True,
+        diag: Optional[object] = None,
     ) -> None:
         self.bank = bank
         self.address = address
         self.connect = connect
+        #: this node's :class:`repro.obs.diag.DiagPlane` (serve wires it);
+        #: None falls back to the process-wide active plane, so the Diag
+        #: RPCs still answer on nodes built without explicit wiring
+        self.diag = diag
         self.peer_subjects = set(peer_subjects)
         self.lease_timeout = lease_timeout
         self.auto_promote = auto_promote
@@ -421,6 +426,8 @@ class ClusterNode:
         endpoint.register("Telemetry.Snapshot", instrument(self.op_telemetry_snapshot))
         endpoint.register("Integrity.Status", instrument(self.op_integrity_status))
         endpoint.register("Integrity.Repair", instrument(self.op_integrity_repair))
+        endpoint.register("Diag.Profile", instrument(self.op_diag_profile))
+        endpoint.register("Diag.FlightRecord", instrument(self.op_diag_flight_record))
 
     def op_replication_status(self, subject: str, params: dict) -> dict:
         self._require_peer(subject)
@@ -497,6 +504,31 @@ class ClusterNode:
         snap["usage"] = self.bank.usage.snapshot(top)
         snap["hot_ops"] = hot_operations(obs_metrics.snapshot(), limit=top)
         return snap
+
+    def _diag_plane(self):
+        if self.diag is not None:
+            return self.diag
+        from repro.obs import diag as obs_diag
+
+        return obs_diag.active_plane()
+
+    def op_diag_profile(self, subject: str, params: dict) -> dict:
+        """Per-op CPU attribution + stripe-lock/WAL contention stats for
+        ``gridbank profile`` / ``gridbank debug-bundle``."""
+        self._require_peer(subject)
+        plane = self._diag_plane()
+        if plane is None:
+            return {"enabled": False}
+        return plane.profile_snapshot(top=int(params.get("top", 25)))
+
+    def op_diag_flight_record(self, subject: str, params: dict) -> dict:
+        """The flight recorder's rings (recent/slow spans, logs, metric
+        deltas, fold deltas, trigger history) for bundle collection."""
+        self._require_peer(subject)
+        plane = self._diag_plane()
+        if plane is None:
+            return {"enabled": False}
+        return plane.flight_snapshot(limit=int(params.get("limit", 128)))
 
 
 class StandbyReplicator(threading.Thread):

@@ -22,8 +22,28 @@ accounts layer independently locks each primitive it executes.
 from __future__ import annotations
 
 import threading
+import time
+from typing import Callable, Optional
 
-__all__ = ["AccountLocks"]
+__all__ = ["AccountLocks", "set_wait_hook", "wait_hook"]
+
+# Contention observability (the diagnosis plane, :mod:`repro.obs.diag`):
+# when a hook is installed, every *blocked* acquisition times its wait and
+# reports ``hook(stripe_index, mode, waited_seconds)``. The uncontended
+# path — the overwhelmingly common case — pays exactly one extra ``is not
+# None`` check per blocked-loop entry and nothing at all when it never
+# blocks, keeping the bank's hot path clean with diagnostics off.
+_wait_hook: Optional[Callable[[int, str, float], None]] = None
+
+
+def set_wait_hook(hook: Optional[Callable[[int, str, float], None]]) -> None:
+    """Install (or clear, with ``None``) the stripe-wait hook."""
+    global _wait_hook
+    _wait_hook = hook
+
+
+def wait_hook() -> Optional[Callable[[int, str, float], None]]:
+    return _wait_hook
 
 
 class _StripeLock:
@@ -35,15 +55,34 @@ class _StripeLock:
     nested exclusive depth).
     """
 
-    __slots__ = ("_cond", "_readers", "_writer", "_depth")
+    __slots__ = ("_cond", "_readers", "_writer", "_depth", "index")
 
-    def __init__(self) -> None:
+    def __init__(self, index: int = -1) -> None:
         # a plain Lock under the Condition: the mutex is never re-entered
         # (re-entrancy is tracked by _writer/_depth), and Lock is cheaper
         self._cond = threading.Condition(threading.Lock())
         self._readers = 0
         self._writer: int | None = None
         self._depth = 0
+        self.index = index
+
+    def _wait_blocked(self, exclusive: bool) -> None:
+        """Wait (condition held) until this mode can be granted, timing
+        the wait for the diagnosis plane when a hook is installed."""
+        hook = _wait_hook
+        start = time.perf_counter() if hook is not None else 0.0
+        if exclusive:
+            while self._writer is not None or self._readers:
+                self._cond.wait()
+        else:
+            while self._writer is not None:
+                self._cond.wait()
+        if hook is not None:
+            try:
+                hook(self.index, "exclusive" if exclusive else "shared",
+                     time.perf_counter() - start)
+            except Exception:  # noqa: BLE001 - diagnostics never break locking
+                pass
 
     def acquire_shared(self) -> None:
         me = threading.get_ident()
@@ -51,8 +90,8 @@ class _StripeLock:
             if self._writer == me:
                 self._depth += 1
                 return
-            while self._writer is not None:
-                self._cond.wait()
+            if self._writer is not None:
+                self._wait_blocked(exclusive=False)
             self._readers += 1
 
     def release_shared(self) -> None:
@@ -74,8 +113,8 @@ class _StripeLock:
             if self._writer == me:
                 self._depth += 1
                 return
-            while self._writer is not None or self._readers:
-                self._cond.wait()
+            if self._writer is not None or self._readers:
+                self._wait_blocked(exclusive=True)
             self._writer = me
             self._depth = 1
 
@@ -123,7 +162,7 @@ class AccountLocks:
     def __init__(self, stripes: int = 64) -> None:
         if stripes < 1:
             raise ValueError("need at least one stripe")
-        self._stripes = tuple(_StripeLock() for _ in range(stripes))
+        self._stripes = tuple(_StripeLock(i) for i in range(stripes))
 
     def stripe_of(self, account_id: str) -> int:
         return hash(account_id) % len(self._stripes)

@@ -21,6 +21,9 @@ invocations::
     python -m repro.cli trace grep redeem --home ./mybank
     python -m repro.cli top --credential admin.gbk \\
         --address 127.0.0.1:7776 --address 127.0.0.1:7777   # cluster telemetry
+    python -m repro.cli profile --credential admin.gbk --address 127.0.0.1:7776
+    python -m repro.cli debug-bundle --credential admin.gbk \\
+        --address 127.0.0.1:7776 --address 127.0.0.1:7777 --out ./bundle
 
 Administrative commands (deposit/withdraw/credit-limit/close) act as the
 bank operator — the sec 5.2.1 role of "GridBank's administrators who are
@@ -503,6 +506,24 @@ def cmd_serve(args) -> int:
 
     home = Path(args.home)
     bank = _load_bank(home)
+
+    # the diagnosis plane is on by default: a sampling profiler at
+    # --profile-hz (<5% overhead, asserted by bench_diag) plus a flight
+    # recorder whose rings are dumped into --diag-dir when an anomaly
+    # trigger fires (SLO page, corruption, deadline storm, unhandled
+    # dispatch exception). Exemplar capture rides along so latency
+    # buckets link to trace ids.
+    diag_plane = None
+    if not args.no_diag:
+        from repro.obs.diag import DiagPlane
+
+        diag_dir = Path(args.diag_dir) if args.diag_dir else home / "diag"
+        diag_plane = DiagPlane(
+            profile_hz=args.profile_hz, dump_dir=diag_dir, clock=bank.clock
+        ).start()
+        obs_metrics.configure_exemplars(True)
+        print(f"diagnosis plane: profiler {args.profile_hz:g}hz, "
+              f"post-mortems under {diag_dir}")
     # a non-default objective replaces the bank's built-in one; the
     # engine is swapped whole so the dispatch wrapper (which reads
     # bank.slo at call time) picks it up atomically
@@ -535,6 +556,10 @@ def cmd_serve(args) -> int:
         name = str(record.get("name", ""))
         method = str(record.get("attrs", {}).get("method", ""))
         if name.startswith("bank.op.replication_") or method.startswith("Replication."):
+            return
+        # diagnosis-plane collection is operator traffic, not workload —
+        # same treatment (the flight recorder still sees these spans)
+        if name.startswith("bank.op.diag_") or method.startswith("Diag."):
             return
         bank.spans(record)
 
@@ -613,6 +638,7 @@ def cmd_serve(args) -> int:
                 auto_promote=args.auto_promote,
                 staleness_bound=args.staleness_bound,
                 scrub_interval=args.scrub_interval,
+                diag=diag_plane,
             )
             state["node"] = node
             print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
@@ -635,6 +661,8 @@ def cmd_serve(args) -> int:
     finally:
         if node is not None:
             node.close()
+        if diag_plane is not None:
+            diag_plane.stop()
         for exporter in exporters:
             exporter.stop()
         for sink in sinks:
@@ -792,7 +820,7 @@ def cmd_metrics(args) -> int:
     else:
         data = obs_metrics.snapshot()
     if getattr(args, "action", None) == "export":
-        text = render_prometheus(data)
+        text = render_prometheus(data, exemplars=getattr(args, "exemplars", False))
         if args.out:
             out = Path(args.out)
             out.parent.mkdir(parents=True, exist_ok=True)
@@ -930,6 +958,117 @@ def render_top(snapshots: list[dict], top: int = 5) -> str:
     return "\n".join(lines)
 
 
+def cmd_profile(args) -> int:
+    """Render a node's live CPU profile: per-op attribution from the
+    always-on sampler plus stripe-lock and WAL-path contention tables."""
+    from repro.obs.diag import render_profile
+
+    client = _remote_client(args)
+    try:
+        profile = client.call("Diag.Profile", top=args.top)
+    finally:
+        client.close()
+    if not profile.get("enabled", False) and "ops" not in profile:
+        print("diagnosis plane is disabled on this node (serve --no-diag?)",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile, top=args.top))
+    return 0
+
+
+def _collect_node_diag(address, identity, store, top: int, connect) -> dict:
+    from repro.net.rpc import RPCClient
+
+    client = RPCClient(connect(address), identity, store)
+    client.connect()
+    try:
+        return {
+            "profile": client.call("Diag.Profile", top=top),
+            "flight": client.call("Diag.FlightRecord", limit=256),
+            "telemetry": client.call("Telemetry.Snapshot", top=top),
+        }
+    finally:
+        client.close()
+
+
+def _gather_debug_bundle(
+    addresses, identity, store, out_dir: Path, top: int = 25, connect=None
+) -> tuple[dict, Path]:
+    """Collect per-node diagnostics into ``out_dir/<node>/`` and tar the
+    whole thing. Unreachable nodes land in the manifest's ``errors`` —
+    an operator collects a bundle *because* something is wrong, so one
+    dead node must not abort the evidence run."""
+    import tarfile
+    import time as _time
+
+    if connect is None:
+        connect = _tcp_connect
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {"collected_epoch": _time.time(), "nodes": [], "errors": []}
+
+    def _write(path: Path, payload) -> None:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    for address in addresses:
+        try:
+            data = _collect_node_diag(address, identity, store, top, connect)
+        except (ReproError, OSError) as exc:
+            manifest["errors"].append(
+                {"node": address, "error": f"{type(exc).__name__}: {exc}"}
+            )
+            continue
+        safe = address.replace(":", "_").replace("/", "_")
+        node_dir = out_dir / safe
+        node_dir.mkdir(parents=True, exist_ok=True)
+        profile, flight, telemetry = data["profile"], data["flight"], data["telemetry"]
+        _write(node_dir / "profile.json", profile)
+        _write(node_dir / "flightrecord.json", flight)
+        _write(node_dir / "metrics.json", flight.get("metrics", {}))
+        _write(node_dir / "telemetry.json", telemetry)
+        _write(node_dir / "slo.json", telemetry.get("slo", {}))
+        with (node_dir / "slow_spans.jsonl").open("w", encoding="utf-8") as fh:
+            for record in flight.get("slow_spans", []) or []:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        manifest["nodes"].append(
+            {
+                "node": address,
+                "dir": safe,
+                "role": telemetry.get("role", ""),
+                "profiler_enabled": bool(profile.get("enabled", False)),
+                "profile_samples": int(profile.get("samples", 0) or 0),
+                "triggers": len(flight.get("recent_triggers", []) or []),
+            }
+        )
+    _write(out_dir / "manifest.json", manifest)
+    tar_path = out_dir.parent / (out_dir.name + ".tar.gz")
+    with tarfile.open(tar_path, "w:gz") as tar:
+        tar.add(out_dir, arcname=out_dir.name)
+    return manifest, tar_path
+
+
+def cmd_debug_bundle(args) -> int:
+    """One tar of everything a post-incident analysis needs, from every
+    reachable node: live profile (per-op CPU + contention), flight
+    recorder rings, metrics snapshot, SLO state, recent slow traces."""
+    identity, store = _load_credential(args.credential)
+    manifest, tar_path = _gather_debug_bundle(
+        args.address, identity, store, Path(args.out), top=args.top
+    )
+    for entry in manifest["nodes"]:
+        print(f"collected {entry['node']} ({entry['role'] or 'unknown role'}): "
+              f"{entry['profile_samples']} profile samples, "
+              f"{entry['triggers']} recent trigger(s) -> {entry['dir']}/")
+    for entry in manifest["errors"]:
+        print(f"unreachable {entry['node']}: {entry['error']}", file=sys.stderr)
+    print(f"bundle: {tar_path}")
+    return 0 if manifest["nodes"] else 1
+
+
 def cmd_top(args) -> int:
     """Aggregate ``Telemetry.Snapshot`` across cluster nodes — one pane
     for the whole replicated bank (repeat ``--address`` per node)."""
@@ -1054,6 +1193,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="background-scrub the WAL/snapshot every this many seconds "
                         "(re-verifies every CRC; corruption triggers a replica-backed "
                         "repair when a peer is known)")
+    p.add_argument("--profile-hz", type=float, default=25.0,
+                   help="always-on sampling profiler rate (0 disables the "
+                        "profiler but keeps the flight recorder)")
+    p.add_argument("--diag-dir", default=None, metavar="DIR",
+                   help="directory for flight-recorder post-mortem dumps "
+                        "(default: HOME/diag)")
+    p.add_argument("--no-diag", action="store_true",
+                   help="disable the diagnosis plane entirely (profiler, "
+                        "flight recorder, exemplars)")
 
     p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
     p.add_argument("action", nargs="?", choices=["export"],
@@ -1062,6 +1210,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--live", action="store_true",
                    help="show this process's registry, ignoring metrics.json")
     p.add_argument("--out", default=None, help="write Prometheus text here instead of stdout")
+    p.add_argument("--exemplars", action="store_true",
+                   help="attach trace-id exemplars to exported histogram buckets")
 
     p = add("trace", cmd_trace, help="query the durable span store")
     p.add_argument("verb", choices=["show", "grep", "slowest", "list"])
@@ -1101,6 +1251,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_remote("cluster-status", cmd_cluster_status,
                help="show a node's replication position and role")
+
+    p = add_remote("profile", cmd_profile,
+                   help="live CPU profile of a node: per-op attribution, "
+                        "hot stacks, lock/WAL contention")
+    p.add_argument("--top", type=int, default=10, help="rows per section")
+    p.add_argument("--json", action="store_true", help="raw snapshot as JSON")
+
+    p = sub.add_parser("debug-bundle",
+                       help="collect profiles, flight-recorder rings, metrics "
+                            "and SLO state from every node into one tarball")
+    p.add_argument("--credential", required=True, help="credential file from issue-identity")
+    p.add_argument("--address", action="append", required=True, metavar="HOST:PORT",
+                   help="node to include (repeat per cluster node)")
+    p.add_argument("--out", default="debug-bundle",
+                   help="output directory (a sibling .tar.gz is also written)")
+    p.add_argument("--top", type=int, default=25, help="profile rows per node")
+    p.set_defaults(fn=cmd_debug_bundle)
 
     p = sub.add_parser("top", help="cluster-wide telemetry: per-node SLO state, "
                                    "replication lag, hottest ops and principals")

@@ -111,6 +111,40 @@ _COMPLETED_TICKET = _CommitTicket()
 _COMPLETED_TICKET.event.set()
 
 
+# WAL-path observability (the diagnosis plane, :mod:`repro.obs.diag`):
+# when a hook is installed it receives ``hook(kind, seconds, batch)`` for
+# each timed phase — ``commit_wait`` (a committer that took the slow
+# path and waited on durability performed by a batch leader; the
+# uncontended fast path never waits and is not timed), ``linger`` (the
+# leader's batch-accumulation wait) and ``flush`` (the actual
+# write+flush, with batch size). Disabled, every call site pays a single
+# ``is not None`` check.
+_wal_wait_hook = None
+
+
+def set_wal_wait_hook(hook) -> None:
+    """Install (or clear, with ``None``) the WAL flush-path hook."""
+    global _wal_wait_hook
+    _wal_wait_hook = hook
+
+
+def wal_wait_hook():
+    return _wal_wait_hook
+
+
+def _notify_diag_corruption(exc: BaseException) -> None:
+    """Tell any flight recorder a corruption latch just closed; lazy and
+    fail-silent — diagnostics never alter the corruption path itself."""
+    try:
+        from repro.obs import diag as obs_diag
+
+        obs_diag.notify_trigger(
+            "corruption", error=type(exc).__name__, message=str(exc)
+        )
+    except Exception:  # noqa: BLE001
+        pass
+
+
 class _GroupCommitWriter:
     """Leader-based group commit: one committer flushes for the batch.
 
@@ -157,10 +191,23 @@ class _GroupCommitWriter:
             try:
                 if self._stopped:
                     raise DatabaseError("storage closed")
-                self._write_batch([payload])
+                hook = _wal_wait_hook
+                if hook is None:
+                    self._write_batch([payload])
+                else:
+                    started = time.perf_counter()
+                    self._write_batch([payload])
+                    hook("flush", time.perf_counter() - started, 1)
                 return _COMPLETED_TICKET
             finally:
                 self._flush_lock.release()
+        # slow path: another committer holds the flush lock (or a linger
+        # is configured), so this commit genuinely waits on durability
+        # performed by the batch leader — the window ``commit_wait``
+        # measures. The uncontended fast path above never waits and is
+        # deliberately not timed: it records only its own ``flush``.
+        hook = _wal_wait_hook
+        started = time.perf_counter() if hook is not None else 0.0
         ticket = _CommitTicket()
         with self._cond:
             if self._stopped:
@@ -170,6 +217,8 @@ class _GroupCommitWriter:
         with self._flush_lock:
             if not ticket.event.is_set():
                 self._flush_as_leader()
+        if hook is not None:
+            hook("commit_wait", time.perf_counter() - started, 1)
         return ticket
 
     def drain(self) -> None:
@@ -187,20 +236,29 @@ class _GroupCommitWriter:
         """Drain the queue and flush it as one batch. Caller holds the
         flush lock; the caller's own record (if any) is still queued —
         FIFO order and the lock guarantee no one else drained it."""
+        hook = _wal_wait_hook
         with self._cond:
             if self._linger > 0.0 and not self._stopped:
+                started = time.perf_counter() if hook is not None else 0.0
                 deadline = time.monotonic() + self._linger
                 while len(self._queue) < self._max_batch and not self._stopped:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0.0:
                         break
                     self._cond.wait(remaining)
+                if hook is not None:
+                    hook("linger", time.perf_counter() - started, len(self._queue))
             batch = [self._queue.popleft() for _ in range(len(self._queue))]
         error: Optional[BaseException] = None
         payloads = [payload for payload, _ in batch if payload is not None]
         if payloads:
             try:
-                self._write_batch(payloads)
+                if hook is None:
+                    self._write_batch(payloads)
+                else:
+                    started = time.perf_counter()
+                    self._write_batch(payloads)
+                    hook("flush", time.perf_counter() - started, len(payloads))
             except BaseException as exc:  # propagate to every committer
                 error = exc
         for _, ticket in batch:
@@ -475,6 +533,7 @@ class Database:
                     seq=marker.get("seq", -1), offset=marker.get("offset", -1),
                 )
                 _metrics().counter("db.integrity.corruptions_detected").inc()
+                _notify_diag_corruption(self._corruption)
                 raise self._corruption
             # a crash mid-atomic-write can strand a *.tmp next to the
             # real file; the real file is still the complete old copy
@@ -503,6 +562,7 @@ class Database:
                     self._corruption = exc
                     _metrics().counter("db.integrity.corruptions_detected").inc()
                     _log().error("snapshot.corrupt", path=str(snapshot_file), reason=str(exc))
+                    _notify_diag_corruption(exc)
                     raise
                 dump = canonical_loads(payload) if payload else {}
                 loaded = 0
@@ -516,6 +576,7 @@ class Database:
                         f"snapshot: manifest promises {records} record(s), decoded {loaded}"
                     )
                     _metrics().counter("db.integrity.corruptions_detected").inc()
+                    _notify_diag_corruption(self._corruption)
                     raise self._corruption
             replayed = 0
             wal_file = self._path / _WAL_NAME
@@ -537,6 +598,7 @@ class Database:
                             (self._path / integrity.QUARANTINE_NAME).read_bytes()
                         ) if (self._path / integrity.QUARANTINE_NAME).exists() else 0,
                     )
+                    _notify_diag_corruption(scan.corruption)
                     raise scan.corruption
                 if scan.torn_bytes:
                     # expected crash residue — but never silent: count it
@@ -824,8 +886,9 @@ class Database:
         here rather than poisoning the standby's ledger."""
         try:
             serialized = integrity.parse_record(payload.rstrip(b"\n"), seq=seq)
-        except CorruptionError:
+        except CorruptionError as exc:
             _metrics().counter("db.integrity.corruptions_detected").inc()
+            _notify_diag_corruption(exc)
             raise
         entry = canonical_loads(serialized)
         _metrics().counter("db.integrity.records_verified").inc()
@@ -883,6 +946,7 @@ class Database:
                 "scrub.corruption", source=report.corruption_source,
                 seq=report.corruption.seq, offset=report.corruption.offset,
             )
+            _notify_diag_corruption(report.corruption)
             raise report.corruption
         return report
 

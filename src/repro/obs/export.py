@@ -107,9 +107,15 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def render_prometheus(data: Optional[dict] = None) -> str:
+def render_prometheus(data: Optional[dict] = None, exemplars: bool = False) -> str:
     """Render *data* (default: a fresh registry snapshot) as Prometheus
-    text. Series sharing a base name are grouped under one TYPE line."""
+    text. Series sharing a base name are grouped under one TYPE line.
+
+    With ``exemplars=True``, ``_bucket`` lines whose histogram summary
+    carries trace-ID exemplars get an OpenMetrics-style annotation
+    (``... # {trace_id="..."} 1``). Off by default — the plain 0.0.4
+    output stays byte-identical for strict parsers.
+    """
     if data is None:
         data = obs_metrics.snapshot()
     lines: list[str] = []
@@ -139,15 +145,26 @@ def render_prometheus(data: Optional[dict] = None) -> str:
             # native Prometheus histogram (``_bucket{le=...}`` series)
             lines.append(f"# TYPE {name} histogram")
             for labels, summary in entries:
+                exemplar_by_bound = (
+                    {bound if isinstance(bound, str) else float(bound): trace_id
+                     for bound, trace_id in summary.get("exemplars", [])}
+                    if exemplars else {}
+                )
                 for bound, cumulative in summary["buckets"]:
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = (
                         bound if isinstance(bound, str) else _format_value(float(bound))
                     )
-                    lines.append(
+                    line = (
                         f"{name}_bucket{_labels_text(bucket_labels)} "
                         f"{_format_value(cumulative)}"
                     )
+                    trace_id = exemplar_by_bound.get(
+                        bound if isinstance(bound, str) else float(bound)
+                    )
+                    if trace_id:
+                        line += f' # {{trace_id="{_escape_label(trace_id)}"}} 1'
+                    lines.append(line)
                 suffix = _labels_text(labels)
                 lines.append(f"{name}_sum{suffix} {_format_value(summary.get('sum', 0.0))}")
                 lines.append(f"{name}_count{suffix} {_format_value(summary.get('count', 0))}")

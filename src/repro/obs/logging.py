@@ -27,6 +27,7 @@ import json
 import logging
 import os
 import sys
+from collections import deque
 from typing import Iterator, Optional, TextIO
 
 from repro.obs import trace
@@ -41,6 +42,9 @@ __all__ = [
     "JsonLineFormatter",
     "CapturingHandler",
     "capture",
+    "RingHandler",
+    "attach_ring",
+    "detach_ring",
 ]
 
 ROOT_LOGGER_NAME = "gridbank"
@@ -180,6 +184,67 @@ def configure_from_env() -> Optional[logging.Handler]:
         return None
     level = getattr(logging, level_name.upper(), logging.INFO) if level_name else logging.INFO
     return configure(level=level, json_lines=format_name.lower() == "json")
+
+
+# -- flight-recorder support --------------------------------------------------
+
+
+class RingHandler(logging.Handler):
+    """Bounded in-memory ring of recent log records (flight recorder).
+
+    Records are reduced to JSON-ready dicts at emit time — a LogRecord
+    holds references (args, exc_info) that would pin memory for the life
+    of the ring. Appending to a ``deque(maxlen=N)`` is O(1) and
+    thread-safe, so ``emit`` adds microseconds to a log call.
+    """
+
+    def __init__(self, capacity: int = 512, level: int = logging.INFO) -> None:
+        super().__init__(level)
+        self._ring: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            entry = {
+                "epoch": record.created,
+                "level": record.levelname,
+                "logger": record.name,
+                "event": getattr(record, "obs_event", record.getMessage()),
+            }
+            for key, value in _record_fields(record).items():
+                if isinstance(value, (str, int, float, bool)) or value is None:
+                    entry[key] = value
+                elif isinstance(value, bytes):
+                    entry[key] = value.hex()
+                else:
+                    entry[key] = str(value)
+            self._ring.append(entry)
+        except Exception:  # noqa: BLE001 - the recorder never breaks logging
+            pass
+
+    def tail(self, limit: int = 0) -> list[dict]:
+        """Most recent entries, oldest first (all of them when limit<=0)."""
+        entries = list(self._ring)
+        return entries[-limit:] if limit > 0 else entries
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+def attach_ring(handler: RingHandler) -> int:
+    """Attach *handler* to the gridbank root; returns the previous root
+    level so :func:`detach_ring` can restore it. The root level is lowered
+    to the handler's own level so INFO-grade incident breadcrumbs reach
+    the ring even when no console handler was ever configured."""
+    previous_level = _root.level
+    _root.addHandler(handler)
+    if _root.level == logging.NOTSET or _root.level > handler.level:
+        _root.setLevel(handler.level)
+    return previous_level
+
+
+def detach_ring(handler: RingHandler, previous_level: int) -> None:
+    _root.removeHandler(handler)
+    _root.setLevel(previous_level)
 
 
 # -- test support ------------------------------------------------------------

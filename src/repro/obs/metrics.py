@@ -45,7 +45,36 @@ __all__ = [
     "snapshot",
     "reset",
     "render_snapshot",
+    "configure_exemplars",
+    "exemplars_enabled",
 ]
+
+
+# -- trace-ID exemplars -------------------------------------------------------
+# When enabled, each histogram remembers the trace id of the *last*
+# observation that landed in each bucket, so a suspicious p99 bucket links
+# directly to a `gridbank trace show`-able trace. Off by default: the
+# capture is a ContextVar read per observation, and snapshot shape stays
+# byte-identical for consumers that predate exemplars.
+
+_exemplars_enabled = False
+_current_trace_id: Optional[Callable[[], str]] = None
+
+
+def configure_exemplars(enabled: bool) -> None:
+    """Turn trace-ID exemplar capture on/off process-wide."""
+    global _exemplars_enabled, _current_trace_id
+    if enabled and _current_trace_id is None:
+        # bound lazily: metrics is the bottom of the obs stack and must
+        # stay importable without dragging trace in for non-exemplar users
+        from repro.obs.trace import current_trace_id
+
+        _current_trace_id = current_trace_id
+    _exemplars_enabled = enabled
+
+
+def exemplars_enabled() -> bool:
+    return _exemplars_enabled
 
 
 def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
@@ -148,7 +177,8 @@ class Histogram:
     exact at bucket boundaries and bounded by bucket width elsewhere.
     """
 
-    __slots__ = ("name", "buckets", "_lock", "_counts", "_count", "_sum", "_min", "_max")
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_count", "_sum", "_min",
+                 "_max", "_exemplars")
 
     def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
         bounds = tuple(buckets) if buckets is not None else _default_buckets
@@ -162,9 +192,13 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._exemplars: dict[int, str] = {}  # bucket index -> last trace id
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.buckets, value)
+        trace_id = ""
+        if _exemplars_enabled and _current_trace_id is not None:
+            trace_id = _current_trace_id()
         with self._lock:
             self._counts[index] += 1
             self._count += 1
@@ -173,6 +207,8 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if trace_id:
+                self._exemplars[index] = trace_id
 
     @property
     def count(self) -> int:
@@ -224,13 +260,21 @@ class Histogram:
         pairs.append(["+Inf", self._count])
         return pairs
 
+    def _exemplars_locked(self) -> list:
+        """``[upper_bound, trace_id]`` pairs for buckets holding an
+        exemplar, aligned with :meth:`_cumulative_buckets_locked` bounds."""
+        return [
+            [self.buckets[i] if i < len(self.buckets) else "+Inf", trace_id]
+            for i, trace_id in sorted(self._exemplars.items())
+        ]
+
     def summary(self) -> dict:
         with self._lock:
             if self._count == 0:
                 return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
                         "p50": 0.0, "p95": 0.0, "p99": 0.0,
                         "buckets": self._cumulative_buckets_locked()}
-            return {
+            out = {
                 "count": self._count,
                 "sum": self._sum,
                 "mean": self._sum / self._count,
@@ -241,6 +285,11 @@ class Histogram:
                 "p99": self._percentile_locked(0.99),
                 "buckets": self._cumulative_buckets_locked(),
             }
+            # only histograms that actually captured exemplars grow the
+            # extra key, so pre-exemplar snapshot consumers see no change
+            if self._exemplars:
+                out["exemplars"] = self._exemplars_locked()
+            return out
 
 
 class _Timer:
@@ -297,6 +346,10 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # bumped by reset(): hot paths that cache instrument references
+        # (the diagnosis plane's wait hooks) revalidate against this
+        # instead of paying the label-key lookup per event
+        self.generation = 0
 
     # Lookups use double-checked locking: the lock-free first read is safe
     # because dict reads are atomic under the GIL and instruments are only
@@ -360,6 +413,7 @@ class MetricsRegistry:
             self._counters = {}
             self._gauges = {}
             self._histograms = {}
+            self.generation += 1
 
 
 def render_snapshot(data: dict) -> str:

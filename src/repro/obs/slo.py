@@ -186,6 +186,10 @@ class SLOEngine:
         self.clock = clock if clock is not None else SystemClock()
         self._lock = threading.Lock()
         self._trackers: dict[str, _Tracker] = {}
+        # transitions observed while holding _lock, delivered to the
+        # diagnosis plane only after release — a flight-recorder dump on a
+        # page must never run (or deadlock) under the engine lock
+        self._pending_transitions: list[dict] = []
         for objective in objectives:
             self.add_objective(objective)
 
@@ -222,7 +226,9 @@ class SLOEngine:
             good = ok and latency <= tracker.objective.latency_threshold
             tracker.fast.add(now, good)
             tracker.slow.add(now, good)
-            return self._evaluate_locked(tracker, now)
+            state = self._evaluate_locked(tracker, now)
+        self._flush_transitions()
+        return state
 
     def _evaluate_locked(self, tracker: _Tracker, now: float) -> str:
         objective = tracker.objective
@@ -258,7 +264,31 @@ class SLOEngine:
                 burn_fast=fast_burn,
                 burn_slow=slow_burn,
             )
+            self._pending_transitions.append(
+                {
+                    "op": objective.op,
+                    "previous": previous,
+                    "state": state,
+                    "burn_fast": round(fast_burn, 3),
+                    "burn_slow": round(slow_burn, 3),
+                }
+            )
         return tracker.state
+
+    def _flush_transitions(self) -> None:
+        """Deliver queued transitions to the diagnosis plane (lock NOT
+        held): entering page snapshots the flight recorder."""
+        if not self._pending_transitions:
+            return
+        with self._lock:
+            pending, self._pending_transitions = self._pending_transitions, []
+        for transition in pending:
+            try:
+                from repro.obs import diag as obs_diag
+
+                obs_diag.notify_slo_transition(**transition)
+            except Exception:  # noqa: BLE001 - diagnostics never break SLO
+                pass
 
     # -- evaluation / export ----------------------------------------------
 
@@ -272,10 +302,12 @@ class SLOEngine:
         with self._lock:
             if now is None:
                 now = self.clock.epoch()
-            return {
+            states = {
                 op: self._evaluate_locked(tracker, now)
                 for op, tracker in self._trackers.items()
             }
+        self._flush_transitions()
+        return states
 
     def states(self) -> dict[str, str]:
         """Current alert state per objective op (freshly evaluated)."""

@@ -52,6 +52,7 @@ __all__ = [
     "add_sink",
     "remove_sink",
     "sink_installed",
+    "thread_spans",
     "to_wire",
     "from_wire",
 ]
@@ -78,6 +79,26 @@ class SpanContext:
 _current: contextvars.ContextVar[Optional[SpanContext]] = contextvars.ContextVar(
     "gridbank_active_span", default=None
 )
+
+# Thread-ident -> (span name, trace id) of the innermost *recorded* span
+# running on that thread. Context variables cannot be read from another
+# thread, but the sampling profiler (:mod:`repro.obs.diag`) must join
+# ``sys._current_frames()`` — keyed by thread ident — against the active
+# span to attribute CPU samples per operation. Individual dict get/set/del
+# on a plain dict are atomic under the GIL, so the (single) profiler
+# thread can read this without taking a lock; torn views across *multiple*
+# entries are acceptable for sampling.
+_active_by_thread: dict[int, tuple[str, str]] = {}
+
+
+def thread_spans() -> dict[int, tuple[str, str]]:
+    """Live mapping of thread ident -> (span name, trace id).
+
+    The returned dict is the live registry — callers must treat it as
+    read-only and tolerate concurrent mutation (iterate via ``.get`` with
+    idents from ``sys._current_frames()``, not ``.items()``).
+    """
+    return _active_by_thread
 
 
 def new_trace_id(rng: Optional[random.Random] = None) -> str:
@@ -300,6 +321,9 @@ def span(
     exception's type name and re-raises; flushing happens either way.
     """
     ctx = context if context is not None else child_span(rng)
+    ident = threading.get_ident()
+    outer = _active_by_thread.get(ident)
+    _active_by_thread[ident] = (name, ctx.trace_id)
     if not _sinks:
         # fast path: nobody is listening, so skip recorder bookkeeping
         # entirely — context propagation (logging, WAL trace columns)
@@ -312,6 +336,10 @@ def span(
         finally:
             _recorder.reset(recorder_token)
             _current.reset(span_token)
+            if outer is None:
+                _active_by_thread.pop(ident, None)
+            else:
+                _active_by_thread[ident] = outer
         return
     recorder = SpanRecorder(ctx, name, kind, dict(attrs))
     span_token = _current.set(ctx)
@@ -324,6 +352,10 @@ def span(
     finally:
         _recorder.reset(recorder_token)
         _current.reset(span_token)
+        if outer is None:
+            _active_by_thread.pop(ident, None)
+        else:
+            _active_by_thread[ident] = outer
         _emit(recorder.finish())
 
 

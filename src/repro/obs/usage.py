@@ -60,8 +60,9 @@ _W_PRINCIPAL = 128
 _OVERFLOW_PRINCIPAL = "(other)"
 
 #: Cluster-plumbing ops excluded from SLOs, usage metering and the hot-op
-#: view: replication polls and telemetry scrapes are continuous background
-#: traffic between nodes, not principal workload.
+#: view: replication polls, telemetry scrapes and diagnosis-plane
+#: collection are continuous background traffic between nodes (or
+#: operators), not principal workload.
 UNTRACKED_OPS = frozenset(
     {
         "replication_status",
@@ -70,6 +71,8 @@ UNTRACKED_OPS = frozenset(
         "cluster_promote",
         "cluster_demote",
         "telemetry_snapshot",
+        "diag_profile",
+        "diag_flight_record",
     }
 )
 

@@ -30,3 +30,20 @@ def keypair_c() -> RSAKeyPair:
 @pytest.fixture(scope="session")
 def ca_keypair() -> RSAKeyPair:
     return generate_keypair(bits=512, rng=random.Random(2001))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On test failure, fire the diagnosis plane's ``test_failure``
+    trigger: any flight recorder still running (cluster/chaos fixtures)
+    dumps its rings to its post-mortem directory, which CI then sweeps
+    into a debug-bundle artifact (``tools/collect_debug_bundle.py``)."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        try:
+            from repro.obs import diag as obs_diag
+
+            obs_diag.notify_trigger("test_failure", test=item.nodeid)
+        except Exception:  # noqa: BLE001 - diagnostics never fail a report
+            pass

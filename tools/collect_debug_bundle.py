@@ -1,0 +1,126 @@
+"""Sweep diagnosis-plane artifacts into a CI debug bundle.
+
+When a CI test job fails, the interesting state is scattered: flight
+recorders attached to cluster/chaos fixtures have dumped their rings
+into ``postmortem-*`` directories (the ``test_failure`` trigger wired
+into ``tests/conftest.py``), benchmark scenarios have left metric
+sidecars, and earlier drills may have written dumps into pytest's
+retained tmp trees. This tool gathers all of it into one directory,
+writes a manifest, and tars the lot so the workflow can upload a single
+artifact.
+
+It deliberately exits 0 even when nothing is found — it runs inside an
+``if: failure()`` step, and an empty bundle must never mask the test
+failure that triggered it with a collection error.
+
+Live collection from running nodes is ``gridbank debug-bundle``'s job
+(:mod:`repro.cli`); this tool only scavenges what processes that have
+already exited left on disk.
+
+Usage::
+
+    python tools/collect_debug_bundle.py [--out debug-bundle] [--root DIR ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tarfile
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: repo-level files worth shipping alongside the dumps when present
+SIDECARS = (
+    "benchmarks/BENCH_METRICS.json",
+    "BENCH_TRAJECTORY.json",
+    "SLO_DRILL.json",
+)
+
+
+def _say(message: str) -> None:
+    sys.stdout.write(message + "\n")
+
+
+def default_roots() -> list[Path]:
+    """Where post-mortem dumps plausibly land: the working tree, plus
+    pytest's retained per-user tmp trees (kept across the last runs, so
+    dumps survive the failing process)."""
+    roots = [REPO_ROOT]
+    tmp = Path(tempfile.gettempdir())
+    roots.extend(sorted(tmp.glob("pytest-of-*")))
+    return roots
+
+
+def find_dumps(roots: list[Path]) -> list[Path]:
+    dumps: list[Path] = []
+    for root in roots:
+        if not root.is_dir():
+            continue
+        try:
+            dumps.extend(p for p in root.glob("**/postmortem-*") if p.is_dir())
+        except OSError:
+            continue
+    # newest first so a truncated upload still carries the freshest dump
+    return sorted(set(dumps), key=lambda p: p.stat().st_mtime, reverse=True)
+
+
+def collect(out_dir: Path, roots: list[Path], limit: int) -> dict:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dumps = find_dumps(roots)
+    manifest: dict = {"dumps": [], "sidecars": [], "skipped": max(0, len(dumps) - limit)}
+    for index, dump in enumerate(dumps[:limit]):
+        # keep dump dirs distinguishable even when two fixtures used the
+        # same trigger reason in the same second
+        dest = out_dir / f"{index:03d}-{dump.name}"
+        try:
+            shutil.copytree(dump, dest)
+        except OSError as exc:
+            manifest.setdefault("errors", []).append(f"{dump}: {exc}")
+            continue
+        manifest["dumps"].append({"source": str(dump), "copied_as": dest.name})
+    for relative in SIDECARS:
+        source = REPO_ROOT / relative
+        if source.is_file():
+            dest = out_dir / source.name
+            shutil.copy2(source, dest)
+            manifest["sidecars"].append(source.name)
+    (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="debug-bundle",
+                        help="bundle directory (a .tar.gz lands beside it)")
+    parser.add_argument("--root", action="append", default=[],
+                        help="extra directory to scan (repeatable)")
+    parser.add_argument("--limit", type=int, default=50,
+                        help="maximum dump directories to copy, newest first")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out)
+    roots = default_roots() + [Path(r) for r in args.root]
+    manifest = collect(out_dir, roots, args.limit)
+
+    tar_path = out_dir.parent / (out_dir.name + ".tar.gz")
+    with tarfile.open(tar_path, "w:gz") as tar:
+        tar.add(out_dir, arcname=out_dir.name)
+
+    _say(f"collected {len(manifest['dumps'])} post-mortem dump(s), "
+         f"{len(manifest['sidecars'])} sidecar(s)"
+         + (f", skipped {manifest['skipped']} older dump(s)" if manifest["skipped"] else ""))
+    for entry in manifest["dumps"]:
+        _say(f"  {entry['copied_as']}  <-  {entry['source']}")
+    for error in manifest.get("errors", []):
+        _say(f"  error: {error}")
+    _say(f"bundle: {tar_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
