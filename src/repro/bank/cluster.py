@@ -62,6 +62,7 @@ from repro.errors import (
     ReproError,
     TransportError,
 )
+from repro.net import frontend_snapshot
 from repro.net.rpc import RPCClient
 from repro.net.retry import RetryPolicy
 from repro.obs import metrics as obs_metrics
@@ -500,9 +501,11 @@ class ClusterNode:
         self._require_peer(subject)
         top = int(params.get("top", 5))
         snap = self.status()
+        metrics_snap = obs_metrics.snapshot()
         snap["slo"] = self.bank.slo.snapshot()
         snap["usage"] = self.bank.usage.snapshot(top)
-        snap["hot_ops"] = hot_operations(obs_metrics.snapshot(), limit=top)
+        snap["hot_ops"] = hot_operations(metrics_snap, limit=top)
+        snap["net"] = frontend_snapshot(metrics_snap)
         return snap
 
     def _diag_plane(self):

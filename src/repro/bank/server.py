@@ -182,6 +182,19 @@ class GridBankServer:
     def connection_handler(self):
         return self.endpoint.connection_handler()
 
+    def overloaded(self) -> bool:
+        """Admission-control signal for the serving front end.
+
+        True while any SLO objective is paging — the bank is failing its
+        promises for traffic it already accepted, so the front end should
+        shed *new* requests (typed ``Overloaded``, retryable) rather than
+        queue more work behind the backlog. Wire it up with
+        ``AsyncTCPServer(..., overload_signal=bank.overloaded)``; the
+        front end caches the answer briefly so the burn-rate evaluation
+        stays off the per-request path.
+        """
+        return self.slo.overload()
+
     def _record_wire_usage(self, subject: str, bytes_in: int, bytes_out: int) -> None:
         """The endpoint's per-dispatch wire-volume hook (sealed sizes)."""
         self.usage.record_bytes(subject, bytes_in, bytes_out)

@@ -502,6 +502,8 @@ def _tcp_connect(address: str):
 
 def cmd_serve(args) -> int:
     from repro.bank.cluster import ClusterNode
+    from repro.net import frontend_snapshot as _frontend_snapshot
+    from repro.net.aio import AsyncTCPServer
     from repro.net.tcp import TCPServer
 
     home = Path(args.home)
@@ -609,6 +611,7 @@ def cmd_serve(args) -> int:
             "alert": alert,
             "slo": bank.slo.states(),
             "integrity": integrity_state,
+            "net": _frontend_snapshot(),
         }
 
     exporters = []
@@ -622,8 +625,33 @@ def cmd_serve(args) -> int:
             FileExporter(args.metrics_textfile, interval=args.metrics_interval).start()
         )
     node = None
+    # both backends serve the same framed/sealed protocol behind the same
+    # handler factory; --backend picks the concurrency model, the extra
+    # knobs configure the async front end's admission/backpressure plane
+    if args.backend == "async":
+        server_cm = AsyncTCPServer(
+            bank.connection_handler,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_connections=args.max_connections,
+            dispatch_queue=args.dispatch_queue,
+            rate_limit=args.rate_limit,
+            handshake_timeout=args.handshake_timeout,
+            idle_timeout=args.idle_timeout,
+            overload_signal=bank.overloaded,
+        )
+    else:
+        server_cm = TCPServer(
+            bank.connection_handler,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_connections=args.max_connections,
+            idle_timeout=args.idle_timeout,
+        )
     try:
-        with TCPServer(bank.connection_handler, host=args.host, port=args.port) as server:
+        with server_cm as server:
             host, port = server.address
             advertise = args.advertise or f"{host}:{port}"
             # every served bank is a cluster node: the replication
@@ -642,7 +670,8 @@ def cmd_serve(args) -> int:
             )
             state["node"] = node
             print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
-                  f"({bank.subject}) listening on {host}:{port}")
+                  f"({bank.subject}) listening on {host}:{port} "
+                  f"[{args.backend} backend]")
             if args.standby_of:
                 node.follow(args.standby_of, resync=True)
                 promote_note = (
@@ -909,6 +938,22 @@ def render_top(snapshots: list[dict], top: int = 5) -> str:
             lines.append(
                 f"  {op:<24} fast {agg['burn_fast']:>8.2f}  "
                 f"slow {agg['burn_slow']:>8.2f}  [{agg['state']}]"
+            )
+
+    # front end: connection/queue pressure per node — the first thing to
+    # look at when clients report Overloaded/RateLimited retries
+    fronted = [snap for snap in reachable if snap.get("net")]
+    if fronted:
+        lines.append("")
+        lines.append("front end:")
+        for snap in fronted:
+            net = snap["net"]
+            lines.append(
+                f"  {snap['node']:<22} {int(net.get('connections_open', 0)):>6} conns  "
+                f"queue {int(net.get('dispatch_queue_depth', 0)):>4}  "
+                f"shed {int(net.get('overload_rejections', 0)):>6}  "
+                f"ratelim {int(net.get('rate_limited', 0)):>6}  "
+                f"reaped {int(net.get('idle_reaped', 0)):>5}"
             )
 
     ops: dict[str, dict] = {}
@@ -1202,6 +1247,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-diag", action="store_true",
                    help="disable the diagnosis plane entirely (profiler, "
                         "flight recorder, exemplars)")
+    p.add_argument("--backend", choices=["threads", "async"], default="threads",
+                   help="front-end concurrency model: thread-per-connection "
+                        "or one event loop for all sockets (default: threads)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="dispatch worker-pool size shared by both backends")
+    p.add_argument("--max-connections", type=int, default=None,
+                   help="admission control: accepts past this cap are shed "
+                        "at the door (default: unbounded)")
+    p.add_argument("--dispatch-queue", type=int, default=256,
+                   help="async backend: bound on unwrapped-but-undispatched "
+                        "requests; when full requests are answered with a "
+                        "retryable Overloaded error")
+    p.add_argument("--rate-limit", type=float, default=None, metavar="REQ_PER_SEC",
+                   help="async backend: per-principal token-bucket rate "
+                        "limit (default: unlimited)")
+    p.add_argument("--handshake-timeout", type=float, default=5.0,
+                   help="async backend: budget for unauthenticated reads and "
+                        "for finishing any started frame (slow-loris reaping)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="seconds of silence between frames before an "
+                        "established connection is reaped (default: never)")
 
     p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
     p.add_argument("action", nargs="?", choices=["export"],

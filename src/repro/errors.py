@@ -42,6 +42,8 @@ __all__ = [
     "RPCError",
     "DeadlineExceeded",
     "CircuitOpenError",
+    "Overloaded",
+    "RateLimited",
     "GridError",
     "SchedulingError",
     "MeteringError",
@@ -282,6 +284,31 @@ class CircuitOpenError(ReproError):
     Deliberately NOT a :class:`TransportError`: the retry classifier must
     treat a fast-failed call as terminal, otherwise retries would burn
     their budget against an endpoint already known to be down.
+    """
+
+
+class Overloaded(ReproError):
+    """The server shed this request *before dispatch* to protect itself.
+
+    Raised when the front end's bounded dispatch queue is full (or the
+    accept path is at its connection cap). Shedding happens strictly
+    before any bank effect, so a re-send with the same idempotency key is
+    always safe — the retry classifier treats this as retryable with
+    backoff. Deliberately NOT a :class:`TransportError`: the server is
+    alive and answering (it sealed and sent this very error), so the
+    circuit breaker must count it as a success, not an infrastructure
+    failure — opening the breaker on a busy-but-healthy bank would turn
+    a load spike into an outage.
+    """
+
+
+class RateLimited(Overloaded):
+    """A per-principal token bucket rejected the request.
+
+    Subclass of :class:`Overloaded` so existing shed-handling (retry
+    classification, breaker semantics) applies, while clients that want
+    to distinguish "the server is busy" from "I specifically am over my
+    allowance" still can.
     """
 
 

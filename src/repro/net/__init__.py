@@ -24,8 +24,40 @@ from repro.net.message import (
 )
 from repro.net.transport import InProcessNetwork, TransportStats, FaultPlan
 from repro.net.rpc import ServiceEndpoint, RPCClient, ConnectionRefused
+from repro.obs import metrics as _obs_metrics
+
+#: registry instrument name -> field name in :func:`frontend_snapshot`
+_FRONTEND_FIELDS = {
+    "net.accepts": "accepts",
+    "net.connections_open": "connections_open",
+    "net.dispatch_queue_depth": "dispatch_queue_depth",
+    "net.overload_rejections": "overload_rejections",
+    "net.rate_limited": "rate_limited",
+    "net.idle_reaped": "idle_reaped",
+}
+
+
+def frontend_snapshot(snapshot: dict | None = None) -> dict:
+    """Front-end health rollup from the ``net.*`` instruments.
+
+    Sums each instrument across its label sets (both server backends
+    publish under the same names with a ``backend`` label), yielding the
+    compact dict `/healthz` and ``gridbank top`` show: open connections,
+    dispatch-queue depth, accept/shed/rate-limit/reap totals. Pass a
+    pre-taken registry *snapshot* to avoid re-snapshotting.
+    """
+    data = snapshot if snapshot is not None else _obs_metrics.snapshot()
+    out = {field: 0.0 for field in _FRONTEND_FIELDS.values()}
+    for series in (data.get("counters", {}), data.get("gauges", {})):
+        for key, value in series.items():
+            field = _FRONTEND_FIELDS.get(key.split("{", 1)[0])
+            if field is not None:
+                out[field] += value
+    return out
+
 
 __all__ = [
+    "frontend_snapshot",
     "frame",
     "unframe_stream",
     "make_request",

@@ -35,6 +35,7 @@ from repro.errors import (
     ChannelError,
     CircuitOpenError,
     DeadlineExceeded,
+    Overloaded,
     ReproError,
     TransportError,
 )
@@ -79,13 +80,16 @@ def is_retryable(exc: BaseException) -> bool:
     Retryable: the message may never have arrived, or the connection died
     underneath the call — transport failures, timeouts, and secure-channel
     breakage (a resend needs a fresh handshake, which the client does
-    automatically). Terminal: everything proving the server *answered*
+    automatically) — plus :class:`Overloaded` / :class:`RateLimited`,
+    where the server answered but explicitly shed the request *before*
+    dispatch, so a backed-off re-send is both safe and the intended
+    recovery. Terminal: everything else proving the server *answered*
     (library errors re-raised by class, :class:`DeadlineExceeded`) and
     fast-fail rejections (:class:`CircuitOpenError`).
     """
     if isinstance(exc, (DeadlineExceeded, CircuitOpenError)):
         return False
-    return isinstance(exc, (TransportError, ChannelError))
+    return isinstance(exc, (TransportError, ChannelError, Overloaded))
 
 
 @dataclass
@@ -119,6 +123,12 @@ class RetryPolicy:
         """Full-jitter delay before re-send number *attempt* (1-based)."""
         cap = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
         return self.rng.uniform(0.0, cap)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Policy-level classification hook (module default; override in
+        subclasses to widen or narrow — e.g. a read-only client may also
+        retry :class:`~repro.errors.ReplicaStaleError`)."""
+        return is_retryable(exc)
 
 
 # -- circuit breaker ---------------------------------------------------------

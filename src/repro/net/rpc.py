@@ -241,6 +241,21 @@ class _ServerConnection:
         self._rng = random.Random(endpoint._rng.getrandbits(64))
         self._open = False
         self._closed = False
+        #: Which server backend drives this connection ("threads"/"async");
+        #: transports stamp it at accept time and it lands on every
+        #: dispatch span so per-backend latency can be compared in traces.
+        self.transport_backend = ""
+
+    @property
+    def peer_subject(self) -> Optional[str]:
+        """Authenticated peer identity once established, else ``None``.
+
+        The front end keys per-principal rate limiting on this — before
+        the handshake completes there is no principal to charge, which is
+        exactly why pre-establishment traffic gets the (stricter)
+        handshake timeout instead.
+        """
+        return self._context.peer_subject if self._open else None
 
     def handle(self, payload: bytes) -> Optional[bytes]:
         kind, value = self.prepare(payload)
@@ -394,7 +409,7 @@ class _ServerConnection:
         # recorder is marked failed explicitly before they are swallowed
         with obs_trace.span(
             "rpc.server.dispatch", kind="server", context=span,
-            method=method, subject=subject,
+            method=method, subject=subject, backend=self.transport_backend,
         ) as recorder, request_scope(context):
             if operation is None:
                 obs_metrics.counter("rpc.server.unknown_method").inc()
@@ -707,7 +722,12 @@ class RPCClient:
                         "rpc.call.reroute", method=method, attempt=attempt, primary=address or ""
                     )
                 except ReproError as exc:
-                    if not is_retryable(exc):
+                    # classification goes through the policy when one is
+                    # set so callers can widen/narrow it per client
+                    retryable = (
+                        self._retry.is_retryable(exc) if self._retry is not None else is_retryable(exc)
+                    )
+                    if not retryable:
                         raise
                     retry_after = self._plan_retry(attempt, slept, deadline, exc)
                     if retry_after is None:

@@ -29,8 +29,11 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
+from typing import Optional
+
 from repro.errors import ProtocolError, TransportError, TransportTimeout
 from repro.net.message import frame, unframe_stream
+from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 
 __all__ = ["TCPServer", "TCPClientConnection"]
@@ -46,7 +49,14 @@ class TCPServer:
     *workers* sizes the shared dispatch pool used for pipelined handlers
     (0 disables pipelined dispatch entirely); *max_inflight* bounds the
     number of unanswered requests a single connection may queue.
+    *max_connections* caps live connection threads — accepts past the cap
+    are closed at the door (``net.overload_rejections{reason=connections}``)
+    rather than spawning yet another stack. *idle_timeout* arms a socket
+    timeout on every connection so a stalled peer (slow loris or dead
+    client) releases its thread instead of parking in ``recv`` forever.
     """
+
+    backend = "threads"
 
     def __init__(
         self,
@@ -55,11 +65,21 @@ class TCPServer:
         port: int = 0,
         workers: int = 4,
         max_inflight: int = 32,
+        max_connections: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self._factory = handler_factory
         self._max_inflight = max_inflight
+        self._max_connections = max_connections
+        self._idle_timeout = idle_timeout
+        self._accepts = obs_metrics.counter("net.accepts", backend=self.backend)
+        self._conn_gauge = obs_metrics.gauge("net.connections_open", backend=self.backend)
+        self._shed_connections = obs_metrics.counter(
+            "net.overload_rejections", backend=self.backend, reason="connections"
+        )
+        self._reaped = obs_metrics.counter("net.idle_reaped", backend=self.backend)
         self._pool = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="gridbank-tcp-dispatch")
             if workers > 0
@@ -68,7 +88,10 @@ class TCPServer:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
-        self._sock.listen(32)
+        # deep backlog: a C10k connect ramp arrives faster than the accept
+        # loop can spawn threads, and backlog overflow turns into seconds
+        # of kernel SYN retransmits on loopback
+        self._sock.listen(512)
         self.address: tuple[str, int] = self._sock.getsockname()
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -87,6 +110,19 @@ class TCPServer:
             if self._stop.is_set():
                 conn.close()
                 return
+            self._accepts.inc()
+            if self._max_connections is not None:
+                with self._lock:
+                    at_capacity = len(self._workers) >= self._max_connections
+                if at_capacity:
+                    # admission control: close at the door instead of
+                    # spawning a thread we cannot afford; the client sees
+                    # a reset, which the retry classifier calls retryable
+                    self._shed_connections.inc()
+                    conn.close()
+                    continue
+            if self._idle_timeout is not None:
+                conn.settimeout(self._idle_timeout)
             worker = threading.Thread(target=self._serve, args=(conn,), daemon=True)
             with self._lock:
                 self._workers[worker] = conn
@@ -94,9 +130,14 @@ class TCPServer:
 
     def _serve(self, conn: socket.socket) -> None:
         handler = self._factory()
+        try:
+            handler.transport_backend = self.backend
+        except AttributeError:
+            pass
         send_lock = threading.Lock()
         inflight = threading.BoundedSemaphore(self._max_inflight)
         prepare = getattr(handler, "prepare", None) if self._pool is not None else None
+        self._conn_gauge.add(1)
         try:
             for payload in unframe_stream(conn.recv):
                 if prepare is None:
@@ -119,6 +160,10 @@ class TCPServer:
                 except RuntimeError:  # pool shut down mid-serve
                     inflight.release()
                     break
+        except TimeoutError:
+            # idle_timeout fired: a slow loris (or dead peer) gets reaped
+            # so the thread it was holding goes back to the accept budget
+            self._reaped.inc()
         except (ProtocolError, OSError):
             pass
         finally:
@@ -133,6 +178,7 @@ class TCPServer:
             except OSError:
                 pass
             conn.close()
+            self._conn_gauge.add(-1)
             with self._lock:
                 self._workers.pop(threading.current_thread(), None)
 
@@ -151,8 +197,10 @@ class TCPServer:
             inflight.release()
 
     def close(self) -> None:
-        """Deterministic shutdown: stop accepting, kill live connections,
-        join every worker, and log any thread that refuses to die."""
+        """Deterministic shutdown, same contract as the async backend:
+        reject new accepts, stop intake, drain in-flight dispatches (their
+        responses still get written), then join every worker — escalating
+        to a force-close, and finally a loud log, for any that wedge."""
         self._stop.set()
         # shutdown() before close(): close() alone does not unblock a
         # thread already parked in accept() on Linux, shutdown() does
@@ -169,18 +217,30 @@ class TCPServer:
             _log.error("tcp.shutdown.accept_thread_leaked", address=str(self.address))
         with self._lock:
             live = list(self._workers.items())
-        # force-close sockets first: this unblocks workers parked in recv()
+        # half-close the read side only: recv() unblocks with EOF, the
+        # serve loop exits at a frame boundary and its teardown drains
+        # in-flight dispatches with the write side still usable — every
+        # request the server accepted gets its response on the wire
         for _worker, conn in live:
             try:
-                conn.shutdown(socket.SHUT_RDWR)
+                conn.shutdown(socket.SHUT_RD)
             except OSError:
                 pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-        for worker, _conn in live:
+        for worker, conn in live:
             worker.join(timeout=5)
+            if worker.is_alive():
+                # drain wedged (peer stopped reading, dispatch stuck):
+                # escalate to a full close, which errors the pending
+                # writes and unwedges the worker
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                worker.join(timeout=5)
             if worker.is_alive():
                 _log.error(
                     "tcp.shutdown.worker_leaked",

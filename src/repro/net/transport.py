@@ -24,7 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
-from repro.errors import TransportError
+from repro.errors import Overloaded, TransportError
 from repro.util.gbtime import Clock
 
 __all__ = [
@@ -50,6 +50,7 @@ class TransportStats:
     resets: int = 0
     latency_injections: int = 0
     connections: int = 0
+    overloads: int = 0
 
     def record_send(self, nbytes: int) -> None:
         self.messages_sent += 1
@@ -70,6 +71,7 @@ class TransportStats:
             "resets": self.resets,
             "latency_injections": self.latency_injections,
             "connections": self.connections,
+            "overloads": self.overloads,
         }
 
 
@@ -122,6 +124,7 @@ class FaultPlan:
     drop_response_probability: float = 0.0
     duplicate_request_probability: float = 0.0
     reset_probability: float = 0.0
+    overload_probability: float = 0.0
     latency_probability: float = 0.0
     latency_range: tuple[float, float] = (0.05, 0.5)
     clock: Optional[Clock] = None
@@ -162,6 +165,14 @@ class FaultPlan:
 
     def reset(self) -> bool:
         return self.reset_probability > 0 and self.rng.random() < self.reset_probability
+
+    def overload(self) -> bool:
+        """Should this delivery be shed as the real front end would shed it
+        (dispatch queue full → typed :class:`~repro.errors.Overloaded`
+        before any server effect)? Schedulable by name like every other
+        probability field, which is how the chaos harness stages overload
+        storms at programmed virtual-clock instants."""
+        return self.overload_probability > 0 and self.rng.random() < self.overload_probability
 
 
 class ConnectionHandler(Protocol):
@@ -225,6 +236,14 @@ class ClientConnection:
         if faults is not None and faults.drop_request():
             stats.drops += 1
             raise TransportError("request dropped by network")
+        if faults is not None and faults.overload():
+            # the front end shed the frame before the handler saw it —
+            # exactly where the real dispatch-queue shed happens, so the
+            # channel state matches a dropped request (the client re-wraps
+            # on retry; the strictly-increasing sequence check tolerates
+            # the gap) and no server effect can have occurred
+            stats.overloads += 1
+            raise Overloaded("request shed by overloaded front end (injected)")
         response = self._handler.handle(payload)
         if faults is not None and response is not None and faults.duplicate_request():
             # the network delivered the same frame twice: the secure
