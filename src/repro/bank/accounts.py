@@ -20,7 +20,7 @@ may pre-acquire an operation's full lock set around a wider transaction.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.bank.records import (
     ACCOUNT_STATUS_OPEN,
@@ -70,6 +70,10 @@ class GBAccounts:
         self.branch_number = branch_number
         self.locks = AccountLocks()
         self._counter_lock = threading.Lock()
+        # sharding hook: when set (see repro.bank.shard.ShardNode), newly
+        # minted AccountIDs must satisfy the predicate — a shard only
+        # creates accounts that hash into its own ranges
+        self.id_filter: Optional[Callable[[str], bool]] = None
         for schema_fn in (account_schema, transaction_schema, transfer_schema, admin_schema, instrument_schema):
             schema = schema_fn()
             if schema.name not in db.table_names():
@@ -119,8 +123,16 @@ class GBAccounts:
         if credit_limit < ZERO:
             raise ValidationError("credit limit must be >= 0")
         with self._counter_lock:
-            account_id = str(AccountID(self.bank_number, self.branch_number, self._next_account))
-            self._next_account += 1
+            while True:
+                if self._next_account > 99_999_999:
+                    raise AccountError("account number space exhausted")
+                account_id = str(
+                    AccountID(self.bank_number, self.branch_number, self._next_account)
+                )
+                self._next_account += 1
+                accept = self.id_filter
+                if accept is None or accept(account_id):
+                    break
         self.db.insert(
             "accounts",
             {

@@ -49,6 +49,11 @@ __all__ = [
     "admin_schema",
     "instrument_schema",
     "reply_schema",
+    "xfer_intent_schema",
+    "shard_meta_schema",
+    "INTENT_PREPARED",
+    "INTENT_COMMITTED",
+    "INTENT_ABORTED",
     "credits_to_db",
     "db_to_credits",
 ]
@@ -59,6 +64,10 @@ TXN_TRANSFER = "Transfer"
 
 ACCOUNT_STATUS_OPEN = "open"
 ACCOUNT_STATUS_CLOSED = "closed"
+
+INTENT_PREPARED = "prepared"
+INTENT_COMMITTED = "committed"
+INTENT_ABORTED = "aborted"
 
 _ACCOUNT_ID_RE = re.compile(r"^(\d{2})-(\d{4})-(\d{8})$")
 
@@ -193,6 +202,64 @@ def reply_schema() -> TableSchema:
         ],
         primary_key=["IdempotencyKey"],
         indexes=["Seq"],
+    )
+
+
+def xfer_intent_schema() -> TableSchema:
+    """Cross-shard transfer intents — the 2PC write-ahead decision log.
+
+    Prepare debits the drawer and inserts a ``prepared`` row in ONE local
+    transaction (one WAL line), so a coordinator crash can never lose
+    track of reserved funds: recovery re-reads ``prepared`` rows and
+    re-drives the remote credit (idempotent on the participant via its
+    reply cache keyed ``2pc:<IntentID>``) before marking the row
+    ``committed`` — or refunds it and marks ``aborted`` when the
+    participant reported a terminal refusal. ``IdempotencyKey`` is
+    indexed so a client retry of an in-flight transfer resumes the SAME
+    intent instead of preparing (and debiting) a second time. ``Detail``
+    carries the abort reason so a retry of an aborted transfer can
+    re-raise something meaningful.
+    """
+    return TableSchema(
+        "xfer_intents",
+        [
+            Column.make("IntentID", VarChar(48)),
+            Column.make("State", VarChar(10)),  # prepared | committed | aborted
+            Column.make("DrawerAccountID", VarChar(16)),
+            Column.make("RecipientAccountID", VarChar(16)),
+            Column.make("Amount", Float()),
+            Column.make("Currency", VarChar(10), default="GridDollar"),
+            Column.make("Subject", VarChar(150)),
+            Column.make("IdempotencyKey", VarChar(64), default=""),
+            Column.make("Date", Timestamp14()),
+            Column.make("TransactionID", BigIntUnsigned(), default=0),
+            Column.make("Detail", VarChar(150), default=""),
+            Column.make("TraceID", VarChar(32), default=""),
+        ],
+        primary_key=["IntentID"],
+        indexes=["State", "IdempotencyKey"],
+    )
+
+
+def shard_meta_schema() -> TableSchema:
+    """Shard identity + installed shard map, as durable replicated state.
+
+    A single ``map`` row holds the canonical JSON of the installed
+    :class:`~repro.bank.shard.ShardMap` (its ``Version`` duplicated in a
+    column for cheap staleness checks) and a ``shard`` row names which
+    shard this node serves. Living in the database means the map rides
+    the WAL to standbys and survives crash recovery, so a promoted
+    standby fences misrouted traffic with exactly the map version its
+    ex-primary had installed.
+    """
+    return TableSchema(
+        "shard_meta",
+        [
+            Column.make("Key", VarChar(16)),
+            Column.make("Version", BigIntUnsigned(), default=0),
+            Column.make("Body", Blob(), default=b""),
+        ],
+        primary_key=["Key"],
     )
 
 

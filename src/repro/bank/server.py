@@ -27,6 +27,7 @@ from typing import Callable, Optional
 from repro.bank.accounts import GBAccounts
 from repro.bank.admin import GBAdmin
 from repro.bank.pricing import PriceEstimator, ResourceDescription
+from repro.bank.records import shard_meta_schema, xfer_intent_schema
 from repro.bank.replies import ReplyCache
 from repro.bank.security import bank_authorization_policy
 from repro.db.database import Database
@@ -83,6 +84,16 @@ class GridBankServer:
         )
         self.admin = GBAdmin(self.accounts)
         self.replies = ReplyCache(self.db, self.clock)
+        # sharding tables (cross-shard 2PC intents + the installed shard
+        # map) exist on every bank, sharded or not — like the span store,
+        # they must be created before recover() replays the journal
+        for schema_fn in (xfer_intent_schema, shard_meta_schema):
+            schema = schema_fn()
+            if schema.name not in self.db.table_names():
+                self.db.create_table(schema)
+        # attached by repro.bank.shard.ShardNode when this bank serves one
+        # shard of a sharded deployment; None means "owns the whole ring"
+        self.shard = None
         # the durable span store shares the ledger's WAL'd database; the
         # table must exist before recover() replays the journal. NOT
         # auto-registered as a trace sink — callers that want durable
@@ -177,6 +188,8 @@ class GridBankServer:
         self.replies.rescan()
         self.spans.rescan()
         self.usage.rescan()
+        if self.shard is not None:
+            self.shard.rescan()
         obs_metrics.gauge("bank.reply_cache.size").set(len(self.replies))
 
     def connection_handler(self):
@@ -334,6 +347,13 @@ class GridBankServer:
         def dispatch(subject: str, params: dict):
             context = current_request()
             key = context.idempotency_key if context is not None else ""
+            shard = self.shard
+            if shard is not None and shard.wants(method, params):
+                # cross-shard 2PC: the prepare must be durable BEFORE the
+                # remote credit, so the coordinator manages its own
+                # transactions instead of this wrapper's single envelope
+                # (nested transaction blocks are savepoints, not commits)
+                return shard.execute_detached(method, subject, params, key)
             touched = accounts_of(params) if accounts_of is not None else ()
             if not key:
                 with self.locks.exclusive(*touched):
@@ -415,6 +435,39 @@ class GridBankServer:
         def dispatch(subject: str, params: dict):
             with self.locks.shared(*accounts_of(params)):
                 return operation(subject, params)
+
+        dispatch.__name__ = operation.__name__
+        return dispatch
+
+    def _shard_guarded(
+        self,
+        method: str,
+        operation: Operation,
+        accounts_of: Optional[Callable[[dict], tuple]],
+    ) -> Operation:
+        """Bounce operations touching accounts this shard does not own.
+
+        Outermost in the dispatch chain — even before the primary check:
+        a misrouted client must learn the owning *shard* (via
+        :class:`~repro.errors.WrongShardError`'s hint) before it would be
+        told about the wrong shard's primary. ``RequestDirectTransfer``
+        guards the drawer only: the coordinator of a cross-shard transfer
+        IS the drawer's shard, and the recipient is reached through the
+        2PC apply path. Ops without an account extractor (CreateAccount,
+        BankInfo, ...) serve anywhere. No-op until a
+        :class:`~repro.bank.shard.ShardNode` attaches and installs a map.
+        """
+        if method == "RequestDirectTransfer":
+            accounts_of = self._param_accounts("from_account")
+        if accounts_of is None:
+            return operation
+        guard_accounts = accounts_of
+
+        def dispatch(subject: str, params: dict):
+            shard = self.shard
+            if shard is not None:
+                shard.guard(method, guard_accounts(params))
+            return operation(subject, params)
 
         dispatch.__name__ = operation.__name__
         return dispatch
@@ -529,6 +582,7 @@ class GridBankServer:
                 # how clients discover roles/addresses in the first place
                 if method != "BankInfo":
                     operation = self._staleness_guarded(operation)
+            operation = self._shard_guarded(method, operation, accounts_of)
             self.endpoint.register(method, self._instrumented(operation))
 
         account = self._param_accounts("account_id")

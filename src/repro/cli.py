@@ -563,6 +563,11 @@ def cmd_serve(args) -> int:
         # same treatment (the flight recorder still sees these spans)
         if name.startswith("bank.op.diag_") or method.startswith("Diag."):
             return
+        # shard plumbing (map fetches, rebalance verbs, resolver sweeps)
+        # is inter-node traffic at whatever cadence the topology needs;
+        # the cross-shard 2PC span itself (shard.2pc) still persists
+        if name.startswith("bank.op.shard_") or method.startswith("Shard."):
+            return
         bank.spans(record)
 
     # adaptive sampling sits in front of the durable store only — the
@@ -669,6 +674,25 @@ def cmd_serve(args) -> int:
                 diag=diag_plane,
             )
             state["node"] = node
+            # sharded deployments attach the shard plane: ownership
+            # guard, cross-shard 2PC coordinator/participant, rebalance
+            # verbs, and the background intent resolver
+            if args.shard_id:
+                from repro.bank.shard import ShardMap, ShardNode
+
+                boot_map = None
+                if args.shard_map:
+                    boot_map = ShardMap.from_json(Path(args.shard_map).read_bytes())
+                shard = ShardNode(
+                    node,
+                    args.shard_id,
+                    shard_map=boot_map,
+                    resolve_interval=args.resolve_interval,
+                )
+                installed = shard.installed_map()
+                print(f"serving shard {args.shard_id} "
+                      f"(map v{installed.version if installed else 0}, "
+                      f"resolver every {args.resolve_interval:g}s)")
             print(f"GridBank {bank.bank_number:02d}-{bank.branch_number:04d} "
                   f"({bank.subject}) listening on {host}:{port} "
                   f"[{args.backend} backend]")
@@ -688,6 +712,8 @@ def cmd_serve(args) -> int:
             except KeyboardInterrupt:
                 pass
     finally:
+        if bank.shard is not None:
+            bank.shard.close()
         if node is not None:
             node.close()
         if diag_plane is not None:
@@ -750,6 +776,19 @@ def cmd_cluster_status(args) -> int:
     client = _remote_client(args)
     try:
         status = client.call("Replication.Status")
+    finally:
+        client.close()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_shard_status(args) -> int:
+    """Show a node's shard id, installed map version, owned ranges and
+    in-flight cross-shard intents. Requires the bank credential or an
+    administrator (the same authorization as the replication stream)."""
+    client = _remote_client(args)
+    try:
+        status = client.call("Shard.Status")
     finally:
         client.close()
     print(json.dumps(status, indent=2, sort_keys=True))
@@ -1268,6 +1307,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--idle-timeout", type=float, default=None,
                    help="seconds of silence between frames before an "
                         "established connection is reaped (default: never)")
+    p.add_argument("--shard-id", default=None, metavar="SHARD",
+                   help="serve as this shard of a sharded deployment "
+                        "(registers the Shard.* plane; see --shard-map)")
+    p.add_argument("--shard-map", default=None, metavar="FILE",
+                   help="JSON shard map to install at boot when newer than "
+                        "the durably installed one (primary only)")
+    p.add_argument("--resolve-interval", type=float, default=5.0,
+                   help="seconds between background sweeps that re-drive "
+                        "prepared cross-shard transfer intents")
 
     p = add("metrics", cmd_metrics, help="dump recorded metrics (text, JSON, or Prometheus)")
     p.add_argument("action", nargs="?", choices=["export"],
@@ -1317,6 +1365,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_remote("cluster-status", cmd_cluster_status,
                help="show a node's replication position and role")
+
+    add_remote("shard-status", cmd_shard_status,
+               help="show a node's shard id, installed map version, owned "
+                    "ranges/accounts and prepared cross-shard intents")
 
     p = add_remote("profile", cmd_profile,
                    help="live CPU profile of a node: per-op attribution, "

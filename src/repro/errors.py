@@ -31,6 +31,7 @@ __all__ = [
     "InsufficientFundsError",
     "AccountClosedError",
     "NotPrimaryError",
+    "WrongShardError",
     "ReplicaStaleError",
     "PaymentError",
     "InstrumentError",
@@ -206,6 +207,68 @@ class NotPrimaryError(BankError):
             return None
         address = message[start:end].strip()
         return address or None
+
+
+class WrongShardError(BankError):
+    """An operation reached a shard that does not own the account.
+
+    Like :class:`NotPrimaryError`, the routing hint must survive the RPC
+    layer's by-class, message-only reconstruction, so the owning shard's
+    identity, the rejecting node's shard-map version, and the owner's
+    addresses are embedded in the message inside a
+    ``[shard=<id>@<version> addrs=<a,b>]`` marker. A shard-aware router
+    uses :attr:`shard_id` / :attr:`map_version` / :attr:`addresses` to
+    adopt the newer map (rebalance fencing: the old owner bounces
+    misrouted ops stamped with the version that moved the range) and
+    re-route the call.
+    """
+
+    _MARKER = "[shard="
+
+    @classmethod
+    def for_shard(
+        cls,
+        shard_id: str,
+        map_version: int,
+        addresses: tuple[str, ...] = (),
+        reason: str = "account not owned by this shard",
+    ) -> "WrongShardError":
+        hint = f"{cls._MARKER}{shard_id}@{int(map_version)} addrs={','.join(addresses)}]"
+        return cls(f"{reason} {hint}")
+
+    def _hint(self) -> tuple[str, int, tuple[str, ...]] | None:
+        message = str(self)
+        start = message.find(self._MARKER)
+        if start < 0:
+            return None
+        start += len(self._MARKER)
+        end = message.find("]", start)
+        if end < 0:
+            return None
+        body = message[start:end].strip()
+        head, _, addr_part = body.partition(" addrs=")
+        shard_id, _, version_text = head.partition("@")
+        try:
+            version = int(version_text)
+        except ValueError:
+            return None
+        addresses = tuple(a.strip() for a in addr_part.split(",") if a.strip())
+        return (shard_id.strip(), version, addresses)
+
+    @property
+    def shard_id(self) -> str | None:
+        hint = self._hint()
+        return hint[0] if hint and hint[0] else None
+
+    @property
+    def map_version(self) -> int:
+        hint = self._hint()
+        return hint[1] if hint else -1
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        hint = self._hint()
+        return hint[2] if hint else ()
 
 
 class ReplicaStaleError(BankError):

@@ -71,6 +71,7 @@ __all__ = [
     "active_plane",
     "set_active_plane",
     "register_diag_thread",
+    "unregister_diag_thread",
 ]
 
 _log = obs_logging.get_logger("obs.diag")
@@ -85,6 +86,14 @@ def register_diag_thread(ident: Optional[int] = None) -> None:
     """Mark a thread (default: the calling one) as diagnosis-plane
     internal, excluding it from profiles."""
     _diag_threads.add(ident if ident is not None else threading.get_ident())
+
+
+def unregister_diag_thread(ident: Optional[int] = None) -> None:
+    """Remove a thread from the diagnosis-plane set. Loop threads call
+    this on exit — the OS reuses thread idents, so a stale entry would
+    silently blind the profiler to whatever unrelated thread inherits
+    the ident next."""
+    _diag_threads.discard(ident if ident is not None else threading.get_ident())
 
 
 # -- wait/contention accounting -----------------------------------------------
@@ -262,12 +271,15 @@ class SamplingProfiler:
 
     def _run(self) -> None:
         register_diag_thread()
-        while not self._stop.wait(self._interval):
-            try:
-                self.sample_once()
-            except Exception:  # noqa: BLE001 - one bad sample must not kill
-                # the loop; the failure count stays visible as a metric
-                obs_metrics.counter("obs.diag.profiler_errors").inc()
+        try:
+            while not self._stop.wait(self._interval):
+                try:
+                    self.sample_once()
+                except Exception:  # noqa: BLE001 - one bad sample must not
+                    # kill the loop; the failure count stays visible
+                    obs_metrics.counter("obs.diag.profiler_errors").inc()
+        finally:
+            unregister_diag_thread()
 
     def sample_once(self) -> None:
         """Take one sample of every live thread (the loop body; public so
@@ -483,11 +495,14 @@ class FlightRecorder:
 
     def _run_ticker(self) -> None:
         register_diag_thread()
-        while not self._stop.wait(self.tick_interval):
-            try:
-                self.tick()
-            except Exception:  # noqa: BLE001 - recorder upkeep never crashes
-                obs_metrics.counter("obs.diag.recorder_errors").inc()
+        try:
+            while not self._stop.wait(self.tick_interval):
+                try:
+                    self.tick()
+                except Exception:  # noqa: BLE001 - recorder upkeep never crashes
+                    obs_metrics.counter("obs.diag.recorder_errors").inc()
+        finally:
+            unregister_diag_thread()
 
     def tick(self) -> None:
         """Capture one metric-delta (and profile-fold-delta) sample;

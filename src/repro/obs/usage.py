@@ -73,6 +73,14 @@ UNTRACKED_OPS = frozenset(
         "telemetry_snapshot",
         "diag_profile",
         "diag_flight_record",
+        "shard_map",
+        "shard_status",
+        "shard_install",
+        "shard_export",
+        "shard_import",
+        "shard_evict",
+        "shard_apply",
+        "shard_resolve",
     }
 )
 

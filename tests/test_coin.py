@@ -159,10 +159,12 @@ class TestLayeringClaim:
         # the protocol reuses the shared instruments registry and the
         # existing accounts tables — the database schema is unchanged
         # ("replies" belongs to the exactly-once RPC layer, "spans" and
-        # "usage_rollups" to the observability layer, not GridCoin)
+        # "usage_rollups" to the observability layer, "shard_meta" and
+        # "xfer_intents" to the sharding layer, not GridCoin)
         assert sorted(world["bank"].db.table_names()) == [
             "accounts", "administrators", "instruments", "replies",
-            "spans", "transactions", "transfers", "usage_rollups",
+            "shard_meta", "spans", "transactions", "transfers",
+            "usage_rollups", "xfer_intents",
         ]
 
     def test_coexists_with_other_instruments(self, world):

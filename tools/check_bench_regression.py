@@ -22,9 +22,12 @@ Exits with the distinct code 3 (not 0, not the failure code 1) when
 there are fewer than two comparable entries: the first recording IS the
 baseline, so there is nothing to gate yet, but callers that expected a
 real comparison (CI) can tell this apart from a pass. ``make
-bench-gate`` tolerates exit 3. Scenarios that only exist in one of the
-two entries are skipped (new or retired benchmarks are not
-regressions).
+bench-gate`` tolerates exit 3. Scenarios that exist only in the
+*latest* entry are skipped — a new benchmark has no baseline to regress
+against. Scenarios present in the baseline but **missing from the
+latest entry** are reported loudly and exit 3: a benchmark that stopped
+recording (deleted, renamed, crashed before the join) must surface as
+"the baseline needs a human eye", never as a silent pass.
 
 Usage::
 
@@ -158,6 +161,7 @@ def main(argv=None) -> int:
         return 0
     failures = compare(baseline, latest, args.threshold, args.p95_threshold, factor)
     compared = sum(1 for name in latest["scenarios"] if name in baseline["scenarios"])
+    missing = sorted(set(baseline["scenarios"]) - set(latest["scenarios"]))
     if failures:
         print(
             f"bench regression gate: {len(failures)} of {compared} scenario(s) "
@@ -168,6 +172,26 @@ def main(argv=None) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
+    if missing:
+        # a scenario that vanished is not a regression, but it is not a
+        # pass either: the benchmark was deleted/renamed, or it crashed
+        # before recording — either way the comparison is no longer
+        # covering what the baseline covered, and someone must look
+        print(
+            f"bench regression gate: {len(missing)} scenario(s) present in "
+            f"baseline commit {baseline.get('commit', '?')[:12]} are MISSING "
+            f"from the latest entry ({latest.get('commit', '?')[:12]}):",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  missing: {name}", file=sys.stderr)
+        print(
+            "  -> retired benchmarks need a fresh `make bench-record` "
+            "baseline; crashed ones need fixing. Exiting 3 (baseline "
+            "attention), not 0 (pass).",
+            file=sys.stderr,
+        )
+        return 3
     print(
         f"bench regression gate: {compared} scenario(s) within "
         f"{args.threshold * 100.0:.0f}% ops/s and {args.p95_threshold * 100.0:.0f}% p95 "
