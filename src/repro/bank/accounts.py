@@ -57,6 +57,13 @@ __all__ = ["GBAccounts"]
 class GBAccounts:
     """Account operations over the GridBank database."""
 
+    #: Cap on consecutive ``id_filter`` rejections per mint. A shard owning
+    #: a fraction f of the hash ring accepts a candidate with probability f,
+    #: so even a 1/10_000 sliver clears this comfortably; hitting the cap
+    #: means the shard effectively owns nothing and the caller should mint
+    #: elsewhere instead of exhausting the id space.
+    _MAX_MINT_REJECTIONS = 50_000
+
     def __init__(
         self,
         db: Database,
@@ -123,16 +130,29 @@ class GBAccounts:
         if credit_limit < ZERO:
             raise ValidationError("credit limit must be >= 0")
         with self._counter_lock:
+            # mint candidates past the filter WITHOUT advancing the durable
+            # counter until one is accepted: a shard that owns a sliver of
+            # the ring (or, transiently, none — the filter raises then)
+            # must not burn through the 10^8 id space on rejections
+            candidate = self._next_account
+            rejections = 0
             while True:
-                if self._next_account > 99_999_999:
+                if candidate > 99_999_999:
                     raise AccountError("account number space exhausted")
                 account_id = str(
-                    AccountID(self.bank_number, self.branch_number, self._next_account)
+                    AccountID(self.bank_number, self.branch_number, candidate)
                 )
-                self._next_account += 1
                 accept = self.id_filter
                 if accept is None or accept(account_id):
+                    self._next_account = candidate + 1
                     break
+                candidate += 1
+                rejections += 1
+                if rejections >= self._MAX_MINT_REJECTIONS:
+                    raise AccountError(
+                        f"no account id hashing into this shard's ranges within "
+                        f"{rejections} candidates — retry on another shard"
+                    )
         self.db.insert(
             "accounts",
             {

@@ -56,7 +56,9 @@ intent id is derived from the request's idempotency key — so funds are
 reserved at most once per logical request.
 
 Conservation across the fleet is ``sum(owned account balances) +
-sum(prepared intent amounts)`` — see :func:`sharded_total_funds`.
+sum(prepared intent amounts not yet applied)`` — an intent whose
+participant reply already exists has its credit in the recipient's
+balance and must not be counted twice; see :func:`sharded_total_funds`.
 """
 
 from __future__ import annotations
@@ -432,7 +434,18 @@ class ShardNode:
         return shard_map is None or shard_map.shard_for(account_id) == self.shard_id
 
     def _accepts_account_id(self, account_id: str) -> bool:
-        return self.owns(account_id)
+        shard_map = self.installed_map()
+        if shard_map is None:
+            return True
+        if not shard_map.owned_ranges(self.shard_id):
+            # a zero-range member (the live-split boot shape) can never
+            # mint an id that hashes home: refuse the whole mint up front
+            # instead of letting the counter churn through rejections
+            raise AccountError(
+                f"shard {self.shard_id} owns no hash ranges in map "
+                f"v{shard_map.version}; create the account on an owning shard"
+            )
+        return shard_map.shard_for(account_id) == self.shard_id
 
     def guard(self, method: str, accounts: Iterable[str]) -> None:
         """Bounce ops touching accounts this shard does not own.
@@ -942,26 +955,88 @@ class ShardNode:
         return self.install_map(ShardMap.from_dict(params["map"]))
 
     def op_shard_export(self, subject: str, params: dict) -> dict:
-        """Account rows this node holds but no longer owns (post-fence)."""
+        """Everything a moved account needs at its new owner (post-fence).
+
+        One cut, four tables:
+
+        - ``accounts`` — rows this node holds but no longer owns;
+        - ``transactions`` / ``transfers`` — the moved accounts' ledger
+          history, so statements keep working after the move (transfer
+          rows ride along when *either* party moved — the staying
+          party's copy stays behind too);
+        - ``replies`` — the full reply-cache cut. Reply keys cannot be
+          attributed to accounts without per-method body knowledge, and
+          stranding them breaks exactly-once: a participant reply
+          (``2pc:<IntentID>``) left behind lets a still-prepared intent
+          coordinated on *another* shard double-credit when re-driven at
+          the new owner, and a stranded client reply re-executes a
+          committed op on retry. Keys are globally unique and the cache
+          is bounded (``max_entries``), so copying the whole cut is safe
+          and cheap; rows for unmoved accounts are unreachable at the
+          target (the guard bounces before any cache lookup) and simply
+          age out.
+        """
         self.node._require_peer(subject)
         self._require_primary("Shard.Export")
         shard_map = self.installed_map()
         if shard_map is None:
-            return {"accounts": [], "version": 0}
+            return {
+                "accounts": [],
+                "transactions": [],
+                "transfers": [],
+                "replies": [],
+                "version": 0,
+            }
+        db = self.bank.db
         rows = [
             dict(row)
-            for row in self.bank.db.table("accounts").all_rows()
+            for row in db.table("accounts").all_rows()
             if shard_map.shard_for(row["AccountID"]) != self.shard_id
         ]
-        return {"accounts": rows, "version": shard_map.version}
+        moved = {row["AccountID"] for row in rows}
+        transactions = [
+            dict(row)
+            for row in db.table("transactions").all_rows()
+            if row["AccountID"] in moved
+        ]
+        transfers = [
+            dict(row)
+            for row in db.table("transfers").all_rows()
+            if row["DrawerAccountID"] in moved or row["RecipientAccountID"] in moved
+        ]
+        replies = [dict(row) for row in db.table("replies").all_rows()]
+        return {
+            "accounts": rows,
+            "transactions": transactions,
+            "transfers": transfers,
+            "replies": replies,
+            "version": shard_map.version,
+        }
 
     def op_shard_import(self, subject: str, params: dict) -> dict:
-        """Adopt exported account rows (idempotent: existing rows win)."""
+        """Adopt an exported cut: accounts, ledger history, reply rows.
+
+        Idempotency is two-layered. Account and reply rows are keyed
+        (existing rows win), so re-running them is harmless. Ledger rows
+        are NOT naturally keyed here — ``EntryID``/``TransactionID`` are
+        shard-local counters, so imported history is re-identified under
+        freshly allocated ids (consistently: every ledger row sharing an
+        old ``TransactionID`` shares the new one, keeping the statement
+        join intact) — and a blind re-run would duplicate history. A
+        ``shard_meta`` marker row (``import:v<version>``), committed in
+        the same transaction as the ledger rows, makes the remap
+        exactly-once across rebalance-driver retries and crash recovery.
+        """
         self.node._require_peer(subject)
         self._require_primary("Shard.Import")
         bank = self.bank
         rows = params.get("accounts") or []
-        imported = 0
+        ledger_entries = params.get("transactions") or []
+        ledger_transfers = params.get("transfers") or []
+        reply_rows = params.get("replies") or []
+        version = int(params.get("version") or 0)
+        marker_key = f"import:v{version}"
+        imported = entries = transfers = replies = 0
         with bank.db.transaction():
             for row in rows:
                 if not isinstance(row, dict) or "AccountID" not in row:
@@ -969,33 +1044,113 @@ class ShardNode:
                 if bank.db.find("accounts", (row["AccountID"],)) is None:
                     bank.db.insert("accounts", dict(row))
                     imported += 1
-        # imported ids may exceed the local mint counter; rescan so a
-        # future CreateAccount cannot collide with an adopted row
+            remap_done = version > 0 and bank.db.find("shard_meta", (marker_key,)) is not None
+            if not remap_done and (ledger_entries or ledger_transfers):
+                txn_map: dict[int, int] = {}
+
+                def remapped(old_txn: int) -> int:
+                    if old_txn not in txn_map:
+                        txn_map[old_txn] = bank.accounts._txn_ids.next_int()
+                    return txn_map[old_txn]
+
+                for row in ledger_transfers:
+                    if not isinstance(row, dict) or "TransactionID" not in row:
+                        raise ValidationError("malformed transfer row in Shard.Import")
+                    adopted = dict(row)
+                    adopted["TransactionID"] = remapped(row["TransactionID"])
+                    bank.db.insert("transfers", adopted)
+                    transfers += 1
+                for row in ledger_entries:
+                    if not isinstance(row, dict) or "TransactionID" not in row:
+                        raise ValidationError("malformed transaction row in Shard.Import")
+                    adopted = dict(row)
+                    adopted["TransactionID"] = remapped(row["TransactionID"])
+                    adopted["EntryID"] = bank.accounts._entry_ids.next_int()
+                    bank.db.insert("transactions", adopted)
+                    entries += 1
+                if version > 0:
+                    bank.db.insert(
+                        "shard_meta", {"Key": marker_key, "Version": version, "Body": b""}
+                    )
+            for row in reply_rows:
+                if not isinstance(row, dict) or "IdempotencyKey" not in row:
+                    raise ValidationError("malformed reply row in Shard.Import")
+                if bank.db.find("replies", (row["IdempotencyKey"],)) is None:
+                    bank.db.insert("replies", dict(row))
+                    replies += 1
+        # imported ids may exceed the local counters; rescan so future
+        # mints/stores cannot collide with adopted rows
         bank.accounts.rescan_ids()
-        if imported:
+        bank.replies.rescan()
+        if imported or entries or transfers or replies:
             obs_metrics.counter("bank.shard.accounts_imported", shard=self.shard_id).inc(imported)
-            _log.info("shard.import", shard=self.shard_id, imported=imported)
-        return {"imported": imported}
+            _log.info(
+                "shard.import",
+                shard=self.shard_id,
+                imported=imported,
+                ledger_entries=entries,
+                ledger_transfers=transfers,
+                replies=replies,
+            )
+        return {
+            "imported": imported,
+            "transactions": entries,
+            "transfers": transfers,
+            "replies": replies,
+        }
 
     def op_shard_evict(self, subject: str, params: dict) -> dict:
-        """Drop rows for ranges this node no longer owns (post-import)."""
+        """Drop rows for ranges this node no longer owns (post-import).
+
+        Evicts the moved accounts and their ledger entries. A transfer
+        row is dropped only when *neither* party is still owned here —
+        the staying party's statement join needs its copy (the new owner
+        received a re-identified copy of its own in the export cut).
+        Reply rows stay: they cannot be attributed to accounts, are
+        unreachable behind the ownership guard, and age out of the
+        bounded cache on their own.
+        """
         self.node._require_peer(subject)
         self._require_primary("Shard.Evict")
         bank = self.bank
         shard_map = self.installed_map()
         if shard_map is None:
             return {"evicted": 0}
+
+        def owned(account_id: str) -> bool:
+            return shard_map.shard_for(account_id) == self.shard_id
+
         doomed = [
             row["AccountID"]
             for row in bank.db.table("accounts").all_rows()
-            if shard_map.shard_for(row["AccountID"]) != self.shard_id
+            if not owned(row["AccountID"])
+        ]
+        doomed_entries = [
+            row["EntryID"]
+            for row in bank.db.table("transactions").all_rows()
+            if not owned(row["AccountID"])
+        ]
+        doomed_transfers = [
+            row["TransactionID"]
+            for row in bank.db.table("transfers").all_rows()
+            if not owned(row["DrawerAccountID"]) and not owned(row["RecipientAccountID"])
         ]
         with bank.db.transaction():
             for account_id in doomed:
                 bank.db.delete("accounts", (account_id,))
+            for entry_id in doomed_entries:
+                bank.db.delete("transactions", (entry_id,))
+            for txn_id in doomed_transfers:
+                bank.db.delete("transfers", (txn_id,))
         if doomed:
             obs_metrics.counter("bank.shard.accounts_evicted", shard=self.shard_id).inc(len(doomed))
-            _log.info("shard.evict", shard=self.shard_id, evicted=len(doomed))
+            _log.info(
+                "shard.evict",
+                shard=self.shard_id,
+                evicted=len(doomed),
+                ledger_entries=len(doomed_entries),
+                ledger_transfers=len(doomed_transfers),
+            )
         return {"evicted": len(doomed)}
 
     def op_shard_resolve(self, subject: str, params: dict) -> dict:
@@ -1205,8 +1360,10 @@ class ShardRouter:
 
     def create_account(self, **params):
         """Round-robin new accounts across shards; each shard mints ids
-        hashing into its own ranges (see ``GBAccounts.id_filter``)."""
-        sids = sorted(self.map.shards)
+        hashing into its own ranges (see ``GBAccounts.id_filter``).
+        Zero-range members (declared live-split targets) are skipped —
+        they cannot mint an id that hashes home and would refuse."""
+        sids = sorted(sid for sid in self.map.shards if self.map.owned_ranges(sid))
         target = sids[next(self._rr) % len(sids)]
         return self.call("CreateAccount", shard_id=target, **params)
 
@@ -1237,13 +1394,20 @@ def rebalance(
        with hints stamped ``new_map.version`` (the fence);
     2. resolve *source*'s in-flight cross-shard intents — their debits
        must land in rows that are about to move;
-    3. export the moved account rows from *source*;
-    4. import them into *target* (still fenced: *target*'s old map
+    3. export the moved account rows — plus their ledger history and
+       the reply-cache cut — from *source*;
+    4. import the cut into *target* (still fenced: *target*'s old map
        bounces them right back until step 5);
     5. install on *target* — it starts serving the moved ranges;
     6. evict the moved rows from *source*;
     7. broadcast the map to every other shard so their coordinators
-       route 2PC credits at the new owner directly.
+       route 2PC credits at the new owner directly, then sweep
+       ``Shard.Resolve`` fleet-wide (best-effort): a *prepared* intent
+       coordinated on another shard whose recipient just moved re-drives
+       at the new owner now instead of waiting for its resolver tick —
+       the imported ``2pc:<IntentID>`` reply rows make that replay
+       idempotent even when the credit already landed on *source*
+       before the fence.
 
     *clients* must hold an authorized (peer/admin) client per shard id
     in ``new_map`` — including *target* — plus *source* when a merge
@@ -1265,13 +1429,28 @@ def rebalance(
         exported = clients[source].call("Shard.Export")
         moved = exported["accounts"]
         if moved:
-            clients[target].call("Shard.Import", accounts=moved)
+            clients[target].call(
+                "Shard.Import",
+                accounts=moved,
+                transactions=exported.get("transactions") or [],
+                transfers=exported.get("transfers") or [],
+                replies=exported.get("replies") or [],
+                version=exported.get("version") or new_map.version,
+            )
         clients[target].call("Shard.Install", map=new_map.to_dict())
         clients[source].call("Shard.Evict")
         for sid in new_map.shards:
             if sid in (source, target):
                 continue
             clients[sid].call("Shard.Install", map=new_map.to_dict())
+        # best-effort: re-drive every shard's prepared intents under the
+        # new map so credits aimed at moved ranges land at the new owner
+        # now rather than on the next resolver tick
+        for sid in new_map.shards:
+            try:
+                clients[sid].call("Shard.Resolve")
+            except ReproError:
+                pass
         obs_metrics.counter("shard.rebalance.moves").inc()
         obs_metrics.counter("shard.rebalance.accounts_moved").inc(len(moved))
         _log.info(
@@ -1314,9 +1493,23 @@ def sharded_total_funds(shards: Iterable[ShardNode]) -> Credits:
 
     Pass each shard group's *primary* ShardNode. Funds inside a prepared
     intent have left the drawer's row but not yet reached the recipient's
-    — they are still the bank's liability, so they count.
+    — they are still the bank's liability, so they count. EXCEPT when the
+    participant's reply row (``2pc:<IntentID>``) already exists on one of
+    the given shards: then the credit has landed in the recipient's
+    balance while the coordinator has not yet flipped the row to
+    ``committed``, and counting the reserve again would report a
+    transient surplus (a concurrent probe mid-2PC would flake).
     """
+    shard_list = list(shards)
     total = ZERO
-    for shard in shards:
-        total = total + shard.owned_funds() + shard.prepared_total()
+    for shard in shard_list:
+        total = total + shard.owned_funds()
+        for row in shard.pending_intents():
+            reply_key = f"2pc:{row['IntentID']}"
+            applied = any(
+                peer.bank.db.find("replies", (reply_key,)) is not None
+                for peer in shard_list
+            )
+            if not applied:
+                total = total + db_to_credits(row["Amount"])
     return total

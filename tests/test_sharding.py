@@ -33,6 +33,7 @@ from repro.bank.shard import (
 )
 from repro.payments.direct import TransferConfirmation
 from repro.db.database import Database
+from repro.db.query import eq
 from repro.errors import (
     AccountError,
     NotFoundError,
@@ -42,6 +43,7 @@ from repro.errors import (
     WrongShardError,
 )
 from repro.net.retry import RetryPolicy
+from repro.net.rpc import RequestContext, request_scope
 from repro.net.transport import FaultPlan, InProcessNetwork
 from repro.pki.ca import CertificateAuthority
 from repro.pki.certificate import DistinguishedName
@@ -184,6 +186,17 @@ def total_funds(world) -> Credits:
     return sharded_total_funds(primaries(world))
 
 
+def mint_in_range(world, shard_id: str, lo: int, hi: int, deposit=None) -> str:
+    """Create accounts on *shard_id* until one hashes into [lo, hi)."""
+    for _ in range(64):
+        account = world["admin"].call("CreateAccount", shard_id=shard_id)["account_id"]
+        if lo <= account_token(account) < hi:
+            if deposit is not None:
+                world["admin"].call("Admin.Deposit", account_id=account, amount=deposit)
+            return account
+    raise AssertionError(f"no mintable account in [{lo}, {hi}) after 64 tries")
+
+
 def peer_clients(world):
     """Orchestration clients (bank credential = peer auth), one per shard."""
     return {
@@ -278,6 +291,34 @@ class TestRoutingAndGuard:
                 client.call("RequestAccountDetails", account_id=world["alice_account"])
         finally:
             client.close()
+
+    def test_create_account_on_zero_range_shard_fails_fast(self, world):
+        """A zero-range member refuses the mint outright instead of
+        spinning the counter through ~10^8 rejected candidates."""
+        bank_s3 = world["banks"][S3]
+        counter_before = bank_s3.accounts._next_account
+        client = cluster_client(
+            world["alice_ident"], world["store"], world["network"].connect, (S3,),
+            clock=world["clock"],
+        )
+        try:
+            for _ in range(2):  # repeatable: the counter must not burn
+                with pytest.raises(AccountError):
+                    client.call("CreateAccount")
+            assert bank_s3.accounts._next_account == counter_before
+            # once the shard gains ranges, minting works on the spot
+            world["shards"]["s3"].install_map(world["map"].split("s1", "s3"))
+            account = client.call("CreateAccount")["account_id"]
+        finally:
+            client.close()
+        assert world["map"].split("s1", "s3").shard_for(account) == "s3"
+
+    def test_router_create_account_skips_zero_range_shards(self, world):
+        """Round-robin placement must never pick s3 while it owns no
+        ranges — a create routed there could only fail."""
+        for _ in range(4):
+            account = world["alice"].create_account()["account_id"]
+            assert world["map"].shard_for(account) in ("s1", "s2")
 
 
 class TestCrossShard2PC:
@@ -449,6 +490,26 @@ class TestCrossShard2PC:
             world["bob_account"]
         ) == Credits(520)
 
+    def test_probe_steady_through_apply_window(self, world):
+        """The conservation probe must not report a transient surplus
+        between apply (credit landed, reply cached) and commit (intent
+        still 'prepared'): applied intents are excluded from the
+        prepared total."""
+        before = total_funds(world)
+        shard = world["shards"]["s1"]
+        row = shard._prepare(
+            world["alice_ident"].subject,
+            world["alice_account"],
+            world["bob_account"],
+            Credits(25),
+            "window-key",
+        )
+        assert total_funds(world) == before  # reserved, not yet applied
+        shard._apply_remote(dict(row))
+        assert total_funds(world) == before  # applied, not yet committed
+        shard._complete(row["IntentID"])
+        assert total_funds(world) == before  # committed
+
 
 class TestRebalance:
     def test_live_split_moves_accounts_and_conserves(self, world):
@@ -508,6 +569,112 @@ class TestRebalance:
         world["alice"].transfer(world["alice_account"], target, Credits(35))
         owner_bank = world["banks"][S3 if owner == "s3" else S2A]
         assert owner_bank.accounts.available_balance(target) == Credits(535)
+
+    def test_prepared_intent_survives_recipient_range_split(self, world):
+        """The reviewed double-credit: a coordinator on s1 crashes between
+        apply and commit, then the recipient's range splits away from s2.
+        The export cut carries the participant's '2pc:<IntentID>' reply
+        row, so the re-driven apply at the new owner replays instead of
+        crediting a second time."""
+        # a recipient in the half of s2's range a split moves to s3
+        upper = HALF + (RING_SIZE - HALF) // 2
+        victim = mint_in_range(world, "s2", upper, RING_SIZE, deposit=Credits(500))
+        shard1 = world["shards"]["s1"]
+        row = shard1._prepare(
+            world["alice_ident"].subject,
+            world["alice_account"],
+            victim,
+            Credits(75),
+            "split-crash-key",
+        )
+        shard1._apply_remote(dict(row))  # credit lands on s2, reply cached
+        before = total_funds(world)
+
+        clients = peer_clients(world)
+        try:
+            split_shard(clients, world["map"], "s2", "s3")
+        finally:
+            for client in clients.values():
+                client.close()
+
+        bank_s3 = world["banks"][S3]
+        assert bank_s3.db.find("accounts", (victim,)) is not None
+        assert bank_s3.db.find("replies", (f"2pc:{row['IntentID']}",)) is not None
+        # the rebalance's fleet-wide resolve sweep (or this explicit one)
+        # drives the intent home through the new owner — exactly once
+        shard1.resolve_pending()
+        assert world["banks"][S1].db.find("xfer_intents", (row["IntentID"],))[
+            "State"
+        ] == INTENT_COMMITTED
+        assert bank_s3.accounts.available_balance(victim) == Credits(575)
+        assert total_funds(world) == before
+
+    def test_client_retry_after_split_replays_cached_reply(self, world):
+        """Client idempotency replies move with the account: a post-split
+        retry of a committed op must replay at the new owner, not
+        re-execute."""
+        upper = HALF + (RING_SIZE - HALF) // 2
+        victim = mint_in_range(world, "s2", upper, RING_SIZE)
+        subject = world["admin_ident"].subject
+        context = RequestContext(
+            method="Admin.Deposit", subject=subject, idempotency_key="dep-retry-1"
+        )
+        operation = world["banks"][S2A].endpoint.operations["Admin.Deposit"]
+        with request_scope(context):
+            first = operation(subject, {"account_id": victim, "amount": Credits(90)})
+
+        clients = peer_clients(world)
+        try:
+            split_shard(clients, world["map"], "s2", "s3")
+        finally:
+            for client in clients.values():
+                client.close()
+
+        bank_s3 = world["banks"][S3]
+        operation = world["banks"][S3].endpoint.operations["Admin.Deposit"]
+        with request_scope(context):
+            again = operation(subject, {"account_id": victim, "amount": Credits(90)})
+        assert again == first
+        assert bank_s3.accounts.available_balance(victim) == Credits(90)
+
+    def test_statement_history_moves_with_account(self, world):
+        """Ledger rows ride the export cut: statements at the new owner
+        show pre-move activity (re-identified, but joined consistently)."""
+        upper = HALF + (RING_SIZE - HALF) // 2
+        victim = mint_in_range(world, "s2", upper, RING_SIZE, deposit=Credits(100))
+        world["admin"].call(
+            "RequestDirectTransfer",
+            from_account=victim,
+            to_account=world["bob_account"],
+            amount=Credits(30),
+        )
+
+        clients = peer_clients(world)
+        try:
+            split_shard(clients, world["map"], "s2", "s3")
+        finally:
+            for client in clients.values():
+                client.close()
+
+        statement = world["admin"].call(
+            "RequestAccountStatement",
+            account_id=victim,
+            start="19700101000000",
+            end="29991231235959",
+        )
+        # deposit entry + transfer drawer entry, and the transfer record
+        types = sorted(t["Type"] for t in statement["transactions"])
+        assert types == ["Deposit", "Transfer"]
+        assert len(statement["transfers"]) == 1
+        transfer = statement["transfers"][0]
+        assert transfer["DrawerAccountID"] == victim
+        assert transfer["RecipientAccountID"] == world["bob_account"]
+        # the join is intact: the transfer shares the (re-identified)
+        # TransactionID with the drawer-side entry
+        entry_txns = {t["TransactionID"] for t in statement["transactions"]}
+        assert transfer["TransactionID"] in entry_txns
+        # and the history left the source with the account
+        assert world["banks"][S2A].db.select("transactions", [eq("AccountID", victim)]) == []
 
     def test_stale_install_rejected(self, world):
         shard = world["shards"]["s1"]
